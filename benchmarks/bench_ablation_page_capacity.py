@@ -1,0 +1,82 @@
+"""Ablation (ours): effect of the leaf-page capacity on the UV-index.
+
+The paper fixes 4 KB pages.  Because the reproduction runs at reduced dataset
+scale, the page capacity is the knob that controls how eagerly the adaptive
+grid splits; this ablation shows the trade-off between index granularity
+(leaf count, construction time) and per-query I/O.
+"""
+
+import pytest
+
+from benchmarks.conftest import RTREE_FANOUT, SEED_KNN, emit, scaled_bundle
+from repro.analysis.report import format_table
+from repro.core.construction import build_uv_index_ic
+from repro.core.pnn import UVIndexPNN
+from repro.rtree.tree import RTree
+from repro.storage.disk import DiskManager
+
+OBJECT_COUNT = 200
+CAPACITIES = [4, 8, 16, 32, 64]
+
+
+@pytest.fixture(scope="module")
+def capacity_sweep():
+    bundle = scaled_bundle("uniform", OBJECT_COUNT, seed=37)
+    rtree = RTree.bulk_load(bundle.objects, disk=DiskManager(), fanout=RTREE_FANOUT)
+    results = {}
+    for capacity in CAPACITIES:
+        disk = DiskManager()
+        index, stats = build_uv_index_ic(
+            bundle.objects,
+            bundle.domain,
+            rtree=rtree,
+            disk=disk,
+            page_capacity=capacity,
+            seed_knn=SEED_KNN,
+        )
+        pnn = UVIndexPNN(index, objects=bundle.objects)
+        avg_io = sum(
+            pnn.query(q, compute_probabilities=False).io.page_reads
+            for q in bundle.queries
+        ) / len(bundle.queries)
+        avg_candidates = sum(
+            pnn.query(q, compute_probabilities=False).candidates_examined
+            for q in bundle.queries
+        ) / len(bundle.queries)
+        results[capacity] = (index.statistics(), stats, avg_io, avg_candidates)
+    return results
+
+
+def test_ablation_page_capacity(benchmark, capacity_sweep, capsys):
+    rows = []
+    for capacity in CAPACITIES:
+        index_stats, stats, avg_io, avg_candidates = capacity_sweep[capacity]
+        rows.append(
+            [
+                capacity,
+                index_stats["leaf_nodes"],
+                index_stats["nonleaf_nodes"],
+                avg_candidates,
+                avg_io,
+                stats.total_seconds,
+            ]
+        )
+    table = format_table(
+        ["page capacity", "leaves", "non-leaves", "avg candidates", "avg I/O", "Tc (s)"],
+        rows,
+        title=(
+            "Ablation -- leaf-page capacity of the UV-index "
+            f"(|O| = {OBJECT_COUNT}, measured).\n"
+            "Expected shape: small pages split the grid finely (few candidates "
+            "per query, more nodes, slower build); large pages do the opposite."
+        ),
+    )
+    emit(capsys, table)
+
+    fine_stats = capacity_sweep[CAPACITIES[0]]
+    coarse_stats = capacity_sweep[CAPACITIES[-1]]
+    # Finer pages -> more leaves and fewer candidates per query.
+    assert fine_stats[0]["leaf_nodes"] >= coarse_stats[0]["leaf_nodes"]
+    assert fine_stats[3] <= coarse_stats[3] + 1e-9
+
+    benchmark(lambda: capacity_sweep[CAPACITIES[2]][2])

@@ -1,0 +1,50 @@
+"""Figure 6(c): breakdown of the PNN query time into its components.
+
+Paper: object retrieval and probability computation cost roughly the same for
+both indexes; the R-tree spends much more time on index traversal, which is
+what makes it slower overall.
+"""
+
+from benchmarks.conftest import SWEEP_SIZES, emit
+from repro.analysis.report import format_table
+
+# Approximate shares read off Figure 6(c) of the paper (|O| = 30K).
+PAPER_SHARES = {
+    "uv-index": {"index": 0.18, "object_retrieval": 0.27, "probability": 0.55},
+    "r-tree": {"index": 0.45, "object_retrieval": 0.20, "probability": 0.35},
+}
+
+
+def test_fig6c_time_breakdown(benchmark, uniform_query_sweep, capsys):
+    size = SWEEP_SIZES[-1]
+    results = uniform_query_sweep[size]
+    rows = []
+    for name in ("uv-index", "r-tree"):
+        per_query = results[name].timing_ms()
+        rows.append(
+            [
+                name,
+                per_query.get("index", 0.0),
+                per_query.get("object_retrieval", 0.0),
+                per_query.get("probability", 0.0),
+                results[name].avg_time_ms,
+            ]
+        )
+    table = format_table(
+        ["index", "traversal (ms)", "object retrieval (ms)", "probability (ms)", "total (ms)"],
+        rows,
+        title=(
+            f"Figure 6(c) -- components of the PNN query time at |O| = {size} "
+            "(measured).\nPaper shape: retrieval and probability costs are "
+            "similar for both indexes; the R-tree pays much more for index "
+            "traversal."
+        ),
+    )
+    emit(capsys, table)
+
+    uv = results["uv-index"].timing_ms()
+    rt = results["r-tree"].timing_ms()
+    # The R-tree's traversal component must dominate the UV-index's.
+    assert rt.get("index", 0.0) >= uv.get("index", 0.0)
+
+    benchmark(lambda: results["uv-index"].timing_ms())

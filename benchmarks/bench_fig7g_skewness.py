@@ -1,0 +1,59 @@
+"""Figure 7(g): effect of the centre variance (skewness) on construction time.
+
+Paper: the IC construction time is higher when the data is more skewed (a
+smaller sigma means denser clusters, smaller UV-cells and more r-objects);
+at the most skewed setting tested (sigma = 1500) it is about an hour.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_scaled_construction, scaled_bundle
+from repro.analysis.report import format_table
+
+OBJECT_COUNT = 200
+SIGMAS = [1500.0, 2000.0, 2500.0, 3000.0, 3500.0]
+
+PAPER_SERIES_HOURS = {1500: 1.05, 2000: 0.75, 2500: 0.55, 3000: 0.45, 3500: 0.35}
+
+
+@pytest.fixture(scope="module")
+def skewness_sweep():
+    results = {}
+    for sigma in SIGMAS:
+        bundle = scaled_bundle("skewed", OBJECT_COUNT, sigma=sigma, seed=11)
+        results[sigma] = run_scaled_construction(bundle, "ic")
+    return results
+
+
+def test_fig7g_skewness(benchmark, skewness_sweep, capsys):
+    rows = []
+    for sigma in SIGMAS:
+        result = skewness_sweep[sigma]
+        rows.append(
+            [
+                sigma,
+                result.seconds,
+                result.stats.avg_cr_objects,
+                PAPER_SERIES_HOURS[int(sigma)],
+            ]
+        )
+    table = format_table(
+        ["sigma", "IC Tc (s)", "avg |Ci|", "paper Tc (hours, 30K objects)"],
+        rows,
+        title=(
+            f"Figure 7(g) -- IC construction time vs centre variance sigma "
+            f"(|O| = {OBJECT_COUNT}, measured).\n"
+            "Paper shape: more skew (smaller sigma) -> denser data -> more "
+            "cr-objects -> higher construction time."
+        ),
+    )
+    emit(capsys, table)
+
+    # More skew should not make construction cheaper, and it should produce
+    # at least as many cr-objects per object.
+    most_skewed = skewness_sweep[SIGMAS[0]]
+    least_skewed = skewness_sweep[SIGMAS[-1]]
+    assert most_skewed.stats.avg_cr_objects >= least_skewed.stats.avg_cr_objects * 0.9
+    assert most_skewed.seconds >= least_skewed.seconds * 0.8
+
+    benchmark(lambda: skewness_sweep[SIGMAS[0]].seconds)

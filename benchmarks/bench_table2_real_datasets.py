@@ -1,0 +1,92 @@
+"""Table II: query time, construction time and pruning ratio on real datasets.
+
+Paper (utility 17K / roads 30K / rrlines 36K): the UV-diagram consistently
+answers PNN queries faster than the R-tree (89 vs 141 ms, 82 vs 135 ms,
+107 vs 159 ms), IC construction takes 784-2723 s, and the pruning ratio p_c
+stays between 86% and 89%.
+
+This reproduction substitutes generated datasets with the same spatial
+character (clustered / road-like / rail-like), at reduced scale.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    emit,
+    run_scaled_construction,
+    run_scaled_query_experiment,
+    scaled_bundle,
+)
+from repro.analysis.report import format_table
+
+REAL_LIKE_SIZE = 250
+# The real-like substitutes are strongly clustered (that is their point), so
+# the density-matched diameter used for the uniform sweeps would make the
+# regions overlap excessively; a smaller diameter keeps the overlap level in
+# line with the paper's geographic datasets.
+REAL_LIKE_DIAMETER = 80.0
+
+PAPER_TABLE2 = {
+    # dataset: (|O|, Tq(UVD) ms, Tq(R-tree) ms, Tc s, pc %)
+    "utility": (17_000, 89, 141, 784, 89),
+    "roads": (30_000, 82, 135, 2207, 88),
+    "rrlines": (36_000, 107, 159, 2723, 86),
+}
+
+
+@pytest.fixture(scope="module")
+def real_like_results():
+    results = {}
+    for name in ("utility", "roads", "rrlines"):
+        bundle = scaled_bundle(name, REAL_LIKE_SIZE, diameter=REAL_LIKE_DIAMETER, seed=5)
+        query_results = run_scaled_query_experiment(bundle)
+        construction = run_scaled_construction(bundle, "ic")
+        results[name] = (query_results, construction)
+    return results
+
+
+def test_table2_real_datasets(benchmark, real_like_results, capsys):
+    rows = []
+    for name, (query_results, construction) in real_like_results.items():
+        uv = query_results["uv-index"]
+        rt = query_results["r-tree"]
+        paper = PAPER_TABLE2[name]
+        rows.append(
+            [
+                name,
+                REAL_LIKE_SIZE,
+                uv.avg_time_ms,
+                rt.avg_time_ms,
+                construction.seconds,
+                100.0 * construction.stats.c_pruning_ratio,
+                f"{paper[1]}/{paper[2]}ms, pc={paper[4]}%",
+            ]
+        )
+    table = format_table(
+        [
+            "dataset",
+            "|O|",
+            "Tq(UVD) ms",
+            "Tq(R-tree) ms",
+            "Tc (s)",
+            "pc (%)",
+            "paper (17K-36K objects)",
+        ],
+        rows,
+        title=(
+            "Table II -- real-dataset substitutes (clustered / road-like / "
+            "rail-like), measured at reduced scale.\n"
+            "Paper shape: UV-diagram faster than the R-tree on every dataset; "
+            "pruning ratio pc in the high 80s / 90s."
+        ),
+    )
+    emit(capsys, table)
+
+    for name, (query_results, construction) in real_like_results.items():
+        assert (
+            query_results["uv-index"].avg_time_ms
+            <= query_results["r-tree"].avg_time_ms * 1.25
+        )
+        assert construction.stats.c_pruning_ratio >= 0.5
+
+    benchmark(lambda: len(real_like_results))

@@ -1,0 +1,81 @@
+"""repro: a reproduction of "UV-diagram: A Voronoi Diagram for Uncertain Data".
+
+The package implements the UV-diagram of Cheng, Xie, Yiu, Chen and Sun (ICDE
+2010) together with every substrate the paper's evaluation depends on: an
+uncertain-object model, a simulated disk with I/O accounting, an R-tree
+baseline with branch-and-prune PNN search, the adaptive UV-index, and the
+probability machinery for probabilistic nearest-neighbour queries.
+
+Typical usage::
+
+    from repro import UVDiagram, Point, generate_uniform_objects
+
+    objects, domain = generate_uniform_objects(500, seed=7)
+    diagram = UVDiagram.build(objects, domain)
+    result = diagram.pnn(Point(5000.0, 5000.0))
+    for answer in result.answers:
+        print(answer.oid, answer.probability)
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.circle import Circle
+from repro.geometry.rectangle import Rect
+from repro.uncertain.objects import UncertainObject
+from repro.uncertain.pdf import HistogramPdf, TruncatedGaussianPdf, UniformPdf
+from repro.core.diagram import UVDiagram
+from repro.core.uv_cell import UVCell, build_all_uv_cells, build_exact_uv_cell
+from repro.core.uv_index import UVIndex
+from repro.core.cr_objects import CRObjectFinder
+from repro.core.construction import (
+    build_uv_index_basic,
+    build_uv_index_ic,
+    build_uv_index_icr,
+)
+from repro.core.pnn import UVIndexPNN
+from repro.core.pattern import PatternAnalyzer
+from repro.rtree.tree import RTree
+from repro.rtree.pnn import RTreePNN
+from repro.queries.result import PNNAnswer, PNNResult
+from repro.datasets.synthetic import (
+    DEFAULT_DOMAIN,
+    generate_query_points,
+    generate_skewed_objects,
+    generate_uniform_objects,
+)
+from repro.datasets.real_like import real_like_dataset
+from repro.datasets.loader import DatasetBundle, load_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Point",
+    "Circle",
+    "Rect",
+    "UncertainObject",
+    "UniformPdf",
+    "TruncatedGaussianPdf",
+    "HistogramPdf",
+    "UVDiagram",
+    "UVCell",
+    "build_exact_uv_cell",
+    "build_all_uv_cells",
+    "UVIndex",
+    "CRObjectFinder",
+    "build_uv_index_basic",
+    "build_uv_index_ic",
+    "build_uv_index_icr",
+    "UVIndexPNN",
+    "PatternAnalyzer",
+    "RTree",
+    "RTreePNN",
+    "PNNAnswer",
+    "PNNResult",
+    "DEFAULT_DOMAIN",
+    "generate_uniform_objects",
+    "generate_skewed_objects",
+    "generate_query_points",
+    "real_like_dataset",
+    "DatasetBundle",
+    "load_dataset",
+    "__version__",
+]

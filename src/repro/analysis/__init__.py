@@ -1,0 +1,27 @@
+"""Experiment harness: instrumented runs, aggregation, and table formatting.
+
+The benchmark scripts under ``benchmarks/`` are thin wrappers around this
+package: each one loads a dataset, calls an experiment function defined here,
+and prints the resulting table next to the corresponding series from the
+paper.
+"""
+
+from repro.analysis.experiments import (
+    QueryExperimentResult,
+    ConstructionExperimentResult,
+    run_query_experiment,
+    run_construction_experiment,
+    compare_query_performance,
+)
+from repro.analysis.report import format_table, format_comparison, series_summary
+
+__all__ = [
+    "QueryExperimentResult",
+    "ConstructionExperimentResult",
+    "run_query_experiment",
+    "run_construction_experiment",
+    "compare_query_performance",
+    "format_table",
+    "format_comparison",
+    "series_summary",
+]

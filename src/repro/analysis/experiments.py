@@ -1,0 +1,241 @@
+"""Reusable experiment drivers shared by the benchmark scripts.
+
+Each driver builds the indexes once, runs a batch of PNN queries (or a
+construction run), and aggregates the metrics the paper reports: average
+query time, average leaf-page I/O per query, the three-way time breakdown,
+construction time with its phase breakdown, and pruning ratios.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.construction import (
+    ConstructionStats,
+    build_uv_index_basic,
+    build_uv_index_ic,
+    build_uv_index_icr,
+)
+from repro.core.pnn import UVIndexPNN
+from repro.core.uv_index import UVIndex
+from repro.datasets.loader import DatasetBundle
+from repro.geometry.point import Point
+from repro.queries.result import PNNResult
+from repro.rtree.pnn import RTreePNN
+from repro.rtree.tree import RTree
+from repro.storage.disk import DiskManager
+from repro.storage.object_store import ObjectStore
+from repro.storage.stats import TimingBreakdown
+from repro.uncertain.objects import UncertainObject
+
+
+@dataclass
+class QueryExperimentResult:
+    """Aggregated PNN query metrics for one index on one dataset."""
+
+    index_name: str
+    dataset: str
+    objects: int
+    queries: int
+    avg_time_ms: float
+    avg_io: float
+    avg_index_io: float
+    avg_answers: float
+    avg_candidates: float
+    timing: TimingBreakdown = field(default_factory=TimingBreakdown)
+
+    def timing_ms(self) -> Dict[str, float]:
+        """Average per-query milliseconds of each time bucket."""
+        if self.queries == 0:
+            return {}
+        return {
+            name: 1000.0 * seconds / self.queries
+            for name, seconds in self.timing.buckets.items()
+        }
+
+
+@dataclass
+class ConstructionExperimentResult:
+    """Aggregated construction metrics for one method on one dataset."""
+
+    method: str
+    dataset: str
+    objects: int
+    seconds: float
+    stats: ConstructionStats
+
+    def phase_fractions(self) -> Dict[str, float]:
+        """Phase shares of construction time."""
+        return self.stats.phase_fractions()
+
+
+def _aggregate_queries(
+    index_name: str,
+    dataset_name: str,
+    object_count: int,
+    results: Sequence[PNNResult],
+) -> QueryExperimentResult:
+    total_time = 0.0
+    total_io = 0
+    total_index_io = 0
+    total_answers = 0
+    total_candidates = 0
+    timing = TimingBreakdown()
+    for result in results:
+        if result.timing is not None:
+            total_time += result.timing.total()
+            timing.merge(result.timing)
+        if result.io is not None:
+            total_io += result.io.page_reads
+        if result.index_io is not None:
+            total_index_io += result.index_io.page_reads
+        total_answers += len(result.answers)
+        total_candidates += result.candidates_examined
+    count = max(1, len(results))
+    return QueryExperimentResult(
+        index_name=index_name,
+        dataset=dataset_name,
+        objects=object_count,
+        queries=len(results),
+        avg_time_ms=1000.0 * total_time / count,
+        avg_io=total_io / count,
+        avg_index_io=total_index_io / count,
+        avg_answers=total_answers / count,
+        avg_candidates=total_candidates / count,
+        timing=timing,
+    )
+
+
+def run_query_experiment(
+    bundle: DatasetBundle,
+    queries: Optional[Sequence[Point]] = None,
+    construction: str = "ic",
+    compute_probabilities: bool = True,
+    page_capacity: Optional[int] = None,
+    max_nonleaf: int = 4000,
+    split_threshold: float = 1.0,
+    seed_knn: int = 300,
+    rtree_fanout: int = 100,
+    read_latency: float = 0.0,
+) -> Dict[str, QueryExperimentResult]:
+    """Run the same PNN workload on the UV-index and the R-tree baseline.
+
+    Args:
+        read_latency: optional simulated cost (seconds) of one page read,
+            applied to both indexes' disks so that wall-clock query times
+            reflect I/O the way the paper's disk-based measurements do.
+
+    Returns a mapping ``{"uv-index": ..., "r-tree": ...}``.
+    """
+    queries = list(queries) if queries is not None else list(bundle.queries)
+    objects = bundle.objects
+
+    # Separate disks so that each index's I/O is counted independently.
+    uv_disk = DiskManager(read_latency=read_latency)
+    uv_store = ObjectStore(uv_disk)
+    uv_store.bulk_load(objects)
+    helper_rtree = RTree.bulk_load(objects, disk=DiskManager(), fanout=rtree_fanout)
+
+    builder = {
+        "ic": build_uv_index_ic,
+        "icr": build_uv_index_icr,
+    }.get(construction)
+    if builder is None:
+        raise ValueError(f"unsupported construction for query experiments: {construction!r}")
+    uv_index, _ = builder(
+        objects,
+        bundle.domain,
+        rtree=helper_rtree,
+        disk=uv_disk,
+        page_capacity=page_capacity,
+        max_nonleaf=max_nonleaf,
+        split_threshold=split_threshold,
+        seed_knn=seed_knn,
+    )
+    uv_pnn = UVIndexPNN(uv_index, object_store=uv_store)
+
+    rtree_disk = DiskManager(read_latency=read_latency)
+    rtree_store = ObjectStore(rtree_disk)
+    rtree_store.bulk_load(objects)
+    rtree = RTree.bulk_load(objects, disk=rtree_disk, fanout=rtree_fanout)
+    rtree_pnn = RTreePNN(rtree, object_store=rtree_store)
+
+    uv_results = [
+        uv_pnn.query(q, compute_probabilities=compute_probabilities) for q in queries
+    ]
+    rtree_results = [
+        rtree_pnn.query(q, compute_probabilities=compute_probabilities) for q in queries
+    ]
+
+    return {
+        "uv-index": _aggregate_queries(
+            "uv-index", bundle.name, len(objects), uv_results
+        ),
+        "r-tree": _aggregate_queries(
+            "r-tree", bundle.name, len(objects), rtree_results
+        ),
+    }
+
+
+def compare_query_performance(
+    results: Dict[str, QueryExperimentResult]
+) -> Dict[str, float]:
+    """Win factors of the UV-index over the R-tree (time and I/O)."""
+    uv = results["uv-index"]
+    rt = results["r-tree"]
+    return {
+        "time_ratio_rtree_over_uv": (
+            rt.avg_time_ms / uv.avg_time_ms if uv.avg_time_ms > 0 else float("inf")
+        ),
+        "io_ratio_rtree_over_uv": (
+            rt.avg_io / uv.avg_io if uv.avg_io > 0 else float("inf")
+        ),
+    }
+
+
+def run_construction_experiment(
+    bundle: DatasetBundle,
+    method: str = "ic",
+    page_capacity: Optional[int] = None,
+    max_nonleaf: int = 4000,
+    split_threshold: float = 1.0,
+    seed_knn: int = 300,
+    rtree_fanout: int = 100,
+) -> ConstructionExperimentResult:
+    """Time one construction pipeline (Basic / ICR / IC) on a dataset."""
+    objects = bundle.objects
+    disk = DiskManager()
+    method = method.lower()
+    start = time.perf_counter()
+    if method == "basic":
+        _, stats = build_uv_index_basic(
+            objects,
+            bundle.domain,
+            disk=disk,
+            page_capacity=page_capacity,
+            max_nonleaf=max_nonleaf,
+            split_threshold=split_threshold,
+        )
+    else:
+        rtree = RTree.bulk_load(objects, disk=DiskManager(), fanout=rtree_fanout)
+        builder = build_uv_index_ic if method == "ic" else build_uv_index_icr
+        _, stats = builder(
+            objects,
+            bundle.domain,
+            rtree=rtree,
+            disk=disk,
+            page_capacity=page_capacity,
+            max_nonleaf=max_nonleaf,
+            split_threshold=split_threshold,
+            seed_knn=seed_knn,
+        )
+    elapsed = time.perf_counter() - start
+    return ConstructionExperimentResult(
+        method=method,
+        dataset=bundle.name,
+        objects=len(objects),
+        seconds=elapsed,
+        stats=stats,
+    )

@@ -1,0 +1,103 @@
+"""Plain-text table formatting for the benchmark harness.
+
+The paper reports results as figures and one table; the reproduction prints
+every result as an aligned text table so that "the same rows/series the paper
+reports" can be read directly from the benchmark output (and diffed between
+runs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned text table.
+
+    Args:
+        headers: column names.
+        rows: row values; floats are formatted with ``float_format``.
+        title: optional title line printed above the table.
+        float_format: format spec applied to float cells.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered_rows = [[render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    for row in rendered_rows:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+def format_comparison(
+    label: str,
+    paper_series: Dict[object, float],
+    measured_series: Dict[object, float],
+    paper_unit: str = "",
+    measured_unit: str = "",
+) -> str:
+    """Side-by-side table of the paper's reported series and the measured one.
+
+    The absolute values are not expected to match (different hardware and
+    scale); the table makes the *shape* comparison explicit.
+    """
+    keys = list(paper_series.keys()) + [
+        k for k in measured_series.keys() if k not in paper_series
+    ]
+    rows = []
+    for key in keys:
+        rows.append(
+            [
+                key,
+                paper_series.get(key, float("nan")),
+                measured_series.get(key, float("nan")),
+            ]
+        )
+    headers = [
+        "parameter",
+        f"paper {paper_unit}".strip(),
+        f"measured {measured_unit}".strip(),
+    ]
+    return format_table(headers, rows, title=label)
+
+
+def series_summary(series: Dict[object, float]) -> str:
+    """One-line summary (min / max / monotonicity) of a numeric series."""
+    if not series:
+        return "(empty series)"
+    values = list(series.values())
+    keys = list(series.keys())
+    increasing = all(values[i] <= values[i + 1] + 1e-12 for i in range(len(values) - 1))
+    decreasing = all(values[i] >= values[i + 1] - 1e-12 for i in range(len(values) - 1))
+    trend = "increasing" if increasing else "decreasing" if decreasing else "non-monotonic"
+    return (
+        f"range [{min(values):.3f}, {max(values):.3f}] over {keys[0]}..{keys[-1]}, "
+        f"trend: {trend}"
+    )
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio helper used by the win-factor summaries."""
+    if denominator == 0:
+        return float("inf") if numerator > 0 else 0.0
+    return numerator / denominator

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four sub-commands cover the everyday interactions with the library:
+
+* ``info``      -- library version and a summary of the available components,
+* ``build``     -- generate a dataset, build a UV-diagram, print index stats,
+* ``query``     -- build a diagram and answer one or more PNN queries,
+* ``render``    -- build a diagram and write an SVG picture of it.
+
+The CLI is intentionally thin: every command maps directly onto the public
+Python API so that scripts can graduate from the shell to Python verbatim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.core.diagram import UVDiagram
+from repro.datasets.loader import load_dataset
+from repro.geometry.point import Point
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="uniform",
+                        choices=["uniform", "skewed", "utility", "roads", "rrlines"],
+                        help="dataset generator to use")
+    parser.add_argument("--objects", type=int, default=200, help="number of objects")
+    parser.add_argument("--diameter", type=float, default=300.0,
+                        help="uncertainty-region diameter")
+    parser.add_argument("--sigma", type=float, default=2000.0,
+                        help="centre standard deviation (skewed dataset only)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--method", default="ic", choices=["ic", "icr", "basic"],
+                        help="UV-index construction method")
+    parser.add_argument("--page-capacity", type=int, default=16,
+                        help="leaf-page capacity of the UV-index")
+    parser.add_argument("--seed-knn", type=int, default=60,
+                        help="k of the seed-selection k-NN query")
+
+
+def _build_diagram(args: argparse.Namespace) -> UVDiagram:
+    bundle = load_dataset(
+        args.dataset,
+        args.objects,
+        diameter=args.diameter,
+        sigma=args.sigma if args.dataset == "skewed" else None,
+        seed=args.seed,
+    )
+    return UVDiagram.build(
+        bundle.objects,
+        bundle.domain,
+        method=args.method,
+        page_capacity=args.page_capacity,
+        seed_knn=args.seed_knn,
+        rtree_fanout=16,
+    )
+
+
+def _command_info(_: argparse.Namespace) -> int:
+    print(f"repro {__version__} -- UV-diagram: a Voronoi diagram for uncertain data")
+    print("components: geometry kernel, uncertain-object model, simulated disk,")
+    print("            R-tree baseline, uniform grid, UV-index (IC/ICR/Basic),")
+    print("            PNN / k-PNN / pattern queries, dataset generators, SVG viz")
+    print("entry points: repro.UVDiagram.build(...), repro.load_dataset(...)")
+    return 0
+
+
+def _command_build(args: argparse.Namespace) -> int:
+    diagram = _build_diagram(args)
+    stats = diagram.construction_stats
+    print(f"built a UV-diagram over {len(diagram)} objects "
+          f"({args.dataset}, diameter {args.diameter})")
+    print(f"  method            : {stats.method}")
+    print(f"  construction time : {stats.total_seconds:.2f} s")
+    if stats.avg_cr_objects:
+        print(f"  avg |C_i|         : {stats.avg_cr_objects:.1f}")
+        print(f"  pruning ratio     : {stats.c_pruning_ratio:.1%}")
+    for key, value in diagram.index_statistics().items():
+        print(f"  index {key:<22}: {value:.1f}")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    diagram = _build_diagram(args)
+    if args.at:
+        coordinates = [float(part) for part in args.at.split(",")]
+        if len(coordinates) != 2:
+            print("error: --at expects 'x,y'", file=sys.stderr)
+            return 2
+        queries = [Point(coordinates[0], coordinates[1])]
+    else:
+        from repro.datasets.synthetic import generate_query_points
+
+        queries = generate_query_points(args.count, diagram.domain, seed=args.seed + 1)
+    for query in queries:
+        result = diagram.pnn(query)
+        answers = ", ".join(
+            f"{a.oid} (p={a.probability:.3f})" for a in result.sorted_by_probability()
+        )
+        print(f"PNN({query.x:.1f}, {query.y:.1f}) -> {answers} "
+              f"[{result.io.page_reads} page reads]")
+    return 0
+
+
+def _command_render(args: argparse.Namespace) -> int:
+    from repro.viz.svg import render_uv_diagram
+
+    diagram = _build_diagram(args)
+    highlight = [int(oid) for oid in args.highlight.split(",") if oid] if args.highlight else []
+    canvas = render_uv_diagram(
+        diagram,
+        width=args.width,
+        highlight_cells=highlight,
+        title=f"UV-diagram ({args.dataset}, {len(diagram)} objects)",
+    )
+    canvas.save(args.output)
+    print(f"wrote {args.output} ({canvas.width}x{canvas.height})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UV-diagram: a Voronoi diagram for uncertain data (ICDE 2010 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    info = subparsers.add_parser("info", help="show library information")
+    info.set_defaults(handler=_command_info)
+
+    build = subparsers.add_parser("build", help="build a UV-diagram and print statistics")
+    _add_dataset_arguments(build)
+    build.set_defaults(handler=_command_build)
+
+    query = subparsers.add_parser("query", help="build a UV-diagram and run PNN queries")
+    _add_dataset_arguments(query)
+    query.add_argument("--at", default=None, help="query point as 'x,y' (default: random)")
+    query.add_argument("--count", type=int, default=3,
+                       help="number of random queries when --at is not given")
+    query.set_defaults(handler=_command_query)
+
+    render = subparsers.add_parser("render", help="render the UV-diagram to an SVG file")
+    _add_dataset_arguments(render)
+    render.add_argument("--output", default="uv_diagram.svg", help="output SVG path")
+    render.add_argument("--width", type=int, default=800, help="image width in pixels")
+    render.add_argument("--highlight", default="",
+                        help="comma-separated object ids whose UV-cells are shaded")
+    render.set_defaults(handler=_command_render)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "handler", None):
+        parser.print_help()
+        return 1
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,238 @@
+"""UV-index construction pipelines: Basic, ICR, and IC (Section VI-B).
+
+The paper's experiments compare three ways of obtaining the object sets that
+are inserted into the adaptive grid:
+
+* **Basic** -- run Algorithm 1 to build every exact UV-cell, derive its
+  r-objects, and index them.  Exponential in the worst case and extremely
+  slow in practice (97 hours for 50k objects in the paper).
+* **ICR** -- run Algorithm 2 (I- and C-pruning) to obtain cr-objects, refine
+  them into exact r-objects by building the UV-cell from the cr-objects only,
+  then index the r-objects.
+* **IC** -- run Algorithm 2 and index the cr-objects directly, skipping
+  refinement.  This is the method the paper recommends: the index is slightly
+  more conservative but construction is an order of magnitude faster and
+  query performance is essentially identical.
+
+Each builder returns the index together with a :class:`ConstructionStats`
+record holding the per-phase timings and pruning ratios that Figures 7(a)-(g)
+report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cr_objects import CRObjectFinder, CRObjectResult
+from repro.core.uv_cell import build_exact_uv_cell
+from repro.core.uv_index import UVIndex
+from repro.geometry.rectangle import Rect
+from repro.rtree.tree import RTree
+from repro.storage.disk import DiskManager
+from repro.storage.stats import TimingBreakdown
+from repro.uncertain.objects import UncertainObject
+
+
+@dataclass
+class ConstructionStats:
+    """Timing and pruning statistics of one index construction run.
+
+    Attributes:
+        method: ``"basic"``, ``"icr"`` or ``"ic"``.
+        objects: number of objects indexed.
+        total_seconds: end-to-end construction time (``T_c``).
+        timing: phase breakdown with buckets ``pruning`` (seed selection +
+            I-pruning + C-pruning), ``r_objects`` (exact refinement, ICR and
+            Basic only) and ``indexing`` (Algorithm 3 insertions).
+        i_pruning_ratio / c_pruning_ratio: average pruning ratios
+            (Figure 7(b)); zero for the Basic method which performs no
+            pruning.
+        avg_cr_objects: average ``|C_i|`` passed to the index.
+        avg_r_objects: average ``|F_i|`` (ICR / Basic only).
+    """
+
+    method: str
+    objects: int
+    total_seconds: float
+    timing: TimingBreakdown = field(default_factory=TimingBreakdown)
+    i_pruning_ratio: float = 0.0
+    c_pruning_ratio: float = 0.0
+    avg_cr_objects: float = 0.0
+    avg_r_objects: float = 0.0
+
+    def phase_fractions(self) -> Dict[str, float]:
+        """Phase shares of the total time (Figures 7(d) and 7(e))."""
+        return self.timing.fractions()
+
+
+def _average(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def build_uv_index_ic(
+    objects: Sequence[UncertainObject],
+    domain: Rect,
+    rtree: Optional[RTree] = None,
+    disk: Optional[DiskManager] = None,
+    max_nonleaf: int = 4000,
+    split_threshold: float = 1.0,
+    page_capacity: Optional[int] = None,
+    seed_knn: int = 300,
+    seed_sectors: int = 8,
+    finder: Optional[CRObjectFinder] = None,
+) -> Tuple[UVIndex, ConstructionStats]:
+    """The IC construction: prune, then index cr-objects directly."""
+    objects = list(objects)
+    by_id = {obj.oid: obj for obj in objects}
+    if finder is None:
+        finder = CRObjectFinder(
+            objects, domain, rtree=rtree, seed_knn=seed_knn, seed_sectors=seed_sectors
+        )
+    index = UVIndex(
+        domain,
+        disk=disk,
+        max_nonleaf=max_nonleaf,
+        split_threshold=split_threshold,
+        page_capacity=page_capacity,
+    )
+    timing = TimingBreakdown()
+    cr_results: List[CRObjectResult] = []
+
+    start_total = time.perf_counter()
+    for obj in objects:
+        start = time.perf_counter()
+        result = finder.find(obj)
+        timing.add("pruning", time.perf_counter() - start)
+        cr_results.append(result)
+
+        start = time.perf_counter()
+        index.insert(obj, [by_id[oid] for oid in result.cr_objects])
+        timing.add("indexing", time.perf_counter() - start)
+    total = time.perf_counter() - start_total
+
+    stats = ConstructionStats(
+        method="ic",
+        objects=len(objects),
+        total_seconds=total,
+        timing=timing,
+        i_pruning_ratio=_average([r.i_pruning_ratio for r in cr_results]),
+        c_pruning_ratio=_average([r.c_pruning_ratio for r in cr_results]),
+        avg_cr_objects=_average([len(r.cr_objects) for r in cr_results]),
+    )
+    return index, stats
+
+
+def build_uv_index_icr(
+    objects: Sequence[UncertainObject],
+    domain: Rect,
+    rtree: Optional[RTree] = None,
+    disk: Optional[DiskManager] = None,
+    max_nonleaf: int = 4000,
+    split_threshold: float = 1.0,
+    page_capacity: Optional[int] = None,
+    seed_knn: int = 300,
+    seed_sectors: int = 8,
+    arc_samples: int = 10,
+    finder: Optional[CRObjectFinder] = None,
+) -> Tuple[UVIndex, ConstructionStats]:
+    """The ICR construction: prune, refine to exact r-objects, then index."""
+    objects = list(objects)
+    by_id = {obj.oid: obj for obj in objects}
+    if finder is None:
+        finder = CRObjectFinder(
+            objects, domain, rtree=rtree, seed_knn=seed_knn, seed_sectors=seed_sectors
+        )
+    index = UVIndex(
+        domain,
+        disk=disk,
+        max_nonleaf=max_nonleaf,
+        split_threshold=split_threshold,
+        page_capacity=page_capacity,
+    )
+    timing = TimingBreakdown()
+    cr_results: List[CRObjectResult] = []
+    r_counts: List[int] = []
+
+    start_total = time.perf_counter()
+    for obj in objects:
+        start = time.perf_counter()
+        result = finder.find(obj)
+        timing.add("pruning", time.perf_counter() - start)
+        cr_results.append(result)
+
+        start = time.perf_counter()
+        cr_objs = [by_id[oid] for oid in result.cr_objects]
+        cell = build_exact_uv_cell(obj, cr_objs, domain, arc_samples=arc_samples)
+        r_objects = cell.r_objects if cell.r_objects else result.cr_objects
+        timing.add("r_objects", time.perf_counter() - start)
+        r_counts.append(len(r_objects))
+
+        start = time.perf_counter()
+        index.insert(obj, [by_id[oid] for oid in r_objects])
+        timing.add("indexing", time.perf_counter() - start)
+    total = time.perf_counter() - start_total
+
+    stats = ConstructionStats(
+        method="icr",
+        objects=len(objects),
+        total_seconds=total,
+        timing=timing,
+        i_pruning_ratio=_average([r.i_pruning_ratio for r in cr_results]),
+        c_pruning_ratio=_average([r.c_pruning_ratio for r in cr_results]),
+        avg_cr_objects=_average([len(r.cr_objects) for r in cr_results]),
+        avg_r_objects=_average(r_counts),
+    )
+    return index, stats
+
+
+def build_uv_index_basic(
+    objects: Sequence[UncertainObject],
+    domain: Rect,
+    disk: Optional[DiskManager] = None,
+    max_nonleaf: int = 4000,
+    split_threshold: float = 1.0,
+    page_capacity: Optional[int] = None,
+    arc_samples: int = 10,
+) -> Tuple[UVIndex, ConstructionStats]:
+    """The Basic construction: exact UV-cells via Algorithm 1, then index.
+
+    Every other object is considered when building each UV-cell, so the cost
+    grows very quickly with the dataset size; this pipeline exists as the
+    baseline of Figure 7(a) and as a correctness oracle for small inputs.
+    """
+    objects = list(objects)
+    by_id = {obj.oid: obj for obj in objects}
+    index = UVIndex(
+        domain,
+        disk=disk,
+        max_nonleaf=max_nonleaf,
+        split_threshold=split_threshold,
+        page_capacity=page_capacity,
+    )
+    timing = TimingBreakdown()
+    r_counts: List[int] = []
+
+    start_total = time.perf_counter()
+    for obj in objects:
+        start = time.perf_counter()
+        others = [o for o in objects if o.oid != obj.oid]
+        cell = build_exact_uv_cell(obj, others, domain, arc_samples=arc_samples)
+        r_objects = cell.r_objects if cell.r_objects else [o.oid for o in others]
+        timing.add("r_objects", time.perf_counter() - start)
+        r_counts.append(len(r_objects))
+
+        start = time.perf_counter()
+        index.insert(obj, [by_id[oid] for oid in r_objects])
+        timing.add("indexing", time.perf_counter() - start)
+    total = time.perf_counter() - start_total
+
+    stats = ConstructionStats(
+        method="basic",
+        objects=len(objects),
+        total_seconds=total,
+        timing=timing,
+        avg_r_objects=_average(r_counts),
+    )
+    return index, stats

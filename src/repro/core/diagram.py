@@ -1,0 +1,194 @@
+"""The :class:`UVDiagram` facade: one object tying the whole system together.
+
+A ``UVDiagram`` owns the dataset, the simulated disk, the R-tree used during
+construction, the object store, the UV-index, and the query processors.  It
+is the entry point recommended by the README and used by the examples::
+
+    from repro import UVDiagram, generate_uniform_objects
+
+    objects, domain = generate_uniform_objects(500, seed=1)
+    diagram = UVDiagram.build(objects, domain)          # IC construction
+    result = diagram.pnn(Point(4200.0, 5100.0))         # answer objects + probabilities
+    area = diagram.uv_cell_area(result.answers[0].oid)  # pattern analysis
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.construction import (
+    ConstructionStats,
+    build_uv_index_basic,
+    build_uv_index_ic,
+    build_uv_index_icr,
+)
+from repro.core.pattern import PartitionQueryResult, PatternAnalyzer
+from repro.core.pnn import UVIndexPNN
+from repro.core.uv_index import UVIndex
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.queries.result import PNNResult
+from repro.rtree.pnn import RTreePNN
+from repro.rtree.tree import RTree
+from repro.storage.disk import DiskManager
+from repro.storage.object_store import ObjectStore
+from repro.uncertain.objects import UncertainObject
+
+
+class UVDiagram:
+    """A UV-diagram over a set of uncertain objects.
+
+    Use :meth:`build` rather than the constructor; the constructor merely
+    wires together already-built components.
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[UncertainObject],
+        domain: Rect,
+        index: UVIndex,
+        rtree: RTree,
+        object_store: ObjectStore,
+        disk: DiskManager,
+        construction_stats: Optional[ConstructionStats] = None,
+    ):
+        self.objects = list(objects)
+        self.domain = domain
+        self.index = index
+        self.rtree = rtree
+        self.object_store = object_store
+        self.disk = disk
+        self.construction_stats = construction_stats
+        self.by_id: Dict[int, UncertainObject] = {obj.oid: obj for obj in self.objects}
+        self._pnn = UVIndexPNN(index, object_store=object_store)
+        self._rtree_pnn = RTreePNN(rtree, object_store=object_store)
+        self._pattern = PatternAnalyzer(index)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        objects: Sequence[UncertainObject],
+        domain: Rect,
+        method: str = "ic",
+        disk: Optional[DiskManager] = None,
+        max_nonleaf: int = 4000,
+        split_threshold: float = 1.0,
+        page_capacity: Optional[int] = None,
+        seed_knn: int = 300,
+        seed_sectors: int = 8,
+        rtree_fanout: int = 100,
+    ) -> "UVDiagram":
+        """Build a UV-diagram with the chosen construction method.
+
+        Args:
+            objects: the uncertain objects.
+            domain: the domain rectangle that bounds the diagram.
+            method: ``"ic"`` (default, recommended), ``"icr"`` or ``"basic"``.
+            disk: shared disk manager; a fresh one is created when omitted.
+            max_nonleaf: ``M``, the in-memory non-leaf budget of the UV-index.
+            split_threshold: ``T_theta`` of the split rule.
+            page_capacity: leaf-page capacity override (useful at small scale).
+            seed_knn / seed_sectors: Algorithm 2 seed-selection parameters.
+            rtree_fanout: fanout of the helper R-tree.
+        """
+        objects = list(objects)
+        if not objects:
+            raise ValueError("cannot build a UV-diagram over an empty dataset")
+        disk = disk if disk is not None else DiskManager()
+        store = ObjectStore(disk)
+        store.bulk_load(objects)
+        rtree = RTree.bulk_load(objects, disk=disk, fanout=rtree_fanout)
+
+        method = method.lower()
+        if method == "ic":
+            index, stats = build_uv_index_ic(
+                objects,
+                domain,
+                rtree=rtree,
+                disk=disk,
+                max_nonleaf=max_nonleaf,
+                split_threshold=split_threshold,
+                page_capacity=page_capacity,
+                seed_knn=seed_knn,
+                seed_sectors=seed_sectors,
+            )
+        elif method == "icr":
+            index, stats = build_uv_index_icr(
+                objects,
+                domain,
+                rtree=rtree,
+                disk=disk,
+                max_nonleaf=max_nonleaf,
+                split_threshold=split_threshold,
+                page_capacity=page_capacity,
+                seed_knn=seed_knn,
+                seed_sectors=seed_sectors,
+            )
+        elif method == "basic":
+            index, stats = build_uv_index_basic(
+                objects,
+                domain,
+                disk=disk,
+                max_nonleaf=max_nonleaf,
+                split_threshold=split_threshold,
+                page_capacity=page_capacity,
+            )
+        else:
+            raise ValueError(f"unknown construction method: {method!r}")
+
+        return cls(
+            objects=objects,
+            domain=domain,
+            index=index,
+            rtree=rtree,
+            object_store=store,
+            disk=disk,
+            construction_stats=stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def pnn(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
+        """Probabilistic nearest-neighbour query via the UV-index."""
+        return self._pnn.query(query, compute_probabilities=compute_probabilities)
+
+    def pnn_rtree(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
+        """The same query evaluated with the R-tree baseline (for comparison)."""
+        return self._rtree_pnn.query(query, compute_probabilities=compute_probabilities)
+
+    def answer_objects(self, query: Point) -> List[int]:
+        """Just the answer-object ids (no probability computation)."""
+        return self.pnn(query, compute_probabilities=False).answer_ids
+
+    # ------------------------------------------------------------------ #
+    # pattern analysis
+    # ------------------------------------------------------------------ #
+    def uv_cell_area(self, oid: int) -> float:
+        """Approximate area of one object's UV-cell."""
+        return self._pattern.uv_cell_area(oid)
+
+    def uv_cell_extent(self, oid: int) -> Optional[Rect]:
+        """Bounding rectangle of one object's UV-cell approximation."""
+        return self._pattern.uv_cell_extent(oid)
+
+    def partitions_in(self, region: Rect) -> PartitionQueryResult:
+        """UV-partition retrieval with densities (Section V-C, query 2)."""
+        return self._pattern.partitions_in(region)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def object(self, oid: int) -> UncertainObject:
+        """Look up an object by id."""
+        return self.by_id[oid]
+
+    def index_statistics(self) -> Dict[str, float]:
+        """Structural statistics of the underlying UV-index."""
+        return self.index.statistics()
+
+    def __len__(self) -> int:
+        return len(self.objects)

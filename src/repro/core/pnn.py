@@ -1,0 +1,92 @@
+"""PNN query evaluation over the UV-index (Section V-A).
+
+Evaluating a PNN with the UV-index is a *point query*: descend the in-memory
+quad-tree to the leaf containing ``q``, read that leaf's page list, verify
+the candidates with the ``d_minmax`` rule, and compute qualification
+probabilities for the survivors.  The evaluator records the same three time
+buckets as the R-tree baseline so the two can be compared side by side
+(Figure 6(c)).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from repro.core.uv_index import UVIndex
+from repro.geometry.point import Point
+from repro.queries.probability import qualification_probabilities
+from repro.queries.result import PNNAnswer, PNNResult
+from repro.queries.verifier import min_max_prune
+from repro.storage.object_store import ObjectStore
+from repro.storage.stats import TimingBreakdown
+from repro.uncertain.objects import UncertainObject
+
+
+class UVIndexPNN:
+    """Probabilistic nearest-neighbour queries over a UV-index.
+
+    Args:
+        index: the UV-index.
+        object_store: disk-backed store for full object retrieval (pdfs); when
+            omitted, ``objects`` must provide the objects in memory.
+        objects: in-memory objects (mainly for tests).
+    """
+
+    def __init__(
+        self,
+        index: UVIndex,
+        object_store: Optional[ObjectStore] = None,
+        objects: Optional[Sequence[UncertainObject]] = None,
+    ):
+        if object_store is None and objects is None:
+            raise ValueError("either an object store or in-memory objects are required")
+        self.index = index
+        self.object_store = object_store
+        self._objects_by_id = {obj.oid: obj for obj in objects} if objects else {}
+
+    def retrieve_candidates(self, query: Point) -> List[tuple]:
+        """Leaf entries ``(oid, MBC)`` of the leaf containing the query point."""
+        _, entries, _ = self.index.point_query(query)
+        return [(entry.oid, entry.mbc) for entry in entries]
+
+    def query(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
+        """Evaluate a PNN query."""
+        timing = TimingBreakdown()
+        io_before = self.index.disk.stats.snapshot()
+
+        start = time.perf_counter()
+        candidates = self.retrieve_candidates(query)
+        answer_ids = min_max_prune(query, candidates)
+        timing.add("index", time.perf_counter() - start)
+        index_io = self.index.disk.stats.delta(io_before)
+
+        start = time.perf_counter()
+        answer_objects = self._fetch_objects(answer_ids)
+        timing.add("object_retrieval", time.perf_counter() - start)
+
+        start = time.perf_counter()
+        if compute_probabilities and answer_objects:
+            probabilities = qualification_probabilities(answer_objects, query)
+        else:
+            probabilities = {obj.oid: 0.0 for obj in answer_objects}
+        timing.add("probability", time.perf_counter() - start)
+
+        answers = [
+            PNNAnswer(oid=oid, probability=probabilities.get(oid, 0.0))
+            for oid in answer_ids
+        ]
+        answers.sort(key=lambda a: (-a.probability, a.oid))
+        return PNNResult(
+            query=query,
+            answers=answers,
+            candidates_examined=len(candidates),
+            io=self.index.disk.stats.delta(io_before),
+            index_io=index_io,
+            timing=timing,
+        )
+
+    def _fetch_objects(self, oids: List[int]) -> List[UncertainObject]:
+        if self.object_store is not None:
+            return self.object_store.fetch_many(oids)
+        return [self._objects_by_id[oid] for oid in oids]

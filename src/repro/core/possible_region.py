@@ -1,0 +1,173 @@
+"""Possible regions (Definition 2) and their refinement by outside regions.
+
+A possible region ``P_i`` is any area known to completely cover the UV-cell
+``U_i``.  Algorithm 1 (and, in reduced form, the seed-based initialisation of
+Algorithm 2) shrinks a possible region by subtracting outside regions
+``X_i(j)`` one at a time.  We represent the region as a polygon whose curved
+boundary pieces are densely sampled points of the corresponding hyperbolic
+UV-edges; every refinement can only remove area, so the polygon always
+remains a valid possible region.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.core.uv_edge import UVEdge
+from repro.geometry.clipping import clip_polygon_by_constraint
+from repro.geometry.hull import convex_hull
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rectangle import Rect
+from repro.uncertain.objects import UncertainObject
+
+
+class PossibleRegion:
+    """A shrinking over-approximation of one object's UV-cell.
+
+    Args:
+        owner: the object ``O_i`` whose UV-cell is being approximated.
+        domain: the domain rectangle ``D`` (the initial possible region).
+        arc_samples: number of curve samples inserted per clipped boundary
+            run; higher values track the hyperbolic edges more closely at the
+            cost of larger polygons.
+        edge_samples: sub-sampling used to detect boundary crossings during a
+            clip.
+    """
+
+    def __init__(
+        self,
+        owner: UncertainObject,
+        domain: Rect,
+        arc_samples: int = 12,
+        edge_samples: int = 6,
+    ):
+        self.owner = owner
+        self.domain = domain
+        self.arc_samples = arc_samples
+        self.edge_samples = edge_samples
+        self.polygon = Polygon.from_rect(domain)
+        self.refined_by: Set[int] = set()
+        self._contributors: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # refinement
+    # ------------------------------------------------------------------ #
+    def refine(self, other: UncertainObject) -> bool:
+        """Subtract the outside region ``X_i(j)`` induced by ``other``.
+
+        Returns:
+            ``True`` when the possible region actually shrank (``other`` is a
+            potential r-object), ``False`` otherwise.
+        """
+        if other.oid == self.owner.oid:
+            return False
+        edge = UVEdge.between(self.owner, other)
+        return self.refine_with_edge(edge)
+
+    def refine_with_edge(self, edge: UVEdge) -> bool:
+        """Refine with an already-constructed UV-edge."""
+        other = edge.other
+        self.refined_by.add(other.oid)
+        if not edge.exists() or self.polygon.is_empty():
+            return False
+
+        area_before = self.polygon.area()
+
+        def arc_sampler(exit_point: Point, entry_point: Point) -> Sequence[Point]:
+            return edge.arc_between(exit_point, entry_point, count=self.arc_samples)
+
+        clipped = clip_polygon_by_constraint(
+            self.polygon,
+            edge.edge_value,
+            arc_sampler=arc_sampler,
+            edge_samples=self.edge_samples,
+        )
+        changed = abs(clipped.area() - area_before) > 1e-9 * max(area_before, 1.0)
+        if changed:
+            self.polygon = clipped
+            self._contributors.add(other.oid)
+        return changed
+
+    def refine_all(self, others: Sequence[UncertainObject]) -> List[int]:
+        """Refine with every object in ``others``; return ids that had an effect."""
+        effective = []
+        for other in others:
+            if self.refine(other):
+                effective.append(other.oid)
+        return effective
+
+    # ------------------------------------------------------------------ #
+    # measurements used by the pruning lemmas
+    # ------------------------------------------------------------------ #
+    def max_distance_from_center(self) -> float:
+        """The bound ``d`` of Lemma 2: the farthest boundary point from ``c_i``.
+
+        The boundary consists of straight domain edges and concave hyperbolic
+        arcs, so the maximum over the polygon's vertices (which include the
+        sampled arc points) attains the bound up to sampling error.
+        """
+        if self.polygon.is_empty():
+            return 0.0
+        return self.polygon.max_distance_from(self.owner.center)
+
+    def convex_hull_vertices(self) -> List[Point]:
+        """Vertices of the convex hull ``CH(P_i)`` used by C-pruning (Lemma 3)."""
+        if self.polygon.is_empty():
+            return []
+        return convex_hull(self.polygon.vertices)
+
+    def contains(self, p: Point) -> bool:
+        """Membership test against the current approximation."""
+        return self.polygon.contains_point(p)
+
+    def area(self) -> float:
+        """Area of the current possible region."""
+        return self.polygon.area()
+
+    def is_empty(self) -> bool:
+        """``True`` when the region has collapsed to nothing."""
+        return self.polygon.is_empty()
+
+    # ------------------------------------------------------------------ #
+    # provenance
+    # ------------------------------------------------------------------ #
+    @property
+    def contributors(self) -> Set[int]:
+        """Ids of objects whose refinement changed the region at some point.
+
+        This is a superset of the true r-objects: an early contributor's edge
+        may later be cut away entirely by another object.  Use
+        :meth:`boundary_objects` for the final r-object extraction.
+        """
+        return set(self._contributors)
+
+    def boundary_objects(
+        self,
+        candidates: Sequence[UncertainObject],
+        tolerance: float = 1e-6,
+    ) -> List[int]:
+        """Objects whose UV-edges actually appear on the final boundary.
+
+        For every vertex of the (densely sampled) boundary we test which
+        candidates' UV-edge passes through it; those candidates are the
+        r-objects ``F_i`` (Section IV-A).  ``tolerance`` is relative to the
+        domain diagonal.
+        """
+        if self.polygon.is_empty():
+            return []
+        scale = max(self.domain.width, self.domain.height)
+        tol = tolerance * scale
+        found: Set[int] = set()
+        edges = {
+            candidate.oid: UVEdge.between(self.owner, candidate)
+            for candidate in candidates
+            if candidate.oid != self.owner.oid
+        }
+        for vertex in self.polygon.vertices:
+            for oid, edge in edges.items():
+                if oid in found or not edge.exists():
+                    continue
+                if abs(edge.edge_value(vertex)) <= tol:
+                    found.add(oid)
+        return sorted(found)

@@ -1,0 +1,171 @@
+"""Incremental updates of a UV-diagram (insertions and deletions).
+
+The paper lists incremental maintenance as future work (Section VII); this
+module provides a correct, if conservative, implementation built on the same
+cr-object machinery:
+
+* **Insertion** of a new object ``O_n``: compute its cr-objects against the
+  current dataset and insert it with Algorithm 3.  Existing leaf lists remain
+  valid because adding an object can only *shrink* other objects' UV-cells --
+  their existing leaf entries become (at worst) false positives, which the
+  ``d_minmax`` verification already filters at query time.
+
+* **Deletion** of ``O_d``: other objects' UV-cells can only *grow*, and they
+  grow exactly for the objects whose cr-object set contained ``O_d`` (an
+  object that never referenced ``O_d`` cannot have had its cell shaped by
+  it).  The updater therefore removes ``O_d``'s entries and then recomputes
+  and re-inserts every object that referenced ``O_d``.
+
+The updater keeps the diagram's R-tree and object store in sync so that both
+query paths (UV-index and R-tree baseline) stay correct after updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.core.cr_objects import CRObjectFinder
+from repro.core.diagram import UVDiagram
+from repro.core.uv_index import UVIndex
+from repro.uncertain.objects import UncertainObject
+
+
+class UVDiagramUpdater:
+    """Applies incremental insertions and deletions to a built UV-diagram.
+
+    Args:
+        diagram: the diagram to maintain.
+        seed_knn / seed_sectors: Algorithm 2 parameters used when cr-objects
+            have to be recomputed; default to the values that make sense for
+            the current dataset size.
+    """
+
+    def __init__(self, diagram: UVDiagram, seed_knn: int = 300, seed_sectors: int = 8):
+        self.diagram = diagram
+        self.seed_knn = seed_knn
+        self.seed_sectors = seed_sectors
+        # Reverse mapping: which objects referenced each object as a cr-object.
+        self._referencing: Dict[int, Set[int]] = {}
+        self._cr_sets: Dict[int, List[int]] = {}
+        self._bootstrap_reference_map()
+
+    # ------------------------------------------------------------------ #
+    # bootstrap
+    # ------------------------------------------------------------------ #
+    def _finder(self) -> CRObjectFinder:
+        return CRObjectFinder(
+            self.diagram.objects,
+            self.diagram.domain,
+            rtree=self.diagram.rtree,
+            seed_knn=min(self.seed_knn, max(1, len(self.diagram.objects))),
+            seed_sectors=self.seed_sectors,
+        )
+
+    def _bootstrap_reference_map(self) -> None:
+        """Recompute the cr-object reverse index for the current dataset."""
+        finder = self._finder()
+        self._referencing = {obj.oid: set() for obj in self.diagram.objects}
+        self._cr_sets = {}
+        for obj in self.diagram.objects:
+            result = finder.find(obj)
+            self._cr_sets[obj.oid] = list(result.cr_objects)
+            for other in result.cr_objects:
+                self._referencing.setdefault(other, set()).add(obj.oid)
+
+    # ------------------------------------------------------------------ #
+    # insertion
+    # ------------------------------------------------------------------ #
+    def insert(self, obj: UncertainObject) -> List[int]:
+        """Insert a new object and return its cr-object ids."""
+        if obj.oid in self.diagram.by_id:
+            raise ValueError(f"object id {obj.oid} already exists in the diagram")
+
+        # Keep every component of the diagram in sync.
+        self.diagram.objects.append(obj)
+        self.diagram.by_id[obj.oid] = obj
+        self.diagram.object_store.bulk_load([obj])
+        self.diagram.rtree.insert(obj)
+
+        finder = self._finder()
+        result = finder.find(obj)
+        cr_objects = [self.diagram.by_id[oid] for oid in result.cr_objects]
+        self.diagram.index.insert(obj, cr_objects)
+
+        self._cr_sets[obj.oid] = list(result.cr_objects)
+        self._referencing.setdefault(obj.oid, set())
+        for other in result.cr_objects:
+            self._referencing.setdefault(other, set()).add(obj.oid)
+        return list(result.cr_objects)
+
+    # ------------------------------------------------------------------ #
+    # deletion
+    # ------------------------------------------------------------------ #
+    def remove(self, oid: int) -> List[int]:
+        """Remove an object; returns the ids of the objects that were refreshed."""
+        if oid not in self.diagram.by_id:
+            raise KeyError(f"object {oid} is not in the diagram")
+
+        affected = sorted(self._referencing.get(oid, set()) - {oid})
+
+        # Drop the object from the in-memory dataset and the UV-index.
+        self.diagram.objects = [o for o in self.diagram.objects if o.oid != oid]
+        del self.diagram.by_id[oid]
+        _remove_from_index(self.diagram.index, oid)
+        self._cr_sets.pop(oid, None)
+        self._referencing.pop(oid, None)
+        for refs in self._referencing.values():
+            refs.discard(oid)
+
+        # The R-tree substrate has no delete in this reproduction; rebuild it
+        # (cheap relative to UV-index maintenance, and it keeps the baseline
+        # comparable).
+        from repro.rtree.tree import RTree
+
+        self.diagram.rtree = RTree.bulk_load(
+            self.diagram.objects, disk=self.diagram.disk, fanout=self.diagram.rtree.fanout
+        )
+        self.diagram._rtree_pnn.tree = self.diagram.rtree
+
+        # Refresh every object whose UV-cell may have grown.
+        finder = self._finder()
+        for refreshed_oid in affected:
+            if refreshed_oid not in self.diagram.by_id:
+                continue
+            obj = self.diagram.by_id[refreshed_oid]
+            _remove_from_index(self.diagram.index, refreshed_oid)
+            result = finder.find(obj)
+            self.diagram.index.insert(
+                obj, [self.diagram.by_id[other] for other in result.cr_objects]
+            )
+            self._cr_sets[refreshed_oid] = list(result.cr_objects)
+            for other in result.cr_objects:
+                self._referencing.setdefault(other, set()).add(refreshed_oid)
+        return affected
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def cr_objects_of(self, oid: int) -> List[int]:
+        """The currently recorded cr-objects of an object."""
+        return list(self._cr_sets.get(oid, []))
+
+    def referencing(self, oid: int) -> List[int]:
+        """Objects that list ``oid`` among their cr-objects."""
+        return sorted(self._referencing.get(oid, set()))
+
+
+def _remove_from_index(index: UVIndex, oid: int) -> None:
+    """Remove every leaf entry of one object from a UV-index."""
+    index._owner_circle.pop(oid, None)
+    index._cr_circles.pop(oid, None)
+    removed_any = False
+    for leaf in index.leaves():
+        if oid not in leaf.entry_oids:
+            continue
+        removed_any = True
+        leaf.entry_oids = [existing for existing in leaf.entry_oids if existing != oid]
+        for page_id in leaf.page_ids:
+            page = index.disk.peek_page(page_id)
+            page.entries = [entry for entry in page.entries if entry.oid != oid]
+    if removed_any:
+        index.size = max(0, index.size - 1)

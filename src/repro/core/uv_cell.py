@@ -1,0 +1,131 @@
+"""Exact UV-cell construction (Algorithm 1) and the UV-cell value object.
+
+Algorithm 1 of the paper builds the UV-cell of every object by starting from
+the whole domain and subtracting the outside region of every other object.
+It is intentionally the *slow* path: the paper measures it at roughly
+exponential cost (the "Basic" method of Figure 7(a)), and this reproduction
+keeps it as both the correctness oracle for the fast path and the baseline of
+that experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.possible_region import PossibleRegion
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rectangle import Rect
+from repro.uncertain.objects import UncertainObject
+
+
+@dataclass
+class UVCell:
+    """The UV-cell ``U_i`` of one uncertain object.
+
+    Attributes:
+        oid: id of the owning object.
+        polygon: polygonal approximation of the cell (curved edges sampled).
+        r_objects: ids of the objects whose UV-edges bound the cell
+            (``F_i`` in the paper); empty when the cell is bounded only by
+            the domain.
+        construction_seconds: wall-clock time spent building the cell.
+    """
+
+    oid: int
+    polygon: Polygon
+    r_objects: List[int] = field(default_factory=list)
+    construction_seconds: float = 0.0
+
+    def area(self) -> float:
+        """Area of the cell approximation."""
+        return self.polygon.area()
+
+    def contains(self, p: Point) -> bool:
+        """``True`` when the query point lies inside the cell."""
+        return self.polygon.contains_point(p)
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """``True`` when the cell overlaps the rectangle."""
+        return self.polygon.intersects_rect(rect)
+
+
+def build_exact_uv_cell(
+    owner: UncertainObject,
+    others: Sequence[UncertainObject],
+    domain: Rect,
+    arc_samples: int = 10,
+    edge_samples: int = 6,
+) -> UVCell:
+    """Algorithm 1 for a single object.
+
+    Args:
+        owner: the object whose UV-cell is built.
+        others: every other object that may shape the cell (the full dataset
+            for the Basic method, or the cr-objects for the refinement step
+            of the ICR method).
+        domain: the domain rectangle ``D``.
+        arc_samples: samples inserted per curved boundary run.
+        edge_samples: crossing-detection sub-sampling per polygon edge.
+
+    Returns:
+        The UV-cell with its r-objects.
+    """
+    start = time.perf_counter()
+    region = PossibleRegion(
+        owner, domain, arc_samples=arc_samples, edge_samples=edge_samples
+    )
+    relevant = [other for other in others if other.oid != owner.oid]
+    region.refine_all(relevant)
+    r_objects = region.boundary_objects(relevant)
+    elapsed = time.perf_counter() - start
+    return UVCell(
+        oid=owner.oid,
+        polygon=region.polygon,
+        r_objects=r_objects,
+        construction_seconds=elapsed,
+    )
+
+
+def build_all_uv_cells(
+    objects: Sequence[UncertainObject],
+    domain: Rect,
+    arc_samples: int = 10,
+    edge_samples: int = 6,
+) -> Dict[int, UVCell]:
+    """Algorithm 1 for every object (the Basic construction).
+
+    This is quadratic in the number of objects with an expensive inner clip,
+    exactly the cost profile the paper sets out to avoid; use it only for
+    small datasets, validation, and the Basic line of Figure 7(a).
+    """
+    cells: Dict[int, UVCell] = {}
+    for owner in objects:
+        cells[owner.oid] = build_exact_uv_cell(
+            owner,
+            [obj for obj in objects if obj.oid != owner.oid],
+            domain,
+            arc_samples=arc_samples,
+            edge_samples=edge_samples,
+        )
+    return cells
+
+
+def answer_objects_brute_force(
+    objects: Sequence[UncertainObject], query: Point
+) -> List[int]:
+    """Ground-truth PNN answer set by direct distance comparison.
+
+    ``O_i`` is an answer object iff its minimum distance from ``q`` does not
+    exceed the smallest maximum distance over all objects (``d_minmax``).
+    This is the semantics the UV-cell definition encodes geometrically, and
+    the test-suite uses it as the oracle for both indexes.
+    """
+    if not objects:
+        return []
+    d_minmax = min(obj.max_distance(query) for obj in objects)
+    return sorted(
+        obj.oid for obj in objects if obj.min_distance(query) <= d_minmax + 1e-12
+    )

@@ -1,0 +1,40 @@
+"""Dataset generators used by the examples, tests, and benchmarks.
+
+Three families mirror the paper's experimental data:
+
+* :func:`generate_uniform_objects` -- uniformly distributed centres in a
+  square domain (the Theodoridis-generator synthetic data of Section VI-A),
+* :func:`generate_skewed_objects` -- centres drawn from a Gaussian around the
+  domain centre with a controllable variance (the skewness experiment of
+  Figure 7(g)),
+* :mod:`repro.datasets.real_like` -- synthetic substitutes for the German
+  geographic datasets (*utility*, *roads*, *rrlines*): clustered points,
+  points along road-like polylines, and points along long rail-like lines.
+"""
+
+from repro.datasets.synthetic import (
+    DEFAULT_DOMAIN,
+    generate_uniform_objects,
+    generate_skewed_objects,
+    generate_query_points,
+)
+from repro.datasets.real_like import (
+    generate_utility_like,
+    generate_roads_like,
+    generate_rrlines_like,
+    real_like_dataset,
+)
+from repro.datasets.loader import DatasetBundle, load_dataset
+
+__all__ = [
+    "DEFAULT_DOMAIN",
+    "generate_uniform_objects",
+    "generate_skewed_objects",
+    "generate_query_points",
+    "generate_utility_like",
+    "generate_roads_like",
+    "generate_rrlines_like",
+    "real_like_dataset",
+    "DatasetBundle",
+    "load_dataset",
+]

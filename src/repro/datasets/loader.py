@@ -1,0 +1,76 @@
+"""Dataset bundles and a single entry point for every generator.
+
+Benchmarks and examples request datasets by a short specification string, so
+that the same harness can sweep synthetic sizes, uncertainty diameters,
+skewness levels, and real-like dataset families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.datasets.real_like import real_like_dataset
+from repro.datasets.synthetic import (
+    DEFAULT_DIAMETER,
+    DEFAULT_DOMAIN,
+    generate_query_points,
+    generate_skewed_objects,
+    generate_uniform_objects,
+)
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.uncertain.objects import UncertainObject
+
+
+@dataclass
+class DatasetBundle:
+    """A dataset plus the metadata the experiment harness needs."""
+
+    name: str
+    objects: List[UncertainObject]
+    domain: Rect
+    diameter: float
+    queries: List[Point]
+
+    @property
+    def size(self) -> int:
+        """Number of objects."""
+        return len(self.objects)
+
+
+def load_dataset(
+    name: str,
+    count: int,
+    diameter: float = DEFAULT_DIAMETER,
+    sigma: Optional[float] = None,
+    domain: Rect = DEFAULT_DOMAIN,
+    query_count: int = 50,
+    seed: int = 0,
+) -> DatasetBundle:
+    """Create a dataset bundle by name.
+
+    Supported names: ``"uniform"``, ``"skewed"`` (requires ``sigma``),
+    ``"utility"``, ``"roads"``, ``"rrlines"``.
+    """
+    name = name.lower()
+    if name == "uniform":
+        objects, dom = generate_uniform_objects(
+            count, domain=domain, diameter=diameter, seed=seed
+        )
+    elif name == "skewed":
+        if sigma is None:
+            raise ValueError("the skewed dataset requires a sigma value")
+        objects, dom = generate_skewed_objects(
+            count, sigma, domain=domain, diameter=diameter, seed=seed
+        )
+    elif name in ("utility", "roads", "rrlines"):
+        objects, dom = real_like_dataset(
+            name, count, domain=domain, diameter=diameter, seed=seed
+        )
+    else:
+        raise ValueError(f"unknown dataset name: {name!r}")
+    queries = generate_query_points(query_count, domain=dom, seed=seed + 1000)
+    return DatasetBundle(
+        name=name, objects=objects, domain=dom, diameter=diameter, queries=queries
+    )

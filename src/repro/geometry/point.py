@@ -1,0 +1,163 @@
+"""Immutable 2-D points and elementary vector operations.
+
+The whole library works in a flat Euclidean plane.  ``Point`` doubles as a
+vector: subtraction yields a displacement, and the helper functions
+:func:`dot` and :func:`cross` operate on such displacements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point (or vector) in the plane.
+
+    Instances are immutable and hashable so they can be used as dictionary
+    keys (e.g. when deduplicating polygon vertices).
+    """
+
+    x: float
+    y: float
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def origin() -> "Point":
+        """Return the origin ``(0, 0)``."""
+        return Point(0.0, 0.0)
+
+    @staticmethod
+    def from_tuple(pair: Sequence[float]) -> "Point":
+        """Build a point from any two-element sequence."""
+        if len(pair) != 2:
+            raise ValueError(f"expected a 2-element sequence, got {pair!r}")
+        return Point(float(pair[0]), float(pair[1]))
+
+    @staticmethod
+    def polar(radius: float, angle: float) -> "Point":
+        """Return the point at ``radius`` from the origin at ``angle`` radians."""
+        return Point(radius * math.cos(angle), radius * math.sin(angle))
+
+    # ------------------------------------------------------------------ #
+    # vector arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Point":
+        return Point(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    # ------------------------------------------------------------------ #
+    # metrics
+    # ------------------------------------------------------------------ #
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance to ``other`` (no square root)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def norm(self) -> float:
+        """Length of this point interpreted as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def squared_norm(self) -> float:
+        """Squared length of this point interpreted as a vector."""
+        return self.x * self.x + self.y * self.y
+
+    def normalized(self) -> "Point":
+        """Return a unit vector with the same direction.
+
+        Raises:
+            ValueError: if this is the zero vector.
+        """
+        length = self.norm()
+        if length == 0.0:
+            raise ValueError("cannot normalize the zero vector")
+        return Point(self.x / length, self.y / length)
+
+    def rotated(self, angle: float, about: "Point" | None = None) -> "Point":
+        """Return this point rotated by ``angle`` radians around ``about``.
+
+        The rotation is counter-clockwise; ``about`` defaults to the origin.
+        """
+        pivot = about if about is not None else Point.origin()
+        dx = self.x - pivot.x
+        dy = self.y - pivot.y
+        cos_a = math.cos(angle)
+        sin_a = math.sin(angle)
+        return Point(
+            pivot.x + dx * cos_a - dy * sin_a,
+            pivot.y + dx * sin_a + dy * cos_a,
+        )
+
+    def angle_to(self, other: "Point") -> float:
+        """Angle (radians in ``[-pi, pi]``) of the vector from this point to ``other``."""
+        return math.atan2(other.y - self.y, other.x - self.x)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Return the midpoint between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def is_close(self, other: "Point", tol: float = 1e-9) -> bool:
+        """Return ``True`` when both coordinates differ by at most ``tol``."""
+        return abs(self.x - other.x) <= tol and abs(self.y - other.y) <= tol
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)`` as a plain tuple."""
+        return (self.x, self.y)
+
+
+def dot(a: Point, b: Point) -> float:
+    """Dot product of two vectors."""
+    return a.x * b.x + a.y * b.y
+
+
+def cross(a: Point, b: Point) -> float:
+    """Z-component of the cross product of two vectors.
+
+    Positive when ``b`` is counter-clockwise from ``a``.
+    """
+    return a.x * b.y - a.y * b.x
+
+
+def orientation(a: Point, b: Point, c: Point) -> float:
+    """Signed area (times two) of triangle ``abc``.
+
+    Positive for a counter-clockwise turn, negative for clockwise, zero for
+    collinear points.
+    """
+    return cross(b - a, c - a)
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Arithmetic mean of a non-empty collection of points."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("centroid of an empty point set is undefined")
+    sx = sum(p.x for p in pts)
+    sy = sum(p.y for p in pts)
+    return Point(sx / len(pts), sy / len(pts))

@@ -1,0 +1,203 @@
+"""Axis-aligned rectangles.
+
+Rectangles serve three roles in the library:
+
+* the square *domain* ``D`` that bounds the UV-diagram,
+* the quad-tree grid cells of the UV-index (Section V),
+* minimum bounding rectangles (MBRs) in the R-tree substrate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Closed axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(
+                f"malformed rectangle: ({self.xmin}, {self.ymin}, {self.xmax}, {self.ymax})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_points(points: Iterable[Point]) -> "Rect":
+        """Bounding rectangle of a non-empty point collection."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("cannot bound an empty point set")
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    @staticmethod
+    def from_center(center: Point, half_width: float, half_height: float) -> "Rect":
+        """Rectangle centred at ``center`` with the given half extents."""
+        return Rect(
+            center.x - half_width,
+            center.y - half_height,
+            center.x + half_width,
+            center.y + half_height,
+        )
+
+    @staticmethod
+    def square(origin: Point, side: float) -> "Rect":
+        """Square with lower-left corner ``origin`` and the given ``side``."""
+        return Rect(origin.x, origin.y, origin.x + side, origin.y + side)
+
+    # ------------------------------------------------------------------ #
+    # geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def center(self) -> Point:
+        return Point((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    def area(self) -> float:
+        """Area of the rectangle."""
+        return self.width * self.height
+
+    def perimeter(self) -> float:
+        """Perimeter of the rectangle (used by R*-style split heuristics)."""
+        return 2.0 * (self.width + self.height)
+
+    def corners(self) -> List[Point]:
+        """The four corners, counter-clockwise from the lower-left."""
+        return [
+            Point(self.xmin, self.ymin),
+            Point(self.xmax, self.ymin),
+            Point(self.xmax, self.ymax),
+            Point(self.xmin, self.ymax),
+        ]
+
+    # ------------------------------------------------------------------ #
+    # predicates
+    # ------------------------------------------------------------------ #
+    def contains_point(self, p: Point, tol: float = 0.0) -> bool:
+        """Return ``True`` when ``p`` lies inside or on the boundary."""
+        return (
+            self.xmin - tol <= p.x <= self.xmax + tol
+            and self.ymin - tol <= p.y <= self.ymax + tol
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Return ``True`` when ``other`` is fully inside this rectangle."""
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and self.xmax >= other.xmax
+            and self.ymax >= other.ymax
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Return ``True`` when the two closed rectangles overlap."""
+        return not (
+            self.xmax < other.xmin
+            or other.xmax < self.xmin
+            or self.ymax < other.ymin
+            or other.ymax < self.ymin
+        )
+
+    def intersects_circle(self, center: Point, radius: float) -> bool:
+        """Return ``True`` when the rectangle overlaps the closed disk."""
+        return self.min_distance_to_point(center) <= radius
+
+    # ------------------------------------------------------------------ #
+    # distances
+    # ------------------------------------------------------------------ #
+    def min_distance_to_point(self, p: Point) -> float:
+        """Minimum distance from ``p`` to the rectangle (zero if inside)."""
+        dx = max(self.xmin - p.x, 0.0, p.x - self.xmax)
+        dy = max(self.ymin - p.y, 0.0, p.y - self.ymax)
+        return math.hypot(dx, dy)
+
+    def max_distance_to_point(self, p: Point) -> float:
+        """Maximum distance from ``p`` to any point of the rectangle."""
+        dx = max(abs(p.x - self.xmin), abs(p.x - self.xmax))
+        dy = max(abs(p.y - self.ymin), abs(p.y - self.ymax))
+        return math.hypot(dx, dy)
+
+    # ------------------------------------------------------------------ #
+    # combination
+    # ------------------------------------------------------------------ #
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle containing both rectangles."""
+        return Rect(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Overlap of two rectangles, or ``None`` when they are disjoint."""
+        xmin = max(self.xmin, other.xmin)
+        ymin = max(self.ymin, other.ymin)
+        xmax = min(self.xmax, other.xmax)
+        ymax = min(self.ymax, other.ymax)
+        if xmin > xmax or ymin > ymax:
+            return None
+        return Rect(xmin, ymin, xmax, ymax)
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Area of the overlap of two rectangles (zero when disjoint)."""
+        inter = self.intersection(other)
+        return inter.area() if inter is not None else 0.0
+
+    def expanded(self, margin: float) -> "Rect":
+        """Rectangle grown by ``margin`` on every side."""
+        return Rect(
+            self.xmin - margin, self.ymin - margin, self.xmax + margin, self.ymax + margin
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed for this rectangle to cover ``other``.
+
+        This is the classic R-tree ``ChooseSubtree`` metric.
+        """
+        return self.union(other).area() - self.area()
+
+    # ------------------------------------------------------------------ #
+    # quad-tree support
+    # ------------------------------------------------------------------ #
+    def quarters(self) -> Tuple["Rect", "Rect", "Rect", "Rect"]:
+        """Split into four equal quadrants: SW, SE, NW, NE.
+
+        Used by the UV-index when a grid node splits (Algorithm 4, Step 7).
+        """
+        cx, cy = self.center.x, self.center.y
+        return (
+            Rect(self.xmin, self.ymin, cx, cy),
+            Rect(cx, self.ymin, self.xmax, cy),
+            Rect(self.xmin, cy, cx, self.ymax),
+            Rect(cx, cy, self.xmax, self.ymax),
+        )
+
+    def sample_grid(self, resolution: int) -> List[Point]:
+        """Return a ``resolution x resolution`` lattice of points inside the rectangle."""
+        if resolution < 2:
+            raise ValueError("resolution must be at least 2")
+        xs = [self.xmin + self.width * i / (resolution - 1) for i in range(resolution)]
+        ys = [self.ymin + self.height * i / (resolution - 1) for i in range(resolution)]
+        return [Point(x, y) for y in ys for x in xs]

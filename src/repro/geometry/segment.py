@@ -1,0 +1,135 @@
+"""Line segments and segment predicates.
+
+Segments are used by the polygon machinery (edge walks during curve
+clipping) and by the "road-like" dataset generators that place object
+centres along polylines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.geometry.point import Point, cross
+
+
+@dataclass(frozen=True)
+class Segment:
+    """Closed line segment between two endpoints."""
+
+    start: Point
+    end: Point
+
+    @property
+    def length(self) -> float:
+        """Length of the segment."""
+        return self.start.distance_to(self.end)
+
+    @property
+    def midpoint(self) -> Point:
+        """Midpoint of the segment."""
+        return self.start.midpoint(self.end)
+
+    def direction(self) -> Point:
+        """Unit direction vector from ``start`` to ``end``."""
+        return (self.end - self.start).normalized()
+
+    def point_at(self, t: float) -> Point:
+        """Point at parameter ``t`` (``0`` = start, ``1`` = end)."""
+        return Point(
+            self.start.x + (self.end.x - self.start.x) * t,
+            self.start.y + (self.end.y - self.start.y) * t,
+        )
+
+    def distance_to_point(self, p: Point) -> float:
+        """Euclidean distance from ``p`` to the closest point of the segment."""
+        return p.distance_to(self.closest_point(p))
+
+    def closest_point(self, p: Point) -> Point:
+        """The point of the segment closest to ``p``."""
+        d = self.end - self.start
+        denom = d.squared_norm()
+        if denom == 0.0:
+            return self.start
+        t = ((p.x - self.start.x) * d.x + (p.y - self.start.y) * d.y) / denom
+        t = max(0.0, min(1.0, t))
+        return self.point_at(t)
+
+    def side_of(self, p: Point) -> float:
+        """Signed area test: positive when ``p`` is left of ``start -> end``."""
+        return cross(self.end - self.start, p - self.start)
+
+    def intersects(self, other: "Segment") -> bool:
+        """Return ``True`` when the two closed segments intersect."""
+        return self.intersection(other) is not None
+
+    def intersection(self, other: "Segment") -> Optional[Point]:
+        """Intersection point of two segments, or ``None``.
+
+        Collinear overlapping segments return one shared endpoint when an
+        endpoint of one lies on the other; fully interior overlaps return the
+        midpoint of the overlap's projection, which is sufficient for the
+        dataset generators that only need *an* intersection witness.
+        """
+        p, r = self.start, self.end - self.start
+        q, s = other.start, other.end - other.start
+        denom = cross(r, s)
+        qp = q - p
+        if abs(denom) < 1e-15:
+            if abs(cross(qp, r)) > 1e-12:
+                return None
+            # Collinear: check for overlap along the common line.
+            rr = r.squared_norm()
+            if rr == 0.0:
+                return self.start if other.distance_to_point(self.start) < 1e-12 else None
+            t0 = (qp.x * r.x + qp.y * r.y) / rr
+            t1 = t0 + (s.x * r.x + s.y * r.y) / rr
+            lo, hi = min(t0, t1), max(t0, t1)
+            lo = max(lo, 0.0)
+            hi = min(hi, 1.0)
+            if lo > hi:
+                return None
+            return self.point_at((lo + hi) / 2.0)
+        t = cross(qp, s) / denom
+        u = cross(qp, r) / denom
+        if -1e-12 <= t <= 1.0 + 1e-12 and -1e-12 <= u <= 1.0 + 1e-12:
+            return self.point_at(min(max(t, 0.0), 1.0))
+        return None
+
+    def sample(self, count: int) -> List[Point]:
+        """Return ``count`` points evenly spaced along the segment (inclusive)."""
+        if count < 2:
+            raise ValueError("count must be at least 2")
+        return [self.point_at(i / (count - 1)) for i in range(count)]
+
+
+def polyline_length(points: List[Point]) -> float:
+    """Total length of the polyline through ``points``."""
+    return sum(points[i].distance_to(points[i + 1]) for i in range(len(points) - 1))
+
+
+def sample_polyline(points: List[Point], count: int) -> List[Point]:
+    """Sample ``count`` points spread evenly along a polyline by arc length."""
+    if len(points) < 2:
+        raise ValueError("polyline needs at least two vertices")
+    if count < 1:
+        raise ValueError("count must be positive")
+    total = polyline_length(points)
+    if total == 0.0:
+        return [points[0]] * count
+    targets = [total * i / max(count - 1, 1) for i in range(count)]
+    samples: List[Point] = []
+    seg_index = 0
+    accumulated = 0.0
+    for target in targets:
+        while seg_index < len(points) - 2 and accumulated + points[seg_index].distance_to(
+            points[seg_index + 1]
+        ) < target:
+            accumulated += points[seg_index].distance_to(points[seg_index + 1])
+            seg_index += 1
+        seg = Segment(points[seg_index], points[seg_index + 1])
+        remaining = target - accumulated
+        t = remaining / seg.length if seg.length > 0 else 0.0
+        samples.append(seg.point_at(min(max(t, 0.0), 1.0)))
+    return samples

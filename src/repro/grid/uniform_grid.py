@@ -1,0 +1,222 @@
+"""A uniform grid over uncertainty regions and a PNN evaluator on top of it.
+
+Each grid cell keeps, on simulated disk pages, the ids and MBCs of the
+objects whose uncertainty regions intersect the cell.  PNN evaluation
+retrieves the query's cell, derives ``d_minmax`` from it, and expands to
+neighbouring cells until no unseen cell can contain a closer object.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.queries.probability import qualification_probabilities
+from repro.queries.result import PNNAnswer, PNNResult
+from repro.queries.verifier import min_max_prune
+from repro.storage.disk import DiskManager
+from repro.storage.object_store import ObjectStore
+from repro.storage.stats import TimingBreakdown
+from repro.uncertain.objects import UncertainObject
+
+
+class UniformGridIndex:
+    """A fixed-resolution grid over the domain.
+
+    Args:
+        domain: the indexed domain rectangle.
+        resolution: number of cells per axis.
+        disk: disk manager for the per-cell page lists.
+    """
+
+    def __init__(self, domain: Rect, resolution: int, disk: Optional[DiskManager] = None):
+        if resolution < 1:
+            raise ValueError("resolution must be positive")
+        self.domain = domain
+        self.resolution = resolution
+        self.disk = disk if disk is not None else DiskManager()
+        self._cell_pages: Dict[Tuple[int, int], List[int]] = {}
+        self.size = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def build(self, objects: Sequence[UncertainObject]) -> None:
+        """Assign every object to all cells its uncertainty region intersects."""
+        staged: Dict[Tuple[int, int], List[Tuple[int, Circle]]] = {}
+        for obj in objects:
+            for cell in self._cells_overlapping(obj.region):
+                staged.setdefault(cell, []).append((obj.oid, obj.mbc()))
+        for cell, entries in staged.items():
+            page_ids: List[int] = []
+            page = None
+            for entry in entries:
+                if page is None or page.is_full():
+                    page = self.disk.allocate_page()
+                    page_ids.append(page.page_id)
+                page.add(entry)
+            self._cell_pages[cell] = page_ids
+        self.size = len(objects)
+
+    # ------------------------------------------------------------------ #
+    # cell arithmetic
+    # ------------------------------------------------------------------ #
+    def cell_of(self, p: Point) -> Tuple[int, int]:
+        """Grid coordinates of the cell containing ``p`` (clamped to the domain)."""
+        cx = int((p.x - self.domain.xmin) / self.domain.width * self.resolution)
+        cy = int((p.y - self.domain.ymin) / self.domain.height * self.resolution)
+        cx = min(max(cx, 0), self.resolution - 1)
+        cy = min(max(cy, 0), self.resolution - 1)
+        return (cx, cy)
+
+    def cell_rect(self, cell: Tuple[int, int]) -> Rect:
+        """Rectangle covered by a cell."""
+        width = self.domain.width / self.resolution
+        height = self.domain.height / self.resolution
+        return Rect(
+            self.domain.xmin + cell[0] * width,
+            self.domain.ymin + cell[1] * height,
+            self.domain.xmin + (cell[0] + 1) * width,
+            self.domain.ymin + (cell[1] + 1) * height,
+        )
+
+    def _cells_overlapping(self, circle: Circle) -> List[Tuple[int, int]]:
+        xmin, ymin, xmax, ymax = circle.bounding_box()
+        lo = self.cell_of(Point(xmin, ymin))
+        hi = self.cell_of(Point(xmax, ymax))
+        cells = []
+        for cx in range(lo[0], hi[0] + 1):
+            for cy in range(lo[1], hi[1] + 1):
+                if self.cell_rect((cx, cy)).intersects_circle(circle.center, circle.radius):
+                    cells.append((cx, cy))
+        return cells
+
+    # ------------------------------------------------------------------ #
+    # retrieval
+    # ------------------------------------------------------------------ #
+    def read_cell(self, cell: Tuple[int, int]) -> List[Tuple[int, Circle]]:
+        """Entries of one cell, reading its pages (counted I/O)."""
+        entries: List[Tuple[int, Circle]] = []
+        for page_id in self._cell_pages.get(cell, []):
+            entries.extend(self.disk.read_page(page_id).entries)
+        return entries
+
+    def cells_within(self, center: Point, radius: float) -> List[Tuple[int, int]]:
+        """All cells whose rectangle intersects the disk ``Cir(center, radius)``."""
+        return [
+            cell
+            for cell in self._all_cells()
+            if self.cell_rect(cell).intersects_circle(center, radius)
+        ]
+
+    def _all_cells(self) -> List[Tuple[int, int]]:
+        return [
+            (cx, cy)
+            for cx in range(self.resolution)
+            for cy in range(self.resolution)
+        ]
+
+
+class GridPNN:
+    """PNN evaluation over a :class:`UniformGridIndex`."""
+
+    def __init__(
+        self,
+        grid: UniformGridIndex,
+        object_store: Optional[ObjectStore] = None,
+        objects: Optional[Sequence[UncertainObject]] = None,
+    ):
+        if object_store is None and objects is None:
+            raise ValueError("either an object store or in-memory objects are required")
+        self.grid = grid
+        self.object_store = object_store
+        self._objects_by_id = {obj.oid: obj for obj in objects} if objects else {}
+
+    def query(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
+        """Evaluate a PNN query by expanding rings of cells around the query."""
+        timing = TimingBreakdown()
+        io_before = self.grid.disk.stats.snapshot()
+
+        start = time.perf_counter()
+        candidates = self._retrieve_candidates(query)
+        answer_ids = min_max_prune(query, candidates)
+        timing.add("index", time.perf_counter() - start)
+        index_io = self.grid.disk.stats.delta(io_before)
+
+        start = time.perf_counter()
+        answer_objects = self._fetch_objects(answer_ids)
+        timing.add("object_retrieval", time.perf_counter() - start)
+
+        start = time.perf_counter()
+        if compute_probabilities and answer_objects:
+            probabilities = qualification_probabilities(answer_objects, query)
+        else:
+            probabilities = {obj.oid: 0.0 for obj in answer_objects}
+        timing.add("probability", time.perf_counter() - start)
+
+        answers = [
+            PNNAnswer(oid=oid, probability=probabilities.get(oid, 0.0))
+            for oid in answer_ids
+        ]
+        answers.sort(key=lambda a: (-a.probability, a.oid))
+        return PNNResult(
+            query=query,
+            answers=answers,
+            candidates_examined=len(candidates),
+            io=self.grid.disk.stats.delta(io_before),
+            index_io=index_io,
+            timing=timing,
+        )
+
+    def _retrieve_candidates(self, query: Point) -> List[Tuple[int, Circle]]:
+        seen_cells: Set[Tuple[int, int]] = set()
+        seen_objects: Dict[int, Circle] = {}
+        home = self.grid.cell_of(query)
+        frontier = [home]
+        best_minmax = math.inf
+
+        ring = 0
+        while frontier:
+            for cell in frontier:
+                if cell in seen_cells:
+                    continue
+                seen_cells.add(cell)
+                for oid, mbc in self.grid.read_cell(cell):
+                    if oid not in seen_objects:
+                        seen_objects[oid] = mbc
+                        best_minmax = min(best_minmax, mbc.max_distance(query))
+            ring += 1
+            next_frontier = []
+            for cell in self._ring_cells(home, ring):
+                if cell in seen_cells:
+                    continue
+                if self.grid.cell_rect(cell).min_distance_to_point(query) <= best_minmax:
+                    next_frontier.append(cell)
+            frontier = next_frontier
+
+        return [
+            (oid, mbc)
+            for oid, mbc in seen_objects.items()
+            if mbc.min_distance(query) <= best_minmax + 1e-12
+        ]
+
+    def _ring_cells(self, home: Tuple[int, int], ring: int) -> List[Tuple[int, int]]:
+        cells = []
+        resolution = self.grid.resolution
+        for dx in range(-ring, ring + 1):
+            for dy in range(-ring, ring + 1):
+                if max(abs(dx), abs(dy)) != ring:
+                    continue
+                cx, cy = home[0] + dx, home[1] + dy
+                if 0 <= cx < resolution and 0 <= cy < resolution:
+                    cells.append((cx, cy))
+        return cells
+
+    def _fetch_objects(self, oids: List[int]) -> List[UncertainObject]:
+        if self.object_store is not None:
+            return self.object_store.fetch_many(oids)
+        return [self._objects_by_id[oid] for oid in oids]

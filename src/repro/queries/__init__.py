@@ -1,0 +1,28 @@
+"""Query processing: verification and qualification probabilities.
+
+Retrieving the *answer objects* of a probabilistic nearest-neighbour query is
+the job of the indexes (UV-index or R-tree); this package implements the
+index-agnostic parts shared by both:
+
+* the ``d_minmax`` verification of Cheng et al. (TKDE'04) that removes
+  objects that cannot possibly be the nearest neighbour,
+* qualification-probability computation by numerical integration over
+  distance distributions, and a Monte-Carlo estimator as an independent
+  cross-check,
+* the result containers returned to callers.
+"""
+
+from repro.queries.verifier import min_max_prune
+from repro.queries.probability import (
+    qualification_probabilities,
+    qualification_probabilities_sampling,
+)
+from repro.queries.result import PNNAnswer, PNNResult
+
+__all__ = [
+    "min_max_prune",
+    "qualification_probabilities",
+    "qualification_probabilities_sampling",
+    "PNNAnswer",
+    "PNNResult",
+]

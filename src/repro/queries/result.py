@@ -1,0 +1,70 @@
+"""Result containers for PNN and pattern queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.geometry.point import Point
+from repro.storage.stats import IOStats, TimingBreakdown
+
+
+@dataclass(frozen=True)
+class PNNAnswer:
+    """One answer object of a PNN query."""
+
+    oid: int
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0 + 1e-9:
+            raise ValueError(f"probability out of range: {self.probability}")
+
+
+@dataclass
+class PNNResult:
+    """Full result of a probabilistic nearest-neighbour query.
+
+    Attributes:
+        query: the query point.
+        answers: answer objects with their qualification probabilities,
+            sorted by decreasing probability.
+        candidates_examined: number of objects fetched from the index before
+            verification.
+        io: total I/O performed while evaluating the query (index pages plus
+            object retrieval).
+        index_io: I/O spent on the index structure alone (leaf page lists for
+            the UV-index, leaf nodes for the R-tree) -- the quantity plotted
+            in Figure 6(b).
+        timing: wall-clock breakdown (index traversal, object retrieval,
+            probability computation) -- the components of Figure 6(c).
+    """
+
+    query: Point
+    answers: List[PNNAnswer] = field(default_factory=list)
+    candidates_examined: int = 0
+    io: Optional[IOStats] = None
+    index_io: Optional[IOStats] = None
+    timing: Optional[TimingBreakdown] = None
+
+    @property
+    def answer_ids(self) -> List[int]:
+        """The ids of the answer objects."""
+        return [answer.oid for answer in self.answers]
+
+    @property
+    def probabilities(self) -> Dict[int, float]:
+        """Mapping from object id to qualification probability."""
+        return {answer.oid: answer.probability for answer in self.answers}
+
+    def top(self) -> Optional[PNNAnswer]:
+        """The most probable nearest neighbour, or ``None`` for an empty result."""
+        return self.answers[0] if self.answers else None
+
+    def total_probability(self) -> float:
+        """Sum of the qualification probabilities (should be close to one)."""
+        return sum(answer.probability for answer in self.answers)
+
+    def sorted_by_probability(self) -> List[PNNAnswer]:
+        """Answers ordered by decreasing probability (ties broken by id)."""
+        return sorted(self.answers, key=lambda a: (-a.probability, a.oid))

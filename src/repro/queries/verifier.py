@@ -1,0 +1,48 @@
+"""The ``d_minmax`` verification filter.
+
+Given a candidate set for a PNN query, compute ``d_minmax`` -- the smallest
+*maximum* distance of any candidate from the query point -- and discard every
+candidate whose *minimum* distance exceeds it.  Such an object can never be
+the nearest neighbour because some other object is certainly closer
+(Section V-A of the paper, after Cheng et al. TKDE'04).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+
+
+def d_minmax(query: Point, mbcs: Sequence[Circle]) -> float:
+    """The minimum over candidates of their maximum distance from ``query``."""
+    if not mbcs:
+        raise ValueError("d_minmax of an empty candidate set is undefined")
+    return min(circle.max_distance(query) for circle in mbcs)
+
+
+def min_max_prune(
+    query: Point, candidates: Sequence[Tuple[int, Circle]]
+) -> List[int]:
+    """Filter candidates with the ``d_minmax`` rule.
+
+    Args:
+        query: the PNN query point.
+        candidates: ``(oid, minimum_bounding_circle)`` pairs as stored in the
+            index leaves.
+
+    Returns:
+        The ids of objects that survive the filter, i.e. the answer objects
+        (objects with non-zero qualification probability).  The order of the
+        input is preserved.
+    """
+    if not candidates:
+        return []
+    bound = d_minmax(query, [circle for _, circle in candidates])
+    tol = 1e-12
+    return [
+        oid
+        for oid, circle in candidates
+        if circle.min_distance(query) <= bound + tol
+    ]

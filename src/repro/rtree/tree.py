@@ -1,0 +1,357 @@
+"""The R-tree proper: STR bulk loading, insertion, range and k-NN search.
+
+The tree indexes the minimum bounding rectangles of the objects' uncertainty
+regions.  Leaf nodes are backed by simulated disk pages; every time a query
+descends into a leaf, one page read is counted against the associated
+:class:`~repro.storage.disk.DiskManager`.  Internal nodes are memory resident
+(the paper keeps all non-leaf nodes of both indexes in main memory).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.rtree.node import RTreeEntry, RTreeNode
+from repro.storage.disk import DiskManager
+from repro.uncertain.objects import UncertainObject
+
+
+class RTree:
+    """A disk-backed R-tree over uncertain objects.
+
+    Args:
+        disk: disk manager used for leaf pages and I/O accounting.  A private
+            manager is created when omitted.
+        fanout: maximum entries per node (the paper uses 100).
+        fill_factor: target fill of leaves during bulk loading.
+    """
+
+    def __init__(
+        self,
+        disk: Optional[DiskManager] = None,
+        fanout: int = 100,
+        fill_factor: float = 1.0,
+    ):
+        if fanout < 4:
+            raise ValueError("fanout must be at least 4")
+        if not 0.3 <= fill_factor <= 1.0:
+            raise ValueError("fill factor must be within [0.3, 1.0]")
+        self.disk = disk if disk is not None else DiskManager()
+        self.fanout = fanout
+        self.fill_factor = fill_factor
+        self.root: RTreeNode = RTreeNode(is_leaf=True)
+        self._register_leaf(self.root)
+        self.size = 0
+        self.leaf_count = 1
+        self.height = 1
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def bulk_load(
+        objects: Sequence[UncertainObject],
+        disk: Optional[DiskManager] = None,
+        fanout: int = 100,
+        fill_factor: float = 1.0,
+    ) -> "RTree":
+        """Build a packed R-tree with Sort-Tile-Recursive (STR) loading.
+
+        This is the "packed R*-tree" configuration used in the paper's
+        experiments.
+        """
+        tree = RTree(disk=disk, fanout=fanout, fill_factor=fill_factor)
+        if not objects:
+            return tree
+
+        leaf_capacity = max(2, int(tree.fanout * tree.fill_factor))
+        entries = [RTreeEntry(mbr=obj.mbr(), oid=obj.oid) for obj in objects]
+        leaves = tree._str_pack(entries, leaf_capacity, leaf=True)
+        tree.leaf_count = len(leaves)
+        level_nodes: List[RTreeNode] = leaves
+        level = 0
+        while len(level_nodes) > 1:
+            level += 1
+            upper_entries = [
+                RTreeEntry(mbr=node.mbr(), child=node) for node in level_nodes
+            ]
+            level_nodes = tree._str_pack(upper_entries, leaf_capacity, leaf=False, level=level)
+        tree.root = level_nodes[0]
+        tree.size = len(objects)
+        tree.height = level + 1
+        return tree
+
+    def _str_pack(
+        self,
+        entries: List[RTreeEntry],
+        capacity: int,
+        leaf: bool,
+        level: int = 0,
+    ) -> List[RTreeNode]:
+        """Pack entries into nodes using one STR pass."""
+        count = len(entries)
+        node_count = math.ceil(count / capacity)
+        slices = max(1, math.ceil(math.sqrt(node_count)))
+        per_slice = slices * capacity
+
+        def center_x(entry: RTreeEntry) -> float:
+            return (entry.mbr.xmin + entry.mbr.xmax) / 2.0
+
+        def center_y(entry: RTreeEntry) -> float:
+            return (entry.mbr.ymin + entry.mbr.ymax) / 2.0
+
+        sorted_by_x = sorted(entries, key=center_x)
+        nodes: List[RTreeNode] = []
+        for start in range(0, count, per_slice):
+            vertical_slice = sorted(sorted_by_x[start:start + per_slice], key=center_y)
+            for node_start in range(0, len(vertical_slice), capacity):
+                chunk = vertical_slice[node_start:node_start + capacity]
+                node = RTreeNode(is_leaf=leaf, entries=list(chunk), level=level)
+                if leaf:
+                    self._register_leaf(node)
+                nodes.append(node)
+        return nodes
+
+    def _register_leaf(self, node: RTreeNode) -> None:
+        page = self.disk.allocate_page(capacity=max(self.fanout, len(node.entries) or 1))
+        node.page_id = page.page_id
+        for entry in node.entries:
+            page.add(entry)
+
+    # ------------------------------------------------------------------ #
+    # dynamic insertion (quadratic split)
+    # ------------------------------------------------------------------ #
+    def insert(self, obj: UncertainObject) -> None:
+        """Insert one object (classic ChooseLeaf + quadratic split)."""
+        entry = RTreeEntry(mbr=obj.mbr(), oid=obj.oid)
+        split = self._insert_entry(self.root, entry)
+        if split is not None:
+            left, right = split
+            new_root = RTreeNode(
+                is_leaf=False,
+                entries=[
+                    RTreeEntry(mbr=left.mbr(), child=left),
+                    RTreeEntry(mbr=right.mbr(), child=right),
+                ],
+                level=self.root.level + 1,
+            )
+            self.root = new_root
+            self.height += 1
+        self.size += 1
+
+    def _insert_entry(
+        self, node: RTreeNode, entry: RTreeEntry
+    ) -> Optional[Tuple[RTreeNode, RTreeNode]]:
+        if node.is_leaf:
+            node.entries.append(entry)
+            self._sync_leaf_page(node)
+            if node.is_full(self.fanout + 1):
+                return self._split_node(node)
+            return None
+
+        best = min(node.entries, key=lambda e: (e.mbr.enlargement(entry.mbr), e.mbr.area()))
+        child_split = self._insert_entry(best.child, entry)
+        best.mbr = best.child.mbr()
+        if child_split is None:
+            return None
+        left, right = child_split
+        node.entries.remove(best)
+        node.entries.append(RTreeEntry(mbr=left.mbr(), child=left))
+        node.entries.append(RTreeEntry(mbr=right.mbr(), child=right))
+        if node.is_full(self.fanout + 1):
+            return self._split_node(node)
+        return None
+
+    def _split_node(self, node: RTreeNode) -> Tuple[RTreeNode, RTreeNode]:
+        """Quadratic split of an overfull node into two nodes."""
+        entries = node.entries
+        seed_a, seed_b = self._pick_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        remaining = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+        min_fill = max(1, self.fanout // 3)
+
+        while remaining:
+            if len(group_a) + len(remaining) == min_fill:
+                group_a.extend(remaining)
+                break
+            if len(group_b) + len(remaining) == min_fill:
+                group_b.extend(remaining)
+                break
+            mbr_a = _entries_mbr(group_a)
+            mbr_b = _entries_mbr(group_b)
+            entry = max(
+                remaining,
+                key=lambda e: abs(mbr_a.enlargement(e.mbr) - mbr_b.enlargement(e.mbr)),
+            )
+            remaining.remove(entry)
+            if mbr_a.enlargement(entry.mbr) <= mbr_b.enlargement(entry.mbr):
+                group_a.append(entry)
+            else:
+                group_b.append(entry)
+
+        left = RTreeNode(is_leaf=node.is_leaf, entries=group_a, level=node.level)
+        right = RTreeNode(is_leaf=node.is_leaf, entries=group_b, level=node.level)
+        if node.is_leaf:
+            self._register_leaf(left)
+            self._register_leaf(right)
+            if node.page_id is not None:
+                self.disk.free_page(node.page_id)
+            self.leaf_count += 1
+        return left, right
+
+    @staticmethod
+    def _pick_seeds(entries: List[RTreeEntry]) -> Tuple[int, int]:
+        worst_pair = (0, 1)
+        worst_waste = -math.inf
+        for i, j in itertools.combinations(range(len(entries)), 2):
+            union = entries[i].mbr.union(entries[j].mbr)
+            waste = union.area() - entries[i].mbr.area() - entries[j].mbr.area()
+            if waste > worst_waste:
+                worst_waste = waste
+                worst_pair = (i, j)
+        return worst_pair
+
+    def _sync_leaf_page(self, node: RTreeNode) -> None:
+        if node.page_id is None:
+            self._register_leaf(node)
+            return
+        page = self.disk.peek_page(node.page_id)
+        page.entries = list(node.entries)
+        page.capacity = max(page.capacity, len(node.entries))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def _read_leaf(self, node: RTreeNode) -> List[RTreeEntry]:
+        """Fetch a leaf's entries through the disk manager (counts one I/O)."""
+        if node.page_id is None:
+            return list(node.entries)
+        return list(self.disk.read_page(node.page_id).entries)
+
+    def range_query(self, rect: Rect) -> List[int]:
+        """Object ids whose MBRs intersect ``rect``."""
+        results: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in self._read_leaf(node):
+                    if entry.mbr.intersects(rect):
+                        results.append(entry.oid)
+            else:
+                for entry in node.entries:
+                    if entry.mbr.intersects(rect):
+                        stack.append(entry.child)
+        return results
+
+    def circular_range_query(
+        self,
+        center: Point,
+        radius: float,
+        center_filter: Optional[Callable[[int, Rect], bool]] = None,
+    ) -> List[int]:
+        """Object ids whose MBRs intersect the disk ``Cir(center, radius)``.
+
+        ``center_filter`` can post-filter individual leaf entries (I-pruning
+        additionally requires the *centre* of the object to lie inside the
+        circle, see Lemma 2).
+        """
+        results: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in self._read_leaf(node):
+                    if entry.mbr.min_distance_to_point(center) <= radius:
+                        if center_filter is None or center_filter(entry.oid, entry.mbr):
+                            results.append(entry.oid)
+            else:
+                for entry in node.entries:
+                    if entry.mbr.min_distance_to_point(center) <= radius:
+                        stack.append(entry.child)
+        return results
+
+    def knn(self, query: Point, k: int) -> List[Tuple[int, float]]:
+        """Best-first k-nearest-neighbour search by MBR minimum distance.
+
+        Returns ``(oid, min_distance)`` pairs ordered by distance.  The
+        UV-diagram's seed selection (Section IV-B) issues this query with the
+        object's centre as the query point.
+        """
+        if k <= 0:
+            return []
+        heap: List[Tuple[float, int, bool, object]] = []
+        counter = itertools.count()
+        heapq.heappush(heap, (0.0, next(counter), False, self.root))
+        results: List[Tuple[int, float]] = []
+        while heap and len(results) < k:
+            dist, _, is_object, item = heapq.heappop(heap)
+            if is_object:
+                results.append((item, dist))
+                continue
+            node: RTreeNode = item
+            if node.is_leaf:
+                for entry in self._read_leaf(node):
+                    heapq.heappush(
+                        heap,
+                        (
+                            entry.mbr.min_distance_to_point(query),
+                            next(counter),
+                            True,
+                            entry.oid,
+                        ),
+                    )
+            else:
+                for entry in node.entries:
+                    heapq.heappush(
+                        heap,
+                        (
+                            entry.mbr.min_distance_to_point(query),
+                            next(counter),
+                            False,
+                            entry.child,
+                        ),
+                    )
+        return results
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def all_object_ids(self) -> List[int]:
+        """Every object id stored in the tree (order unspecified)."""
+        ids: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                ids.extend(entry.oid for entry in node.entries)
+            else:
+                stack.extend(entry.child for entry in node.entries)
+        return ids
+
+    def node_count(self) -> Tuple[int, int]:
+        """Return ``(internal_nodes, leaf_nodes)``."""
+        internal = 0
+        leaves = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                leaves += 1
+            else:
+                internal += 1
+                stack.extend(entry.child for entry in node.entries)
+        return internal, leaves
+
+
+def _entries_mbr(entries: List[RTreeEntry]) -> Rect:
+    rect = entries[0].mbr
+    for entry in entries[1:]:
+        rect = rect.union(entry.mbr)
+    return rect

@@ -1,0 +1,23 @@
+"""Simulated disk storage with I/O accounting.
+
+The paper compares the UV-index and the R-tree largely on their I/O
+behaviour (Figure 6(b)): both indexes keep non-leaf structures in memory and
+their leaf contents on 4 KB disk pages.  This package simulates that setup:
+a :class:`~repro.storage.disk.DiskManager` hands out fixed-size pages, counts
+every read/write, and an optional :class:`~repro.storage.buffer.BufferPool`
+adds LRU caching so cache effects can be studied.
+"""
+
+from repro.storage.page import Page, PAGE_SIZE_BYTES, DEFAULT_ENTRY_SIZE_BYTES
+from repro.storage.disk import DiskManager
+from repro.storage.buffer import BufferPool
+from repro.storage.stats import IOStats
+
+__all__ = [
+    "Page",
+    "PAGE_SIZE_BYTES",
+    "DEFAULT_ENTRY_SIZE_BYTES",
+    "DiskManager",
+    "BufferPool",
+    "IOStats",
+]

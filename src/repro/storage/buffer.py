@@ -1,0 +1,62 @@
+"""A small LRU buffer pool on top of the simulated disk.
+
+The paper's experiments keep non-leaf nodes in memory and read leaf pages
+from disk without caching; the buffer pool is therefore *optional* and is
+used by the ablation benchmarks to show how a cache would change the I/O
+comparison between the UV-index and the R-tree.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.storage.disk import DiskManager
+from repro.storage.page import Page
+
+
+class BufferPool:
+    """LRU page cache.
+
+    Args:
+        disk: the underlying disk manager.
+        capacity: number of pages the pool can hold; zero disables caching
+            entirely (every request becomes a disk read).
+    """
+
+    def __init__(self, disk: DiskManager, capacity: int = 64):
+        if capacity < 0:
+            raise ValueError("buffer pool capacity must be non-negative")
+        self.disk = disk
+        self.capacity = capacity
+        self._frames: "OrderedDict[int, Page]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_page(self, page_id: int) -> Page:
+        """Fetch a page through the cache, counting a disk read only on miss."""
+        if self.capacity > 0 and page_id in self._frames:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+            return self._frames[page_id]
+        self.misses += 1
+        page = self.disk.read_page(page_id)
+        if self.capacity > 0:
+            self._frames[page_id] = page
+            self._frames.move_to_end(page_id)
+            while len(self._frames) > self.capacity:
+                self._frames.popitem(last=False)
+        return page
+
+    def invalidate(self, page_id: Optional[int] = None) -> None:
+        """Drop one page (or everything when ``page_id`` is ``None``) from the cache."""
+        if page_id is None:
+            self._frames.clear()
+        else:
+            self._frames.pop(page_id, None)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of requests served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

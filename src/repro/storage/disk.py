@@ -1,0 +1,106 @@
+"""Simulated disk manager.
+
+Pages are held in a Python dictionary; "reading" or "writing" a page only
+bumps the I/O counters.  This keeps the experiments deterministic and fast
+while preserving the quantity the paper actually reports: the *number* of
+page accesses each index performs per query or per construction.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List
+
+from repro.storage.page import DEFAULT_ENTRY_SIZE_BYTES, PAGE_SIZE_BYTES, Page, entries_per_page
+from repro.storage.stats import IOStats
+
+
+class DiskManager:
+    """Allocates fixed-size pages and counts accesses.
+
+    Args:
+        entry_size_bytes: serialized size of one entry, used to derive the
+            per-page capacity.
+        page_size_bytes: page size (4 KB by default, as in the paper).
+    """
+
+    def __init__(
+        self,
+        entry_size_bytes: int = DEFAULT_ENTRY_SIZE_BYTES,
+        page_size_bytes: int = PAGE_SIZE_BYTES,
+        read_latency: float = 0.0,
+    ):
+        if read_latency < 0:
+            raise ValueError("read latency must be non-negative")
+        self.page_capacity = entries_per_page(entry_size_bytes, page_size_bytes)
+        self.page_size_bytes = page_size_bytes
+        self.entry_size_bytes = entry_size_bytes
+        self.read_latency = read_latency
+        self.stats = IOStats()
+        self._pages: Dict[int, Page] = {}
+        self._next_page_id = 0
+
+    # ------------------------------------------------------------------ #
+    # page lifecycle
+    # ------------------------------------------------------------------ #
+    def allocate_page(self, capacity: int | None = None) -> Page:
+        """Allocate a new empty page and return it."""
+        page = Page(self._next_page_id, capacity or self.page_capacity)
+        self._pages[page.page_id] = page
+        self._next_page_id += 1
+        self.stats.pages_allocated += 1
+        return page
+
+    def free_page(self, page_id: int) -> None:
+        """Release a page (e.g. when a UV-index leaf splits and drops its list)."""
+        self._pages.pop(page_id, None)
+
+    # ------------------------------------------------------------------ #
+    # access (counted)
+    # ------------------------------------------------------------------ #
+    def read_page(self, page_id: int) -> Page:
+        """Read a page, counting one I/O.
+
+        When ``read_latency`` is non-zero the call also sleeps for that long,
+        so that wall-clock measurements reflect the cost of a real page read
+        (the paper's query times are dominated by exactly this cost on the
+        R-tree side).
+
+        Raises:
+            KeyError: for an unknown page id.
+        """
+        self.stats.page_reads += 1
+        if self.read_latency > 0.0:
+            time.sleep(self.read_latency)
+        return self._pages[page_id]
+
+    def write_page(self, page: Page) -> None:
+        """Write a page back, counting one I/O."""
+        self.stats.page_writes += 1
+        self._pages[page.page_id] = page
+
+    def read_pages(self, page_ids: Iterable[int]) -> List[Page]:
+        """Read several pages, counting one I/O each."""
+        return [self.read_page(pid) for pid in page_ids]
+
+    # ------------------------------------------------------------------ #
+    # inspection (not counted -- used by tests and reports)
+    # ------------------------------------------------------------------ #
+    def peek_page(self, page_id: int) -> Page:
+        """Access a page without counting I/O (for assertions and reports)."""
+        return self._pages[page_id]
+
+    @property
+    def page_count(self) -> int:
+        """Number of live pages."""
+        return len(self._pages)
+
+    def total_entries(self) -> int:
+        """Total number of entries across all live pages."""
+        return sum(len(page) for page in self._pages.values())
+
+    def reset_stats(self) -> IOStats:
+        """Reset the I/O counters, returning the counters prior to the reset."""
+        before = self.stats.snapshot()
+        self.stats.reset()
+        return before

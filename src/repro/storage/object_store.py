@@ -1,0 +1,77 @@
+"""Disk-resident store of the objects' uncertainty information.
+
+Both indexes (UV-index and R-tree) only keep *references* to objects; the
+uncertainty region and pdf of an object live on disk and must be fetched
+before qualification probabilities can be computed.  The object store packs
+objects onto pages and serves lookups through the counting
+:class:`~repro.storage.disk.DiskManager`, so "object retrieval" I/O and time
+(Figure 6(c)) can be measured for both indexes in the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.storage.disk import DiskManager
+from repro.uncertain.objects import UncertainObject
+
+
+class ObjectStore:
+    """Maps object ids to disk pages holding their full uncertainty information.
+
+    Args:
+        disk: the disk manager used for page allocation and counted reads.
+        objects_per_page: how many full object descriptions fit in a page.
+            The default assumes ~200 bytes per object (region + 20-bar
+            histogram pdf) on a 4 KB page.
+    """
+
+    def __init__(self, disk: DiskManager, objects_per_page: int = 20):
+        if objects_per_page < 1:
+            raise ValueError("objects_per_page must be positive")
+        self.disk = disk
+        self.objects_per_page = objects_per_page
+        self._page_of_object: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # loading
+    # ------------------------------------------------------------------ #
+    def bulk_load(self, objects: Sequence[UncertainObject]) -> None:
+        """Pack the objects onto pages in id order."""
+        page = None
+        for obj in objects:
+            if page is None or page.is_full():
+                page = self.disk.allocate_page(capacity=self.objects_per_page)
+            page.add(obj)
+            self._page_of_object[obj.oid] = page.page_id
+
+    # ------------------------------------------------------------------ #
+    # retrieval (counted I/O)
+    # ------------------------------------------------------------------ #
+    def fetch(self, oid: int) -> UncertainObject:
+        """Fetch one object, reading its page (one I/O)."""
+        page = self.disk.read_page(self._page_of_object[oid])
+        for obj in page.entries:
+            if obj.oid == oid:
+                return obj
+        raise KeyError(f"object {oid} missing from its page")
+
+    def fetch_many(self, oids: Iterable[int]) -> List[UncertainObject]:
+        """Fetch several objects, reading each distinct page once."""
+        wanted = list(oids)
+        needed_pages: Dict[int, List[int]] = {}
+        for oid in wanted:
+            needed_pages.setdefault(self._page_of_object[oid], []).append(oid)
+        found: Dict[int, UncertainObject] = {}
+        for page_id, page_oids in needed_pages.items():
+            page = self.disk.read_page(page_id)
+            lookup = {obj.oid: obj for obj in page.entries}
+            for oid in page_oids:
+                found[oid] = lookup[oid]
+        return [found[oid] for oid in wanted]
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._page_of_object
+
+    def __len__(self) -> int:
+        return len(self._page_of_object)

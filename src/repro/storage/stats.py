@@ -1,0 +1,81 @@
+"""I/O and timing statistics counters.
+
+The counters are deliberately tiny value objects so they can be embedded in
+both indexes and reset/snapshotted around individual queries, which is how
+the per-query I/O numbers of Figure 6(b) are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class IOStats:
+    """Mutable read/write counters for a simulated disk."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    pages_allocated: int = 0
+
+    def reset(self) -> None:
+        """Zero the read/write counters (allocation counts are preserved)."""
+        self.page_reads = 0
+        self.page_writes = 0
+
+    def snapshot(self) -> "IOStats":
+        """Return an independent copy of the current counters."""
+        return IOStats(self.page_reads, self.page_writes, self.pages_allocated)
+
+    def delta(self, before: "IOStats") -> "IOStats":
+        """Counters accumulated since ``before`` was snapshotted."""
+        return IOStats(
+            self.page_reads - before.page_reads,
+            self.page_writes - before.page_writes,
+            self.pages_allocated - before.pages_allocated,
+        )
+
+    @property
+    def total_io(self) -> int:
+        """Reads plus writes."""
+        return self.page_reads + self.page_writes
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view, convenient for report tables."""
+        return {
+            "page_reads": self.page_reads,
+            "page_writes": self.page_writes,
+            "pages_allocated": self.pages_allocated,
+        }
+
+
+@dataclass
+class TimingBreakdown:
+    """Named wall-clock buckets (seconds), e.g. the components of Figure 6(c)."""
+
+    buckets: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into the named bucket."""
+        self.buckets[name] = self.buckets.get(name, 0.0) + seconds
+
+    def get(self, name: str) -> float:
+        """Total seconds recorded for ``name`` (zero when absent)."""
+        return self.buckets.get(name, 0.0)
+
+    def total(self) -> float:
+        """Sum of all buckets."""
+        return sum(self.buckets.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Each bucket as a fraction of the total (empty dict when total is zero)."""
+        total = self.total()
+        if total <= 0:
+            return {}
+        return {name: value / total for name, value in self.buckets.items()}
+
+    def merge(self, other: "TimingBreakdown") -> None:
+        """Add all buckets of ``other`` into this breakdown."""
+        for name, value in other.buckets.items():
+            self.add(name, value)

@@ -1,0 +1,27 @@
+"""Attribute-uncertainty model: uncertainty regions and pdfs.
+
+An uncertain object (Section III of the paper) is a closed circular
+*uncertainty region* plus a probability density function (pdf) bounded within
+it.  The paper's experiments use a truncated Gaussian pdf discretised into 20
+histogram bars; this package supports uniform, truncated-Gaussian, and
+arbitrary histogram pdfs, plus the distance distributions needed to compute
+qualification probabilities.
+"""
+
+from repro.uncertain.pdf import (
+    UncertaintyPdf,
+    UniformPdf,
+    TruncatedGaussianPdf,
+    HistogramPdf,
+)
+from repro.uncertain.objects import UncertainObject
+from repro.uncertain.distance_distribution import DistanceDistribution
+
+__all__ = [
+    "UncertaintyPdf",
+    "UniformPdf",
+    "TruncatedGaussianPdf",
+    "HistogramPdf",
+    "UncertainObject",
+    "DistanceDistribution",
+]

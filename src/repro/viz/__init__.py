@@ -1,0 +1,11 @@
+"""Visualisation helpers (dependency-free SVG rendering).
+
+The UV-diagram is as much an analysis artefact as an index (Figures 1 and 2
+of the paper are drawings of it); this package renders datasets, UV-cells,
+the adaptive-grid leaves, and query results to standalone SVG files without
+requiring any plotting library.
+"""
+
+from repro.viz.svg import SvgCanvas, render_uv_diagram
+
+__all__ = ["SvgCanvas", "render_uv_diagram"]

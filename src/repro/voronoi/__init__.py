@@ -1,0 +1,5 @@
+"""Classic point Voronoi diagram (the zero-uncertainty special case)."""
+
+from repro.voronoi.point_voronoi import PointVoronoiDiagram
+
+__all__ = ["PointVoronoiDiagram"]

@@ -1,0 +1,102 @@
+"""Classic Voronoi diagram over points.
+
+The paper observes (Section I) that the ordinary Voronoi diagram is the
+special case of the UV-diagram where every uncertainty region has zero
+radius: each UV-cell then degenerates into the object's Voronoi cell and
+every UV-partition contains exactly one object.  This module wraps
+``scipy.spatial`` so that the special case can be checked against the general
+machinery, and offers the point-query interface ("which site is the nearest
+neighbour of q?") that the UV-diagram generalises.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.spatial import KDTree, Voronoi
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rectangle import Rect
+
+
+class PointVoronoiDiagram:
+    """Voronoi diagram of 2-D points with nearest-site point queries.
+
+    Args:
+        sites: the generating points, in id order (site ``i`` gets id ``i``
+            unless explicit ids are supplied).
+        domain: optional bounding rectangle used when materialising cells.
+        ids: optional explicit site identifiers.
+    """
+
+    def __init__(
+        self,
+        sites: Sequence[Point],
+        domain: Optional[Rect] = None,
+        ids: Optional[Sequence[int]] = None,
+    ):
+        if len(sites) < 1:
+            raise ValueError("at least one site is required")
+        self.sites = list(sites)
+        self.ids = list(ids) if ids is not None else list(range(len(sites)))
+        if len(self.ids) != len(self.sites):
+            raise ValueError("ids and sites must have the same length")
+        self.domain = domain
+        self._coords = np.array([[p.x, p.y] for p in self.sites])
+        self._kdtree = KDTree(self._coords)
+        self._voronoi = Voronoi(self._coords) if len(sites) >= 4 else None
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def nearest_site(self, q: Point) -> int:
+        """Id of the site whose Voronoi cell contains ``q``."""
+        _, index = self._kdtree.query([q.x, q.y])
+        return self.ids[int(index)]
+
+    def nearest_sites(self, q: Point, k: int) -> List[Tuple[int, float]]:
+        """The ``k`` nearest sites and their distances."""
+        if k <= 0:
+            return []
+        k = min(k, len(self.sites))
+        distances, indices = self._kdtree.query([q.x, q.y], k=k)
+        distances = np.atleast_1d(distances)
+        indices = np.atleast_1d(indices)
+        return [(self.ids[int(i)], float(d)) for d, i in zip(distances, indices)]
+
+    # ------------------------------------------------------------------ #
+    # cells
+    # ------------------------------------------------------------------ #
+    def cell_polygon(self, site_index: int, resolution: int = 200) -> Polygon:
+        """The (clipped) Voronoi cell of a site as a polygon.
+
+        Unbounded cells are clipped to ``domain``; a domain is therefore
+        required.  The cell is materialised by brute-force nearest-site
+        labelling of a fine lattice followed by a convex hull, which is exact
+        enough for the comparisons in the test-suite and avoids dealing with
+        scipy's ridge bookkeeping for unbounded regions.
+        """
+        if self.domain is None:
+            raise ValueError("a domain rectangle is required to materialise cells")
+        from repro.geometry.hull import convex_hull
+
+        lattice = self.domain.sample_grid(resolution)
+        coords = np.array([[p.x, p.y] for p in lattice])
+        _, owners = self._kdtree.query(coords)
+        members = [lattice[i] for i, owner in enumerate(owners) if owner == site_index]
+        members.append(self.sites[site_index])
+        return Polygon(convex_hull(members))
+
+    def neighbors(self, site_index: int) -> List[int]:
+        """Indices of sites whose Voronoi cells share an edge with the given site."""
+        if self._voronoi is None:
+            return [i for i in range(len(self.sites)) if i != site_index]
+        adjacent = set()
+        for (a, b) in self._voronoi.ridge_points:
+            if a == site_index:
+                adjacent.add(int(b))
+            elif b == site_index:
+                adjacent.add(int(a))
+        return sorted(adjacent)

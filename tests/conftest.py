@@ -1,0 +1,84 @@
+"""Shared fixtures for the test-suite.
+
+The heavier fixtures (built indexes and diagrams) are session-scoped so that
+expensive constructions run once; tests must therefore treat them as
+read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Point,
+    Rect,
+    UVDiagram,
+    UncertainObject,
+    generate_query_points,
+    generate_uniform_objects,
+)
+from repro.rtree.tree import RTree
+
+
+SMALL_DOMAIN = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+@pytest.fixture(scope="session")
+def small_objects():
+    """Ten handcrafted objects in a 1000 x 1000 domain (deterministic layout)."""
+    layout = [
+        (150.0, 150.0, 40.0),
+        (400.0, 180.0, 30.0),
+        (700.0, 150.0, 50.0),
+        (850.0, 400.0, 35.0),
+        (600.0, 500.0, 45.0),
+        (300.0, 450.0, 25.0),
+        (150.0, 700.0, 40.0),
+        (450.0, 800.0, 30.0),
+        (750.0, 750.0, 55.0),
+        (500.0, 300.0, 20.0),
+    ]
+    return [
+        UncertainObject.gaussian(i, Point(x, y), r) for i, (x, y, r) in enumerate(layout)
+    ]
+
+
+@pytest.fixture(scope="session")
+def small_domain():
+    """Domain rectangle matching ``small_objects``."""
+    return SMALL_DOMAIN
+
+
+@pytest.fixture(scope="session")
+def medium_dataset():
+    """80 uniformly distributed objects with large uncertainty regions."""
+    objects, domain = generate_uniform_objects(80, seed=11, diameter=400)
+    return objects, domain
+
+
+@pytest.fixture(scope="session")
+def medium_queries(medium_dataset):
+    """Query points for the medium dataset."""
+    _, domain = medium_dataset
+    return generate_query_points(20, domain, seed=23)
+
+
+@pytest.fixture(scope="session")
+def small_rtree(small_objects):
+    """Bulk-loaded R-tree over the small dataset."""
+    return RTree.bulk_load(small_objects, fanout=4)
+
+
+@pytest.fixture(scope="session")
+def small_diagram(small_objects, small_domain):
+    """A UV-diagram (IC construction) over the small dataset."""
+    return UVDiagram.build(
+        small_objects, small_domain, page_capacity=4, seed_knn=10, rtree_fanout=4
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_diagram(medium_dataset):
+    """A UV-diagram (IC construction) over the medium dataset."""
+    objects, domain = medium_dataset
+    return UVDiagram.build(objects, domain, page_capacity=8, seed_knn=40)

@@ -1,0 +1,93 @@
+"""Tests for the experiment harness and the report formatting."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    compare_query_performance,
+    run_construction_experiment,
+    run_query_experiment,
+)
+from repro.analysis.report import format_comparison, format_table, ratio, series_summary
+from repro.datasets.loader import load_dataset
+
+
+@pytest.fixture(scope="module")
+def tiny_bundle():
+    return load_dataset("uniform", 40, diameter=300.0, query_count=6, seed=13)
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [["alpha", 1.2345], ["b", 20]],
+            title="demo",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.234" in table
+        assert "20" in table
+
+    def test_format_comparison_includes_both_series(self):
+        text = format_comparison(
+            "Fig X", {10: 1.0, 20: 2.0}, {10: 0.5, 20: 1.0, 30: 2.0}, "ms", "ms"
+        )
+        assert "Fig X" in text
+        assert "30" in text
+
+    def test_series_summary_trends(self):
+        assert "increasing" in series_summary({1: 1.0, 2: 2.0, 3: 3.0})
+        assert "decreasing" in series_summary({1: 3.0, 2: 2.0, 3: 1.0})
+        assert "non-monotonic" in series_summary({1: 1.0, 2: 3.0, 3: 2.0})
+        assert series_summary({}) == "(empty series)"
+
+    def test_ratio_helper(self):
+        assert ratio(4.0, 2.0) == 2.0
+        assert ratio(1.0, 0.0) == float("inf")
+        assert ratio(0.0, 0.0) == 0.0
+
+
+class TestQueryExperiment:
+    def test_run_query_experiment_structure(self, tiny_bundle):
+        results = run_query_experiment(
+            tiny_bundle, page_capacity=8, seed_knn=20, compute_probabilities=False
+        )
+        assert set(results) == {"uv-index", "r-tree"}
+        for result in results.values():
+            assert result.queries == len(tiny_bundle.queries)
+            assert result.avg_time_ms >= 0.0
+            assert result.avg_io >= 0.0
+            assert result.avg_answers >= 1.0
+        comparison = compare_query_performance(results)
+        assert comparison["io_ratio_rtree_over_uv"] > 0.0
+
+    def test_timing_buckets_per_query(self, tiny_bundle):
+        results = run_query_experiment(
+            tiny_bundle, page_capacity=8, seed_knn=20, compute_probabilities=True
+        )
+        uv = results["uv-index"]
+        per_query = uv.timing_ms()
+        assert set(per_query) == {"index", "object_retrieval", "probability"}
+        assert sum(per_query.values()) == pytest.approx(uv.avg_time_ms, rel=0.2)
+
+    def test_unknown_construction_rejected(self, tiny_bundle):
+        with pytest.raises(ValueError):
+            run_query_experiment(tiny_bundle, construction="basic")
+
+
+class TestConstructionExperiment:
+    def test_ic_and_icr_runs(self, tiny_bundle):
+        ic = run_construction_experiment(tiny_bundle, method="ic", page_capacity=8, seed_knn=20)
+        icr = run_construction_experiment(tiny_bundle, method="icr", page_capacity=8, seed_knn=20)
+        assert ic.method == "ic"
+        assert icr.method == "icr"
+        assert ic.seconds > 0.0
+        assert icr.stats.avg_r_objects > 0.0
+        assert "pruning" in ic.phase_fractions()
+
+    def test_basic_run_small(self):
+        bundle = load_dataset("uniform", 15, diameter=300.0, query_count=2, seed=14)
+        basic = run_construction_experiment(bundle, method="basic", page_capacity=8)
+        assert basic.method == "basic"
+        assert basic.stats.avg_r_objects > 0.0

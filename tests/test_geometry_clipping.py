@@ -1,0 +1,137 @@
+"""Unit tests for half-plane and smooth-constraint polygon clipping."""
+
+import math
+
+import pytest
+
+from repro.geometry.clipping import (
+    clip_polygon_by_constraint,
+    clip_polygon_halfplane,
+    clip_polygon_to_rect,
+)
+from repro.geometry.hyperbola import Hyperbola
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rectangle import Rect
+
+
+def square(size: float = 10.0) -> Polygon:
+    return Polygon.from_rect(Rect(0.0, 0.0, size, size))
+
+
+class TestHalfPlaneClipping:
+    def test_clip_keeps_half_of_square(self):
+        # Keep x <= 5.
+        clipped = clip_polygon_halfplane(square(), 1.0, 0.0, -5.0)
+        assert clipped.area() == pytest.approx(50.0)
+        assert clipped.contains_point(Point(2.0, 5.0))
+        assert not clipped.contains_point(Point(7.0, 5.0))
+
+    def test_clip_no_effect_when_polygon_inside(self):
+        clipped = clip_polygon_halfplane(square(), 1.0, 0.0, -100.0)
+        assert clipped.area() == pytest.approx(100.0)
+
+    def test_clip_everything_removed(self):
+        clipped = clip_polygon_halfplane(square(), 1.0, 0.0, 100.0)
+        assert clipped.is_empty()
+
+    def test_diagonal_halfplane(self):
+        # Keep x + y <= 10 over the 10x10 square: half the area.
+        clipped = clip_polygon_halfplane(square(), 1.0, 1.0, -10.0)
+        assert clipped.area() == pytest.approx(50.0)
+
+    def test_clip_empty_polygon(self):
+        assert clip_polygon_halfplane(Polygon.empty(), 1.0, 0.0, -5.0).is_empty()
+
+    def test_clip_to_rect(self):
+        clipped = clip_polygon_to_rect(square(), 2.0, 3.0, 6.0, 8.0)
+        assert clipped.area() == pytest.approx(4.0 * 5.0)
+
+
+class TestConstraintClipping:
+    def test_circle_constraint_without_arc_sampler_is_conservative(self):
+        # Keep points outside the circle of radius 5 around the origin
+        # (constraint <= 0 means keep => use distance-based sign).  Without an
+        # arc sampler the removed boundary is replaced by a straight chord,
+        # which may only *over*-approximate the kept region (never lose area
+        # that should be kept).
+        def constraint(p: Point) -> float:
+            return 5.0 - p.norm()  # positive inside the circle -> removed
+
+        clipped = clip_polygon_by_constraint(square(), constraint, edge_samples=16)
+        removed = 100.0 - clipped.area()
+        quarter_disk = math.pi * 25.0 / 4.0
+        chord_triangle = 12.5
+        assert chord_triangle - 1e-6 <= removed <= quarter_disk + 1e-6
+        # Every point that should be kept is still kept.
+        for p in (Point(8.0, 8.0), Point(6.0, 1.0), Point(1.0, 6.0)):
+            assert clipped.contains_point(p)
+
+    def test_circle_constraint_with_arc_sampler_is_accurate(self):
+        def constraint(p: Point) -> float:
+            return 5.0 - p.norm()
+
+        def arc_sampler(start: Point, end: Point):
+            a0 = math.atan2(start.y, start.x)
+            a1 = math.atan2(end.y, end.x)
+            return [
+                Point(5.0 * math.cos(a0 + (a1 - a0) * k / 17.0),
+                      5.0 * math.sin(a0 + (a1 - a0) * k / 17.0))
+                for k in range(1, 17)
+            ]
+
+        clipped = clip_polygon_by_constraint(
+            square(), constraint, arc_sampler=arc_sampler, edge_samples=16
+        )
+        removed = 100.0 - clipped.area()
+        assert removed == pytest.approx(math.pi * 25.0 / 4.0, rel=0.02)
+
+    def test_constraint_with_no_effect(self):
+        clipped = clip_polygon_by_constraint(square(), lambda p: -1.0)
+        assert clipped.area() == pytest.approx(100.0)
+
+    def test_constraint_removing_everything(self):
+        clipped = clip_polygon_by_constraint(square(), lambda p: 1.0)
+        assert clipped.is_empty()
+
+    def test_halfplane_as_constraint_matches_exact_clip(self):
+        def constraint(p: Point) -> float:
+            return p.x - 5.0
+
+        clipped = clip_polygon_by_constraint(square(), constraint, edge_samples=8)
+        assert clipped.area() == pytest.approx(50.0, rel=1e-6)
+
+    def test_uv_edge_clip_with_arc_sampler(self):
+        # Clip the square by the outside region of a UV-edge and check that
+        # the kept side contains the owner and excludes the point nearest to
+        # the competing object.
+        edge = Hyperbola.uv_edge(Point(2.0, 5.0), 0.5, Point(8.0, 5.0), 0.5)
+        assert edge is not None
+
+        clipped = clip_polygon_by_constraint(
+            square(),
+            edge.edge_value,
+            arc_sampler=lambda a, b: edge.arc_between(a, b, count=16),
+            edge_samples=8,
+        )
+        assert clipped.area() < 100.0
+        assert clipped.contains_point(Point(2.0, 5.0))       # owner side kept
+        assert not clipped.contains_point(Point(9.5, 5.0))   # competitor side removed
+        # Boundary vertices introduced by the clip lie on the UV-edge.
+        on_edge = [
+            v for v in clipped.vertices if abs(edge.edge_value(v)) < 1e-6
+        ]
+        assert len(on_edge) >= 10
+
+    def test_clipping_never_increases_area(self):
+        poly = square()
+        constraints = [
+            lambda p: p.x - 7.0,
+            lambda p: 3.0 - p.y,
+            lambda p: (p.x - 5.0) ** 2 + (p.y - 5.0) ** 2 - 9.0,
+        ]
+        area = poly.area()
+        for constraint in constraints:
+            poly = clip_polygon_by_constraint(poly, constraint, edge_samples=10)
+            assert poly.area() <= area + 1e-9
+            area = poly.area()

@@ -1,0 +1,63 @@
+"""Unit tests for convex hulls."""
+
+import pytest
+
+from repro.geometry.hull import convex_hull, convex_hull_polygon, is_convex, point_in_convex_hull
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+class TestConvexHull:
+    def test_square_with_interior_points(self):
+        points = [
+            Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4),
+            Point(2, 2), Point(1, 3), Point(3, 1),
+        ]
+        hull = convex_hull(points)
+        assert len(hull) == 4
+        assert set(p.as_tuple() for p in hull) == {(0, 0), (4, 0), (4, 4), (0, 4)}
+
+    def test_collinear_points_dropped(self):
+        points = [Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0), Point(1, 2)]
+        hull = convex_hull(points)
+        assert len(hull) == 3
+
+    def test_degenerate_inputs(self):
+        assert convex_hull([Point(1, 1)]) == [Point(1, 1)]
+        assert len(convex_hull([Point(0, 0), Point(1, 1), Point(0, 0)])) == 2
+
+    def test_hull_is_ccw(self):
+        hull = convex_hull([Point(0, 0), Point(2, 0), Point(1, 2), Point(1, 0.5)])
+        poly = Polygon(hull)
+        assert poly.area() > 0
+        assert is_convex(poly)
+
+    def test_hull_contains_all_input_points(self):
+        import random
+
+        rng = random.Random(5)
+        points = [Point(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(60)]
+        hull = convex_hull(points)
+        for p in points:
+            assert point_in_convex_hull(p, hull, tol=1e-7)
+
+
+class TestConvexityHelpers:
+    def test_is_convex(self):
+        square = Polygon([Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)])
+        assert is_convex(square)
+        concave = Polygon(
+            [Point(0, 0), Point(2, 0), Point(2, 2), Point(1, 0.5), Point(0, 2)]
+        )
+        assert not is_convex(concave)
+
+    def test_point_in_convex_hull_edge_cases(self):
+        assert not point_in_convex_hull(Point(0, 0), [])
+        assert point_in_convex_hull(Point(1, 1), [Point(1, 1)])
+        assert point_in_convex_hull(Point(0.5, 0.0), [Point(0, 0), Point(1, 0)])
+        assert not point_in_convex_hull(Point(0.5, 1.0), [Point(0, 0), Point(1, 0)])
+
+    def test_convex_hull_polygon(self):
+        poly = convex_hull_polygon([Point(0, 0), Point(2, 0), Point(1, 2), Point(1, 1)])
+        assert isinstance(poly, Polygon)
+        assert poly.area() == pytest.approx(2.0)

@@ -1,0 +1,97 @@
+"""Unit tests for the point/vector primitives."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point, centroid, cross, dot, orientation
+
+
+class TestPointArithmetic:
+    def test_addition_and_subtraction(self):
+        a = Point(1.0, 2.0)
+        b = Point(3.0, -1.0)
+        assert a + b == Point(4.0, 1.0)
+        assert b - a == Point(2.0, -3.0)
+
+    def test_scalar_multiplication_and_division(self):
+        p = Point(2.0, -4.0)
+        assert p * 0.5 == Point(1.0, -2.0)
+        assert 2 * p == Point(4.0, -8.0)
+        assert p / 2.0 == Point(1.0, -2.0)
+
+    def test_negation(self):
+        assert -Point(1.5, -2.5) == Point(-1.5, 2.5)
+
+    def test_iteration_and_tuple(self):
+        p = Point(3.0, 7.0)
+        assert list(p) == [3.0, 7.0]
+        assert p.as_tuple() == (3.0, 7.0)
+
+    def test_from_tuple_validates_length(self):
+        assert Point.from_tuple([1, 2]) == Point(1.0, 2.0)
+        with pytest.raises(ValueError):
+            Point.from_tuple([1, 2, 3])
+
+
+class TestPointMetrics:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+        assert Point(1, 1).squared_distance_to(Point(4, 5)) == pytest.approx(25.0)
+
+    def test_norm_and_normalized(self):
+        p = Point(3.0, 4.0)
+        assert p.norm() == pytest.approx(5.0)
+        unit = p.normalized()
+        assert unit.norm() == pytest.approx(1.0)
+        assert unit.x == pytest.approx(0.6)
+
+    def test_normalize_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            Point(0.0, 0.0).normalized()
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(10, 6)) == Point(5.0, 3.0)
+
+    def test_angle_to(self):
+        assert Point(0, 0).angle_to(Point(1, 0)) == pytest.approx(0.0)
+        assert Point(0, 0).angle_to(Point(0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_polar_constructor(self):
+        p = Point.polar(2.0, math.pi / 2)
+        assert p.x == pytest.approx(0.0, abs=1e-12)
+        assert p.y == pytest.approx(2.0)
+
+    def test_rotation_about_pivot(self):
+        rotated = Point(2.0, 1.0).rotated(math.pi, about=Point(1.0, 1.0))
+        assert rotated.is_close(Point(0.0, 1.0), tol=1e-9)
+
+    def test_is_close(self):
+        assert Point(1.0, 1.0).is_close(Point(1.0 + 1e-12, 1.0))
+        assert not Point(1.0, 1.0).is_close(Point(1.1, 1.0))
+
+
+class TestVectorProducts:
+    def test_dot(self):
+        assert dot(Point(1, 2), Point(3, 4)) == pytest.approx(11.0)
+
+    def test_cross_sign(self):
+        assert cross(Point(1, 0), Point(0, 1)) > 0
+        assert cross(Point(0, 1), Point(1, 0)) < 0
+
+    def test_orientation(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, 1)) > 0
+        assert orientation(Point(0, 0), Point(1, 0), Point(2, 0)) == pytest.approx(0.0)
+
+
+class TestCentroid:
+    def test_centroid_of_square_corners(self):
+        pts = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert centroid(pts) == Point(1.0, 1.0)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_points_are_hashable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2

@@ -1,0 +1,116 @@
+"""Unit tests for simple polygons."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rectangle import Rect
+
+
+def unit_square() -> Polygon:
+    return Polygon([Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)])
+
+
+class TestPolygonConstruction:
+    def test_orientation_normalised_to_ccw(self):
+        clockwise = Polygon([Point(0, 0), Point(0, 1), Point(1, 1), Point(1, 0)])
+        assert clockwise.area() == pytest.approx(1.0)
+        # Signed area of the stored ordering must be positive (CCW).
+        verts = clockwise.vertices
+        signed = sum(
+            verts[i].x * verts[(i + 1) % 4].y - verts[(i + 1) % 4].x * verts[i].y
+            for i in range(4)
+        )
+        assert signed > 0
+
+    def test_duplicate_consecutive_vertices_removed(self):
+        poly = Polygon([Point(0, 0), Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1), Point(0, 1)])
+        assert len(poly) == 4
+
+    def test_from_rect(self):
+        poly = Polygon.from_rect(Rect(0, 0, 2, 3))
+        assert poly.area() == pytest.approx(6.0)
+
+    def test_regular_polygon(self):
+        hexagon = Polygon.regular(Point(0, 0), 1.0, 6)
+        assert len(hexagon) == 6
+        assert hexagon.area() == pytest.approx(3.0 * math.sqrt(3) / 2.0, rel=1e-9)
+        with pytest.raises(ValueError):
+            Polygon.regular(Point(0, 0), 1.0, 2)
+
+    def test_empty_polygon(self):
+        assert Polygon.empty().is_empty()
+        assert Polygon([Point(0, 0), Point(1, 1)]).is_empty()
+
+
+class TestPolygonMeasurements:
+    def test_area_and_perimeter(self):
+        sq = unit_square()
+        assert sq.area() == pytest.approx(1.0)
+        assert sq.perimeter() == pytest.approx(4.0)
+
+    def test_centroid_of_square(self):
+        assert unit_square().centroid().is_close(Point(0.5, 0.5))
+
+    def test_centroid_of_triangle(self):
+        tri = Polygon([Point(0, 0), Point(3, 0), Point(0, 3)])
+        assert tri.centroid().is_close(Point(1.0, 1.0))
+
+    def test_bounding_rect(self):
+        rect = unit_square().bounding_rect()
+        assert (rect.xmin, rect.ymin, rect.xmax, rect.ymax) == (0, 0, 1, 1)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            Polygon.empty().centroid()
+
+
+class TestPolygonPredicates:
+    def test_contains_interior_and_boundary(self):
+        sq = unit_square()
+        assert sq.contains_point(Point(0.5, 0.5))
+        assert sq.contains_point(Point(0.0, 0.5))  # boundary
+        assert sq.contains_point(Point(1.0, 1.0))  # corner
+        assert not sq.contains_point(Point(1.5, 0.5))
+
+    def test_contains_concave(self):
+        # L-shaped polygon.
+        poly = Polygon(
+            [Point(0, 0), Point(2, 0), Point(2, 1), Point(1, 1), Point(1, 2), Point(0, 2)]
+        )
+        assert poly.contains_point(Point(0.5, 1.5))
+        assert poly.contains_point(Point(1.5, 0.5))
+        assert not poly.contains_point(Point(1.5, 1.5))
+
+    def test_max_and_min_distance_from(self):
+        sq = unit_square()
+        assert sq.max_distance_from(Point(0, 0)) == pytest.approx(math.sqrt(2))
+        assert sq.min_distance_from(Point(0.5, 0.5)) == 0.0
+        assert sq.min_distance_from(Point(2.0, 0.5)) == pytest.approx(1.0)
+
+    def test_intersects_rect(self):
+        sq = unit_square()
+        assert sq.intersects_rect(Rect(0.5, 0.5, 2, 2))
+        assert sq.intersects_rect(Rect(-1, -1, 2, 2))  # rect contains polygon
+        assert not sq.intersects_rect(Rect(2, 2, 3, 3))
+        # Polygon containing the rect entirely.
+        big = Polygon.from_rect(Rect(-5, -5, 5, 5))
+        assert big.intersects_rect(Rect(-1, -1, 1, 1))
+
+
+class TestPolygonMisc:
+    def test_translation(self):
+        moved = unit_square().translated(Point(2.0, 3.0))
+        assert moved.contains_point(Point(2.5, 3.5))
+        assert not moved.contains_point(Point(0.5, 0.5))
+
+    def test_edges_count(self):
+        assert len(unit_square().edges()) == 4
+
+    def test_sample_interior(self):
+        samples = unit_square().sample_interior(5)
+        assert samples
+        assert all(unit_square().contains_point(p) for p in samples)
+        assert Polygon.empty().sample_interior(5) == []

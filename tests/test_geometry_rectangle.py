@@ -1,0 +1,120 @@
+"""Unit tests for axis-aligned rectangles."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+
+class TestRectConstruction:
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+
+    def test_from_points(self):
+        r = Rect.from_points([Point(1, 5), Point(-2, 3), Point(0, 7)])
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (-2.0, 3.0, 1.0, 7.0)
+        with pytest.raises(ValueError):
+            Rect.from_points([])
+
+    def test_from_center_and_square(self):
+        r = Rect.from_center(Point(1, 1), 2.0, 3.0)
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (-1.0, -2.0, 3.0, 4.0)
+        s = Rect.square(Point(0, 0), 5.0)
+        assert s.width == s.height == 5.0
+
+
+class TestRectGeometry:
+    def test_dimensions(self):
+        r = Rect(0, 0, 4, 2)
+        assert r.width == 4.0
+        assert r.height == 2.0
+        assert r.area() == 8.0
+        assert r.perimeter() == 12.0
+        assert r.center == Point(2.0, 1.0)
+
+    def test_corners_order(self):
+        corners = Rect(0, 0, 1, 1).corners()
+        assert corners == [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+
+    def test_quarters_tile_the_rect(self):
+        r = Rect(0, 0, 8, 4)
+        quarters = r.quarters()
+        assert len(quarters) == 4
+        assert sum(q.area() for q in quarters) == pytest.approx(r.area())
+        # Quadrants must not overlap except on boundaries.
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert quarters[i].overlap_area(quarters[j]) == pytest.approx(0.0)
+
+    def test_sample_grid(self):
+        samples = Rect(0, 0, 1, 1).sample_grid(3)
+        assert len(samples) == 9
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).sample_grid(1)
+
+
+class TestRectPredicates:
+    def test_contains_point(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(Point(1, 1))
+        assert r.contains_point(Point(2, 2))
+        assert not r.contains_point(Point(2.01, 1))
+        assert r.contains_point(Point(2.01, 1), tol=0.02)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 5, 5))
+        assert not outer.contains_rect(Rect(5, 5, 11, 11))
+
+    def test_intersects(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.intersects(Rect(1, 1, 3, 3))
+        assert a.intersects(Rect(2, 2, 3, 3))  # touching counts
+        assert not a.intersects(Rect(3, 3, 4, 4))
+
+    def test_intersects_circle(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.intersects_circle(Point(3, 1), 1.0)
+        assert not r.intersects_circle(Point(4, 4), 1.0)
+
+
+class TestRectDistances:
+    def test_min_distance_inside_zero(self):
+        assert Rect(0, 0, 2, 2).min_distance_to_point(Point(1, 1)) == 0.0
+
+    def test_min_distance_outside(self):
+        assert Rect(0, 0, 2, 2).min_distance_to_point(Point(5, 2)) == pytest.approx(3.0)
+        assert Rect(0, 0, 2, 2).min_distance_to_point(Point(5, 6)) == pytest.approx(5.0)
+
+    def test_max_distance(self):
+        assert Rect(0, 0, 2, 2).max_distance_to_point(Point(0, 0)) == pytest.approx(
+            math.hypot(2, 2)
+        )
+
+
+class TestRectCombination:
+    def test_union(self):
+        u = Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3))
+        assert (u.xmin, u.ymin, u.xmax, u.ymax) == (0, 0, 3, 3)
+
+    def test_intersection_and_overlap_area(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 3, 3)
+        inter = a.intersection(b)
+        assert inter is not None
+        assert inter.area() == pytest.approx(1.0)
+        assert a.overlap_area(b) == pytest.approx(1.0)
+        assert a.intersection(Rect(5, 5, 6, 6)) is None
+        assert a.overlap_area(Rect(5, 5, 6, 6)) == 0.0
+
+    def test_enlargement(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.enlargement(Rect(0, 0, 1, 1)) == pytest.approx(0.0)
+        assert a.enlargement(Rect(0, 0, 4, 2)) == pytest.approx(4.0)
+
+    def test_expanded(self):
+        e = Rect(0, 0, 2, 2).expanded(1.0)
+        assert (e.xmin, e.ymin, e.xmax, e.ymax) == (-1.0, -1.0, 3.0, 3.0)

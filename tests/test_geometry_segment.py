@@ -1,0 +1,107 @@
+"""Unit tests for segments and polylines."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment, polyline_length, sample_polyline
+
+
+class TestSegmentBasics:
+    def test_length_and_midpoint(self):
+        s = Segment(Point(0, 0), Point(3, 4))
+        assert s.length == pytest.approx(5.0)
+        assert s.midpoint == Point(1.5, 2.0)
+
+    def test_point_at(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.point_at(0.25) == Point(2.5, 0.0)
+
+    def test_direction(self):
+        s = Segment(Point(0, 0), Point(0, 5))
+        assert s.direction().is_close(Point(0.0, 1.0))
+
+    def test_sample(self):
+        s = Segment(Point(0, 0), Point(4, 0))
+        samples = s.sample(5)
+        assert samples[0] == Point(0, 0)
+        assert samples[-1] == Point(4, 0)
+        assert len(samples) == 5
+        with pytest.raises(ValueError):
+            s.sample(1)
+
+
+class TestSegmentDistance:
+    def test_closest_point_interior(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.closest_point(Point(3, 5)) == Point(3.0, 0.0)
+        assert s.distance_to_point(Point(3, 5)) == pytest.approx(5.0)
+
+    def test_closest_point_clamped_to_endpoint(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.closest_point(Point(-4, 3)) == Point(0.0, 0.0)
+        assert s.distance_to_point(Point(-4, 3)) == pytest.approx(5.0)
+
+    def test_side_of(self):
+        s = Segment(Point(0, 0), Point(1, 0))
+        assert s.side_of(Point(0.5, 1.0)) > 0
+        assert s.side_of(Point(0.5, -1.0)) < 0
+        assert s.side_of(Point(0.5, 0.0)) == pytest.approx(0.0)
+
+
+class TestSegmentIntersection:
+    def test_crossing_segments(self):
+        a = Segment(Point(0, 0), Point(2, 2))
+        b = Segment(Point(0, 2), Point(2, 0))
+        p = a.intersection(b)
+        assert p is not None
+        assert p.is_close(Point(1.0, 1.0))
+        assert a.intersects(b)
+
+    def test_parallel_non_intersecting(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(0, 1), Point(2, 1))
+        assert a.intersection(b) is None
+
+    def test_disjoint_on_same_line(self):
+        a = Segment(Point(0, 0), Point(1, 0))
+        b = Segment(Point(2, 0), Point(3, 0))
+        assert a.intersection(b) is None
+
+    def test_collinear_overlap_returns_witness(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(1, 0), Point(3, 0))
+        witness = a.intersection(b)
+        assert witness is not None
+        assert a.distance_to_point(witness) < 1e-9
+        assert b.distance_to_point(witness) < 1e-9
+
+    def test_touching_at_endpoint(self):
+        a = Segment(Point(0, 0), Point(1, 0))
+        b = Segment(Point(1, 0), Point(1, 5))
+        assert a.intersects(b)
+
+
+class TestPolyline:
+    def test_polyline_length(self):
+        pts = [Point(0, 0), Point(3, 0), Point(3, 4)]
+        assert polyline_length(pts) == pytest.approx(7.0)
+
+    def test_sample_polyline_spread(self):
+        pts = [Point(0, 0), Point(10, 0)]
+        samples = sample_polyline(pts, 5)
+        assert len(samples) == 5
+        assert samples[0] == Point(0, 0)
+        assert samples[-1].is_close(Point(10.0, 0.0))
+
+    def test_sample_polyline_multi_segment(self):
+        pts = [Point(0, 0), Point(4, 0), Point(4, 4)]
+        samples = sample_polyline(pts, 9)
+        # Arc-length parametrisation: half of the samples on each leg.
+        on_first_leg = sum(1 for p in samples if p.y == pytest.approx(0.0, abs=1e-9))
+        assert on_first_leg >= 4
+
+    def test_sample_polyline_validation(self):
+        with pytest.raises(ValueError):
+            sample_polyline([Point(0, 0)], 3)
+        with pytest.raises(ValueError):
+            sample_polyline([Point(0, 0), Point(1, 1)], 0)

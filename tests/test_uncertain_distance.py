@@ -1,0 +1,130 @@
+"""Tests for distance distributions and possible-world sampling."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.uncertain.distance_distribution import DistanceDistribution, _ring_coverage
+from repro.uncertain.objects import UncertainObject
+from repro.uncertain.sampling import (
+    empirical_distance_quantiles,
+    estimate_nn_probabilities,
+    sample_possible_world,
+)
+
+
+class TestRingCoverage:
+    def test_fully_inside(self):
+        assert _ring_coverage(1.0, 2.0, 5.0) == 1.0
+
+    def test_fully_outside(self):
+        assert _ring_coverage(1.0, 10.0, 2.0) == 0.0
+
+    def test_half_coverage_when_query_circle_through_center(self):
+        # Query circle radius equal to centre distance: covers roughly half of
+        # a small ring around the centre.
+        assert _ring_coverage(0.5, 5.0, 5.0) == pytest.approx(0.5, abs=0.05)
+
+    def test_degenerate_inputs(self):
+        assert _ring_coverage(0.0, 1.0, 2.0) == 1.0
+        assert _ring_coverage(0.0, 3.0, 2.0) == 0.0
+        assert _ring_coverage(1.0, 0.0, 2.0) == 1.0
+        assert _ring_coverage(1.0, 0.0, 0.5) == 0.0
+
+
+class TestDistanceDistribution:
+    def test_support_matches_min_max_distances(self):
+        obj = UncertainObject.uniform(1, Point(0, 0), 3.0)
+        dist = DistanceDistribution(obj, Point(10.0, 0.0))
+        lo, hi = dist.support()
+        assert lo == pytest.approx(7.0)
+        assert hi == pytest.approx(13.0)
+
+    def test_cdf_bounds(self):
+        obj = UncertainObject.gaussian(1, Point(0, 0), 3.0)
+        dist = DistanceDistribution(obj, Point(10.0, 0.0))
+        assert dist.cdf(6.9) == 0.0
+        assert dist.cdf(13.1) == 1.0
+        assert 0.0 < dist.cdf(10.0) < 1.0
+
+    def test_cdf_monotone(self):
+        obj = UncertainObject.gaussian(1, Point(5.0, 5.0), 4.0)
+        dist = DistanceDistribution(obj, Point(0.0, 0.0))
+        values = [dist.cdf(r) for r in np.linspace(dist.lower, dist.upper, 30)]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_cdf_matches_monte_carlo(self):
+        obj = UncertainObject.gaussian(7, Point(3.0, -2.0), 5.0)
+        query = Point(9.0, 1.0)
+        dist = DistanceDistribution(obj, query, rings=128)
+        quantiles = empirical_distance_quantiles(
+            obj, query, [0.25, 0.5, 0.75], samples=8000
+        )
+        for q, target in zip(quantiles, (0.25, 0.5, 0.75)):
+            assert dist.cdf(q) == pytest.approx(target, abs=0.04)
+
+    def test_query_inside_region(self):
+        obj = UncertainObject.uniform(1, Point(0, 0), 5.0)
+        dist = DistanceDistribution(obj, Point(1.0, 0.0))
+        assert dist.lower == 0.0
+        assert dist.cdf(6.0) == 1.0
+        assert 0.0 < dist.cdf(2.0) < 1.0
+
+    def test_survival_complements_cdf(self):
+        obj = UncertainObject.uniform(1, Point(0, 0), 2.0)
+        dist = DistanceDistribution(obj, Point(5.0, 0.0))
+        assert dist.survival(4.0) == pytest.approx(1.0 - dist.cdf(4.0))
+
+    def test_mean_within_support(self):
+        obj = UncertainObject.gaussian(1, Point(0, 0), 2.0)
+        dist = DistanceDistribution(obj, Point(6.0, 0.0))
+        mean = dist.mean()
+        assert dist.lower <= mean <= dist.upper
+
+    def test_pdf_non_negative(self):
+        obj = UncertainObject.uniform(1, Point(0, 0), 2.0)
+        dist = DistanceDistribution(obj, Point(5.0, 0.0))
+        for r in np.linspace(2.5, 7.5, 10):
+            assert dist.pdf(r) >= 0.0
+
+    def test_zero_radius_object(self):
+        obj = UncertainObject.point_object(1, Point(1.0, 1.0))
+        dist = DistanceDistribution(obj, Point(4.0, 5.0))
+        assert dist.support() == (5.0, 5.0)
+        assert dist.cdf(5.0) == 1.0
+        assert dist.cdf(4.9) == 0.0
+
+
+class TestPossibleWorldSampling:
+    def test_sample_possible_world_positions(self):
+        objects = [
+            UncertainObject.uniform(0, Point(0, 0), 1.0),
+            UncertainObject.uniform(1, Point(10, 10), 2.0),
+        ]
+        rng = np.random.default_rng(3)
+        world = sample_possible_world(objects, rng)
+        assert len(world) == 2
+        assert world[0].distance_to(Point(0, 0)) <= 1.0 + 1e-9
+        assert world[1].distance_to(Point(10, 10)) <= 2.0 + 1e-9
+
+    def test_estimate_nn_probabilities_sum_to_one(self):
+        objects = [
+            UncertainObject.gaussian(0, Point(0, 0), 2.0),
+            UncertainObject.gaussian(1, Point(5, 0), 2.0),
+            UncertainObject.gaussian(2, Point(0, 5), 2.0),
+        ]
+        probabilities = estimate_nn_probabilities(objects, Point(1.0, 1.0), worlds=2000)
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+        assert probabilities[0] > probabilities[1]
+
+    def test_estimate_handles_empty_input(self):
+        assert estimate_nn_probabilities([], Point(0, 0)) == {}
+
+    def test_dominating_object_gets_probability_one(self):
+        objects = [
+            UncertainObject.uniform(0, Point(0, 0), 0.5),
+            UncertainObject.uniform(1, Point(100, 100), 0.5),
+        ]
+        probabilities = estimate_nn_probabilities(objects, Point(0.0, 0.0), worlds=500)
+        assert probabilities[0] == pytest.approx(1.0)
+        assert probabilities[1] == pytest.approx(0.0)

@@ -1,0 +1,82 @@
+"""Tests for the classic point Voronoi wrapper (zero-uncertainty special case)."""
+
+import numpy as np
+import pytest
+
+from repro.core.uv_cell import answer_objects_brute_force
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.uncertain.objects import UncertainObject
+from repro.voronoi.point_voronoi import PointVoronoiDiagram
+
+
+DOMAIN = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def make_sites(count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+        for _ in range(count)
+    ]
+
+
+class TestNearestSite:
+    def test_nearest_site_matches_brute_force(self):
+        sites = make_sites(30, seed=2)
+        diagram = PointVoronoiDiagram(sites, domain=DOMAIN)
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            q = Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            expected = min(range(len(sites)), key=lambda i: sites[i].distance_to(q))
+            assert diagram.nearest_site(q) == expected
+
+    def test_nearest_sites_ordering(self):
+        sites = make_sites(20, seed=3)
+        diagram = PointVoronoiDiagram(sites)
+        results = diagram.nearest_sites(Point(50, 50), 5)
+        dists = [d for _, d in results]
+        assert dists == sorted(dists)
+        assert diagram.nearest_sites(Point(0, 0), 0) == []
+
+    def test_custom_ids(self):
+        sites = [Point(0, 0), Point(10, 10)]
+        diagram = PointVoronoiDiagram(sites, ids=[100, 200])
+        assert diagram.nearest_site(Point(1, 1)) == 100
+        with pytest.raises(ValueError):
+            PointVoronoiDiagram(sites, ids=[1])
+
+
+class TestCells:
+    def test_cell_polygon_contains_site(self):
+        sites = make_sites(12, seed=4)
+        diagram = PointVoronoiDiagram(sites, domain=DOMAIN)
+        poly = diagram.cell_polygon(0, resolution=80)
+        assert poly.contains_point(sites[0])
+
+    def test_cell_requires_domain(self):
+        diagram = PointVoronoiDiagram(make_sites(5))
+        with pytest.raises(ValueError):
+            diagram.cell_polygon(0)
+
+    def test_neighbors_symmetric(self):
+        sites = make_sites(15, seed=5)
+        diagram = PointVoronoiDiagram(sites, domain=DOMAIN)
+        for i in range(len(sites)):
+            for j in diagram.neighbors(i):
+                assert i in diagram.neighbors(j)
+
+
+class TestZeroRadiusSpecialCase:
+    """The ordinary Voronoi diagram is the UV-diagram of zero-radius objects."""
+
+    def test_pnn_over_points_has_single_answer_equal_to_voronoi_owner(self):
+        sites = make_sites(25, seed=6)
+        objects = [UncertainObject.point_object(i, p) for i, p in enumerate(sites)]
+        diagram = PointVoronoiDiagram(sites, domain=DOMAIN)
+        rng = np.random.default_rng(11)
+        for _ in range(15):
+            q = Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            answers = answer_objects_brute_force(objects, q)
+            assert len(answers) == 1
+            assert answers[0] == diagram.nearest_site(q)
