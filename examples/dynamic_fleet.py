@@ -2,18 +2,17 @@
 """Scenario: a dynamic fleet with k-nearest dispatching and map rendering.
 
 This example exercises the extension modules built on top of the paper's
-core: incremental updates (vehicles joining and leaving the fleet),
-probabilistic k-NN dispatching ("which 3 vehicles could plausibly be the
-closest responders?"), and the SVG renderer for a visual sanity check.
+core, all through one :class:`QueryEngine`: live updates (vehicles joining
+and leaving the fleet), probabilistic k-NN dispatching ("which 3 vehicles
+could plausibly be the closest responders?"), and the SVG renderer for a
+visual sanity check.
 
 Run with::
 
     python examples/dynamic_fleet.py
 """
 
-from repro import Point, UVDiagram, generate_uniform_objects
-from repro.core.updates import UVDiagramUpdater
-from repro.queries.knn import ProbabilisticKNN
+from repro import DiagramConfig, Point, QueryEngine, UVDiagram, generate_uniform_objects
 from repro.uncertain.objects import UncertainObject
 from repro.viz.svg import render_uv_diagram
 
@@ -21,18 +20,18 @@ from repro.viz.svg import render_uv_diagram
 def main() -> None:
     # A fleet of vehicles whose reported GPS positions are imprecise.
     vehicles, domain = generate_uniform_objects(150, diameter=350.0, seed=21)
-    diagram = UVDiagram.build(vehicles, domain, page_capacity=16, rtree_fanout=16,
-                              seed_knn=60)
-    updater = UVDiagramUpdater(diagram, seed_knn=60)
-    print(f"fleet of {len(diagram)} vehicles indexed "
-          f"in {diagram.construction_stats.total_seconds:.2f}s")
+    engine = QueryEngine.build(
+        vehicles, domain,
+        DiagramConfig(backend="ic", page_capacity=16, rtree_fanout=16, seed_knn=60),
+    )
+    print(f"fleet of {len(engine)} vehicles indexed "
+          f"in {engine.construction_stats.total_seconds:.2f}s")
 
     # ------------------------------------------------------------------ #
     # Probabilistic k-NN dispatch: the three most plausible closest vehicles.
     # ------------------------------------------------------------------ #
     incident = Point(6_100.0, 3_800.0)
-    knn = ProbabilisticKNN(diagram.rtree, diagram.objects)
-    k_result = knn.query(incident, k=3, worlds=3000)
+    k_result = engine.knn(incident, k=3, worlds=3000)
     print(f"\ntop candidates to be among the 3 closest vehicles to "
           f"({incident.x:.0f}, {incident.y:.0f}):")
     for answer in k_result.top(5):
@@ -46,15 +45,15 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     offline = [vid for vid, _ in [(a.oid, a) for a in k_result.top(2)]]
     for vid in offline:
-        refreshed = updater.remove(vid)
+        refreshed = engine.delete(vid)
         print(f"\nvehicle {vid} went offline -- "
               f"{len(refreshed)} nearby vehicles had their index entries refreshed")
 
     newcomer = UncertainObject.gaussian(9_999, Point(6_150.0, 3_850.0), 175.0)
-    updater.insert(newcomer)
+    engine.insert(newcomer)
     print(f"vehicle {newcomer.oid} joined near the incident")
 
-    result = diagram.pnn(incident)
+    result = engine.pnn(incident)
     print("\nPNN after the fleet update:")
     for answer in result.sorted_by_probability()[:4]:
         print(f"  vehicle {answer.oid:>4}  P(nearest) = {answer.probability:.3f}")
@@ -64,7 +63,7 @@ def main() -> None:
     # Render the final state of the UV-diagram.
     # ------------------------------------------------------------------ #
     canvas = render_uv_diagram(
-        diagram,
+        UVDiagram.from_engine(engine),
         width=700,
         highlight_cells=[newcomer.oid],
         query_points=[incident],

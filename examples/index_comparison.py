@@ -2,24 +2,22 @@
 """Scenario: choosing an index for a PNN workload (UV-index vs R-tree vs grid).
 
 The paper's evaluation compares the UV-index against the R-tree with
-branch-and-prune search; the related work also mentions uniform grids.  This
-example runs the same PNN workload on all three indexes over the same data,
-reports per-query time, page I/O, and candidate counts, and verifies that
-they all return identical answer sets.
+branch-and-prune search; the related work also mentions uniform grids.  With
+the pluggable backend registry this comparison is a loop over backend names:
+each :class:`QueryEngine` runs the same workload behind the same query plane,
+reports per-query time, page I/O, and candidate counts, and the answer sets
+are verified to be identical.
 
 Run with::
 
     python examples/index_comparison.py
 """
 
-import time
-
-from repro import UVDiagram, load_dataset
+from repro import DiagramConfig, QueryEngine, load_dataset
 from repro.analysis.report import format_table
 from repro.core.uv_cell import answer_objects_brute_force
-from repro.grid.uniform_grid import GridPNN, UniformGridIndex
-from repro.storage.disk import DiskManager
-from repro.storage.object_store import ObjectStore
+
+BACKENDS = ["ic", "rtree", "grid"]
 
 
 def main() -> None:
@@ -27,36 +25,22 @@ def main() -> None:
     print(f"dataset: {bundle.size} rail-corridor objects, "
           f"{len(bundle.queries)} query points")
 
-    # UV-diagram (includes its own R-tree baseline, sharing the object store).
-    diagram = UVDiagram.build(bundle.objects, bundle.domain, page_capacity=16,
-                              rtree_fanout=16, seed_knn=80)
-
-    # Uniform grid baseline with its own disk/object store.
-    grid_disk = DiskManager()
-    grid_store = ObjectStore(grid_disk)
-    grid_store.bulk_load(bundle.objects)
-    grid = UniformGridIndex(bundle.domain, resolution=16, disk=grid_disk)
-    grid.build(bundle.objects)
-    grid_pnn = GridPNN(grid, object_store=grid_store)
-
-    processors = {
-        "uv-index": lambda q: diagram.pnn(q),
-        "r-tree": lambda q: diagram.pnn_rtree(q),
-        "grid": lambda q: grid_pnn.query(q),
+    config = DiagramConfig(page_capacity=16, rtree_fanout=16, seed_knn=80,
+                           grid_resolution=16)
+    engines = {
+        name: QueryEngine.build(bundle.objects, bundle.domain,
+                                config.replace(backend=name))
+        for name in BACKENDS
     }
 
-    totals = {name: {"ms": 0.0, "io": 0, "candidates": 0} for name in processors}
-    answer_sets = {}
+    totals = {name: {"ms": 0.0, "io": 0, "candidates": 0} for name in engines}
     for query in bundle.queries:
         reference = answer_objects_brute_force(bundle.objects, query)
-        for name, run in processors.items():
-            start = time.perf_counter()
-            result = run(query)
-            elapsed = time.perf_counter() - start
-            totals[name]["ms"] += 1000.0 * elapsed
+        for name, engine in engines.items():
+            result = engine.pnn(query)
+            totals[name]["ms"] += 1000.0 * result.timing.total()
             totals[name]["io"] += result.io.page_reads
             totals[name]["candidates"] += result.candidates_examined
-            answer_sets.setdefault(name, []).append(sorted(result.answer_ids))
             assert sorted(result.answer_ids) == reference, f"{name} diverged at {query}"
 
     rows = []
@@ -73,12 +57,18 @@ def main() -> None:
     print()
     print(
         format_table(
-            ["index", "avg time (ms)", "avg page reads", "avg candidates"],
+            ["backend", "avg time (ms)", "avg page reads", "avg candidates"],
             rows,
-            title="PNN workload comparison (all three indexes return identical answers)",
+            title="PNN workload comparison (all three backends return identical answers)",
         )
     )
-    print("\nall indexes agreed with the brute-force oracle on every query.")
+
+    # Batch evaluation shares leaf reads across the whole workload.
+    batch = engines["ic"].batch(bundle.queries, compute_probabilities=False)
+    print(f"\nbatch mode on the UV-index backend: {batch.page_reads} page reads "
+          f"for {len(batch)} queries ({batch.cache_hits} leaf reads served "
+          "from the batch cache)")
+    print("all backends agreed with the brute-force oracle on every query.")
 
 
 if __name__ == "__main__":

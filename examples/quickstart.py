@@ -5,18 +5,26 @@ This is the five-minute tour of the library:
 
 1. generate a small uncertain dataset (objects = circular uncertainty region
    + pdf),
-2. build the UV-diagram with the paper's recommended IC construction,
+2. build a query engine with the paper's recommended IC construction
+   (``DiagramConfig(backend="ic")``),
 3. run a PNN query and inspect the answer objects and their qualification
    probabilities,
 4. compare against the R-tree baseline and a brute-force oracle,
-5. peek at the structure of the underlying UV-index.
+5. peek at the structure of the underlying UV-index,
+6. evaluate a whole workload in one batch with shared leaf reads.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import Point, UVDiagram, generate_query_points, generate_uniform_objects
+from repro import (
+    DiagramConfig,
+    Point,
+    QueryEngine,
+    generate_query_points,
+    generate_uniform_objects,
+)
 from repro.core.uv_cell import answer_objects_brute_force
 
 
@@ -31,12 +39,14 @@ def main() -> None:
           f"[{domain.xmin:.0f},{domain.xmax:.0f}]^2")
 
     # ------------------------------------------------------------------ #
-    # 2. Build the UV-diagram (IC construction: I-pruning + C-pruning, then
-    #    index the cr-objects directly).
+    # 2. Build the query engine (IC construction: I-pruning + C-pruning, then
+    #    index the cr-objects directly).  The backend is a registry name, so
+    #    swapping "ic" for "grid" or "rtree" changes the index, not the code.
     # ------------------------------------------------------------------ #
-    diagram = UVDiagram.build(objects, domain, method="ic", page_capacity=16,
-                              rtree_fanout=16, seed_knn=60)
-    stats = diagram.construction_stats
+    config = DiagramConfig(backend="ic", page_capacity=16, rtree_fanout=16,
+                           seed_knn=60)
+    engine = QueryEngine.build(objects, domain, config)
+    stats = engine.construction_stats
     print(f"built UV-index in {stats.total_seconds:.2f}s "
           f"(avg |C_i| = {stats.avg_cr_objects:.1f}, "
           f"pruning ratio = {stats.c_pruning_ratio:.1%})")
@@ -45,10 +55,10 @@ def main() -> None:
     # 3. A probabilistic nearest-neighbour query.
     # ------------------------------------------------------------------ #
     query = Point(5_000.0, 5_000.0)
-    result = diagram.pnn(query)
+    result = engine.pnn(query)
     print(f"\nPNN at ({query.x:.0f}, {query.y:.0f}):")
     for answer in result.sorted_by_probability():
-        obj = diagram.object(answer.oid)
+        obj = engine.object(answer.oid)
         print(f"  object {answer.oid:>4}  "
               f"center=({obj.center.x:7.1f}, {obj.center.y:7.1f})  "
               f"P(nearest) = {answer.probability:.3f}")
@@ -58,7 +68,7 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     # 4. Cross-check against the R-tree baseline and a brute-force oracle.
     # ------------------------------------------------------------------ #
-    rtree_result = diagram.pnn_rtree(query)
+    rtree_result = engine.pnn_rtree(query)
     brute = answer_objects_brute_force(objects, query)
     print("\nconsistency check:")
     print(f"  UV-index answers : {sorted(result.answer_ids)}")
@@ -70,17 +80,25 @@ def main() -> None:
     # 5. A short query workload + index structure.
     # ------------------------------------------------------------------ #
     queries = generate_query_points(20, domain, seed=42)
-    uv_io = sum(diagram.pnn(q, compute_probabilities=False).io.page_reads for q in queries)
-    rt_io = sum(diagram.pnn_rtree(q, compute_probabilities=False).io.page_reads for q in queries)
+    uv_io = sum(engine.pnn(q, compute_probabilities=False).io.page_reads for q in queries)
+    rt_io = sum(engine.pnn_rtree(q, compute_probabilities=False).io.page_reads for q in queries)
     print(f"\nworkload of {len(queries)} queries: "
           f"UV-index {uv_io} page reads vs R-tree {rt_io} page reads")
 
-    index_stats = diagram.index_statistics()
+    index_stats = engine.statistics()
     print("UV-index structure: "
           f"{index_stats['leaf_nodes']:.0f} leaves, "
           f"{index_stats['nonleaf_nodes']:.0f} non-leaf nodes, "
           f"max depth {index_stats['max_depth']:.0f}, "
           f"{index_stats['avg_entries_per_leaf']:.1f} entries/leaf on average")
+
+    # ------------------------------------------------------------------ #
+    # 6. Batch evaluation: the whole workload in one pass, leaf page lists
+    #    read once and shared across the queries that land in them.
+    # ------------------------------------------------------------------ #
+    batch = engine.batch(queries, compute_probabilities=False)
+    print(f"batch mode: {batch.page_reads} page reads for {len(batch)} queries "
+          f"({batch.cache_hits} leaf reads served from the batch cache)")
 
 
 if __name__ == "__main__":

@@ -8,13 +8,15 @@ probability machinery for probabilistic nearest-neighbour queries.
 
 Typical usage::
 
-    from repro import UVDiagram, Point, generate_uniform_objects
+    from repro import DiagramConfig, Point, QueryEngine, generate_uniform_objects
 
     objects, domain = generate_uniform_objects(500, seed=7)
-    diagram = UVDiagram.build(objects, domain)
-    result = diagram.pnn(Point(5000.0, 5000.0))
+    engine = QueryEngine.build(objects, domain, DiagramConfig(backend="ic"))
+    result = engine.pnn(Point(5000.0, 5000.0))
     for answer in result.answers:
         print(answer.oid, answer.probability)
+
+The legacy ``UVDiagram`` facade remains available and forwards to the engine.
 """
 
 from repro.geometry.point import Point
@@ -23,6 +25,15 @@ from repro.geometry.rectangle import Rect
 from repro.uncertain.objects import UncertainObject
 from repro.uncertain.pdf import HistogramPdf, TruncatedGaussianPdf, UniformPdf
 from repro.core.diagram import UVDiagram
+from repro.engine import (
+    BatchResult,
+    DiagramConfig,
+    IndexBackend,
+    QueryEngine,
+    UnsupportedQueryError,
+    available_backends,
+    register_backend,
+)
 from repro.core.uv_cell import UVCell, build_all_uv_cells, build_exact_uv_cell
 from repro.core.uv_index import UVIndex
 from repro.core.cr_objects import CRObjectFinder
@@ -56,6 +67,13 @@ __all__ = [
     "TruncatedGaussianPdf",
     "HistogramPdf",
     "UVDiagram",
+    "QueryEngine",
+    "DiagramConfig",
+    "IndexBackend",
+    "BatchResult",
+    "UnsupportedQueryError",
+    "available_backends",
+    "register_backend",
     "UVCell",
     "build_exact_uv_cell",
     "build_all_uv_cells",

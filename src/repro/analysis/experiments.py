@@ -21,6 +21,8 @@ from repro.core.construction import (
 from repro.core.pnn import UVIndexPNN
 from repro.core.uv_index import UVIndex
 from repro.datasets.loader import DatasetBundle
+from repro.engine.config import DiagramConfig
+from repro.engine.engine import QueryEngine
 from repro.geometry.point import Point
 from repro.queries.result import PNNResult
 from repro.rtree.pnn import RTreePNN
@@ -177,6 +179,72 @@ def run_query_experiment(
             "r-tree", bundle.name, len(objects), rtree_results
         ),
     }
+
+
+@dataclass
+class BackendComparisonRow:
+    """Aggregated metrics for one backend in a side-by-side comparison."""
+
+    backend: str
+    objects: int
+    queries: int
+    build_seconds: float
+    avg_query_ms: float
+    avg_page_reads: float
+    avg_index_reads: float
+    avg_answers: float
+    answers_agree: bool
+
+
+def run_backend_comparison(
+    bundle: DatasetBundle,
+    backend_names: Sequence[str],
+    queries: Optional[Sequence[Point]] = None,
+    config: Optional[DiagramConfig] = None,
+    compute_probabilities: bool = False,
+) -> List[BackendComparisonRow]:
+    """Run the same PNN workload through several engine backends.
+
+    Each backend gets its own engine (and disk, so I/O is counted
+    independently); ``answers_agree`` records whether a backend returned the
+    same answer sets as the first backend in the list, which exercises the
+    registry's parity guarantee end-to-end.
+    """
+    if not backend_names:
+        raise ValueError("at least one backend name is required")
+    queries = list(queries) if queries is not None else list(bundle.queries)
+    config = config if config is not None else DiagramConfig()
+
+    rows: List[BackendComparisonRow] = []
+    reference_answers: Optional[List[List[int]]] = None
+    for name in backend_names:
+        start = time.perf_counter()
+        engine = QueryEngine.build(
+            bundle.objects, bundle.domain, config.replace(backend=name)
+        )
+        build_seconds = time.perf_counter() - start
+        results = [
+            engine.pnn(q, compute_probabilities=compute_probabilities)
+            for q in queries
+        ]
+        answers = [sorted(r.answer_ids) for r in results]
+        if reference_answers is None:
+            reference_answers = answers
+        aggregated = _aggregate_queries(name, bundle.name, len(bundle.objects), results)
+        rows.append(
+            BackendComparisonRow(
+                backend=name,
+                objects=len(bundle.objects),
+                queries=len(queries),
+                build_seconds=build_seconds,
+                avg_query_ms=aggregated.avg_time_ms,
+                avg_page_reads=aggregated.avg_io,
+                avg_index_reads=aggregated.avg_index_io,
+                avg_answers=aggregated.avg_answers,
+                answers_agree=answers == reference_answers,
+            )
+        )
+    return rows
 
 
 def compare_query_performance(

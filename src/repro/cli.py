@@ -1,14 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four sub-commands cover the everyday interactions with the library:
+Five sub-commands cover the everyday interactions with the library:
 
 * ``info``      -- library version and a summary of the available components,
-* ``build``     -- generate a dataset, build a UV-diagram, print index stats,
-* ``query``     -- build a diagram and answer one or more PNN queries,
+* ``build``     -- generate a dataset, build a query engine, print index stats,
+* ``query``     -- build an engine and answer one or more PNN queries,
+* ``compare``   -- run the same query workload across several backends,
 * ``render``    -- build a diagram and write an SVG picture of it.
 
 The CLI is intentionally thin: every command maps directly onto the public
-Python API so that scripts can graduate from the shell to Python verbatim.
+Python API (:class:`repro.QueryEngine` + :class:`repro.DiagramConfig`) so
+that scripts can graduate from the shell to Python verbatim.
 """
 
 from __future__ import annotations
@@ -18,8 +20,8 @@ import sys
 from typing import List, Optional
 
 from repro import __version__
-from repro.core.diagram import UVDiagram
-from repro.datasets.loader import load_dataset
+from repro.datasets.loader import DatasetBundle, load_dataset
+from repro.engine import DiagramConfig, QueryEngine, available_backends
 from repro.geometry.point import Point
 
 
@@ -33,58 +35,75 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sigma", type=float, default=2000.0,
                         help="centre standard deviation (skewed dataset only)")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
-    parser.add_argument("--method", default="ic", choices=["ic", "icr", "basic"],
-                        help="UV-index construction method")
+    parser.add_argument("--method", default=None, choices=available_backends(),
+                        help="deprecated alias of --backend")
+    parser.add_argument("--backend", default=None, choices=available_backends(),
+                        help="index backend (default: ic)")
     parser.add_argument("--page-capacity", type=int, default=16,
                         help="leaf-page capacity of the UV-index")
     parser.add_argument("--seed-knn", type=int, default=60,
                         help="k of the seed-selection k-NN query")
+    parser.add_argument("--grid-resolution", type=int, default=16,
+                        help="cells per axis of the grid backend")
 
 
-def _build_diagram(args: argparse.Namespace) -> UVDiagram:
-    bundle = load_dataset(
+def _load_bundle(args: argparse.Namespace) -> DatasetBundle:
+    return load_dataset(
         args.dataset,
         args.objects,
         diameter=args.diameter,
         sigma=args.sigma if args.dataset == "skewed" else None,
+        query_count=max(50, getattr(args, "queries", 0) or 0),
         seed=args.seed,
     )
-    return UVDiagram.build(
-        bundle.objects,
-        bundle.domain,
-        method=args.method,
+
+
+def _config_from_args(args: argparse.Namespace, backend: Optional[str] = None) -> DiagramConfig:
+    if args.method and not args.backend:
+        print("warning: --method is deprecated, use --backend", file=sys.stderr)
+    return DiagramConfig(
+        backend=backend or args.backend or args.method or "ic",
         page_capacity=args.page_capacity,
         seed_knn=args.seed_knn,
         rtree_fanout=16,
+        grid_resolution=args.grid_resolution,
     )
+
+
+def _build_engine(args: argparse.Namespace) -> QueryEngine:
+    bundle = _load_bundle(args)
+    return QueryEngine.build(bundle.objects, bundle.domain, _config_from_args(args))
 
 
 def _command_info(_: argparse.Namespace) -> int:
     print(f"repro {__version__} -- UV-diagram: a Voronoi diagram for uncertain data")
     print("components: geometry kernel, uncertain-object model, simulated disk,")
     print("            R-tree baseline, uniform grid, UV-index (IC/ICR/Basic),")
-    print("            PNN / k-PNN / pattern queries, dataset generators, SVG viz")
-    print("entry points: repro.UVDiagram.build(...), repro.load_dataset(...)")
+    print("            PNN / k-PNN / pattern / batch queries, live updates,")
+    print("            dataset generators, SVG viz")
+    print(f"backends: {', '.join(available_backends())}")
+    print("entry points: repro.QueryEngine.build(objects, domain, DiagramConfig(...)),")
+    print("              repro.load_dataset(...)")
     return 0
 
 
 def _command_build(args: argparse.Namespace) -> int:
-    diagram = _build_diagram(args)
-    stats = diagram.construction_stats
-    print(f"built a UV-diagram over {len(diagram)} objects "
+    engine = _build_engine(args)
+    stats = engine.construction_stats
+    print(f"built a {engine.backend.name!r} engine over {len(engine)} objects "
           f"({args.dataset}, diameter {args.diameter})")
     print(f"  method            : {stats.method}")
     print(f"  construction time : {stats.total_seconds:.2f} s")
     if stats.avg_cr_objects:
         print(f"  avg |C_i|         : {stats.avg_cr_objects:.1f}")
         print(f"  pruning ratio     : {stats.c_pruning_ratio:.1%}")
-    for key, value in diagram.index_statistics().items():
+    for key, value in engine.statistics().items():
         print(f"  index {key:<22}: {value:.1f}")
     return 0
 
 
 def _command_query(args: argparse.Namespace) -> int:
-    diagram = _build_diagram(args)
+    engine = _build_engine(args)
     if args.at:
         coordinates = [float(part) for part in args.at.split(",")]
         if len(coordinates) != 2:
@@ -94,21 +113,85 @@ def _command_query(args: argparse.Namespace) -> int:
     else:
         from repro.datasets.synthetic import generate_query_points
 
-        queries = generate_query_points(args.count, diagram.domain, seed=args.seed + 1)
+        queries = generate_query_points(args.count, engine.domain, seed=args.seed + 1)
+    sequential_reads = 0
     for query in queries:
-        result = diagram.pnn(query)
+        try:
+            result = engine.pnn(query)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        sequential_reads += result.io.page_reads
         answers = ", ".join(
             f"{a.oid} (p={a.probability:.3f})" for a in result.sorted_by_probability()
         )
-        print(f"PNN({query.x:.1f}, {query.y:.1f}) -> {answers} "
+        print(f"PNN({result.query.x:.1f}, {result.query.y:.1f}) -> {answers} "
               f"[{result.io.page_reads} page reads]")
+    if len(queries) > 1:
+        batch = engine.batch(queries, compute_probabilities=False)
+        print(f"batch mode: {batch.page_reads} page reads vs {sequential_reads} "
+              f"sequential ({batch.cache_hits} leaf reads served from the cache)")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import run_backend_comparison
+    from repro.analysis.report import format_table
+
+    backends = [name.strip().lower() for name in args.backends.split(",") if name.strip()]
+    if len(backends) < 2:
+        print("error: --backends expects at least two comma-separated names",
+              file=sys.stderr)
+        return 2
+    unknown = sorted(set(backends) - set(available_backends()))
+    if unknown:
+        print(f"error: unknown backend(s): {', '.join(unknown)} "
+              f"(available: {', '.join(available_backends())})", file=sys.stderr)
+        return 2
+
+    bundle = _load_bundle(args)
+    queries = bundle.queries[: args.queries]
+    rows = run_backend_comparison(
+        bundle,
+        backends,
+        queries=queries,
+        config=_config_from_args(args, backend=backends[0]),
+        compute_probabilities=not args.no_probabilities,
+    )
+    table = format_table(
+        ["backend", "build s", "avg ms", "avg reads", "index reads", "answers", "agree"],
+        [
+            [
+                row.backend,
+                row.build_seconds,
+                row.avg_query_ms,
+                row.avg_page_reads,
+                row.avg_index_reads,
+                row.avg_answers,
+                "yes" if row.answers_agree else "NO",
+            ]
+            for row in rows
+        ],
+        title=(f"{len(queries)} PNN queries over {bundle.size} {args.dataset} "
+               f"objects, per-backend engines"),
+    )
+    print(table)
+    if not all(row.answers_agree for row in rows):
+        print("error: backends disagreed on answer sets", file=sys.stderr)
+        return 1
     return 0
 
 
 def _command_render(args: argparse.Namespace) -> int:
+    from repro.core.diagram import UVDiagram
     from repro.viz.svg import render_uv_diagram
 
-    diagram = _build_diagram(args)
+    engine = _build_engine(args)
+    if engine.index is None:
+        print("error: render requires a UV-index backend (ic/icr/basic)",
+              file=sys.stderr)
+        return 2
+    diagram = UVDiagram.from_engine(engine)
     highlight = [int(oid) for oid in args.highlight.split(",") if oid] if args.highlight else []
     canvas = render_uv_diagram(
         diagram,
@@ -132,16 +215,27 @@ def build_parser() -> argparse.ArgumentParser:
     info = subparsers.add_parser("info", help="show library information")
     info.set_defaults(handler=_command_info)
 
-    build = subparsers.add_parser("build", help="build a UV-diagram and print statistics")
+    build = subparsers.add_parser("build", help="build a query engine and print statistics")
     _add_dataset_arguments(build)
     build.set_defaults(handler=_command_build)
 
-    query = subparsers.add_parser("query", help="build a UV-diagram and run PNN queries")
+    query = subparsers.add_parser("query", help="build a query engine and run PNN queries")
     _add_dataset_arguments(query)
     query.add_argument("--at", default=None, help="query point as 'x,y' (default: random)")
     query.add_argument("--count", type=int, default=3,
                        help="number of random queries when --at is not given")
     query.set_defaults(handler=_command_query)
+
+    compare = subparsers.add_parser(
+        "compare", help="run the same PNN workload across several backends")
+    _add_dataset_arguments(compare)
+    compare.add_argument("--backends", default="ic,rtree",
+                         help="comma-separated backend names (default: ic,rtree)")
+    compare.add_argument("--queries", type=int, default=10,
+                         help="number of workload queries")
+    compare.add_argument("--no-probabilities", action="store_true",
+                         help="skip probability computation (answer sets only)")
+    compare.set_defaults(handler=_command_compare)
 
     render = subparsers.add_parser("render", help="render the UV-diagram to an SVG file")
     _add_dataset_arguments(render)

@@ -1,8 +1,11 @@
-"""The :class:`UVDiagram` facade: one object tying the whole system together.
+"""The :class:`UVDiagram` facade: a thin compatibility layer over the engine.
 
-A ``UVDiagram`` owns the dataset, the simulated disk, the R-tree used during
-construction, the object store, the UV-index, and the query processors.  It
-is the entry point recommended by the README and used by the examples::
+Historically ``UVDiagram`` owned every component itself; it is now a shim
+over :class:`repro.engine.engine.QueryEngine`, which is the recommended entry
+point (see the README's migration table).  The facade keeps the original
+surface working -- including :meth:`build`'s keyword signature and the
+component attributes (``index``, ``rtree``, ``object_store``, ``disk``) that
+existing code and the updater reach into::
 
     from repro import UVDiagram, generate_uniform_objects
 
@@ -10,25 +13,29 @@ is the entry point recommended by the README and used by the examples::
     diagram = UVDiagram.build(objects, domain)          # IC construction
     result = diagram.pnn(Point(4200.0, 5100.0))         # answer objects + probabilities
     area = diagram.uv_cell_area(result.answers[0].oid)  # pattern analysis
+
+New code should prefer::
+
+    from repro import DiagramConfig, QueryEngine
+
+    engine = QueryEngine.build(objects, domain, DiagramConfig(backend="ic"))
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.construction import (
-    ConstructionStats,
-    build_uv_index_basic,
-    build_uv_index_ic,
-    build_uv_index_icr,
-)
+from repro.core.construction import ConstructionStats
 from repro.core.pattern import PartitionQueryResult, PatternAnalyzer
-from repro.core.pnn import UVIndexPNN
 from repro.core.uv_index import UVIndex
+from repro.engine.backend import create_backend
+from repro.engine.backends import UVIndexBackend
+from repro.engine.config import DiagramConfig
+from repro.engine.engine import QueryEngine
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.queries.result import PNNResult
-from repro.rtree.pnn import RTreePNN
 from repro.rtree.tree import RTree
 from repro.storage.disk import DiskManager
 from repro.storage.object_store import ObjectStore
@@ -39,7 +46,7 @@ class UVDiagram:
     """A UV-diagram over a set of uncertain objects.
 
     Use :meth:`build` rather than the constructor; the constructor merely
-    wires together already-built components.
+    wires together already-built components (always as a UV-index backend).
     """
 
     def __init__(
@@ -51,18 +58,19 @@ class UVDiagram:
         object_store: ObjectStore,
         disk: DiskManager,
         construction_stats: Optional[ConstructionStats] = None,
+        config: Optional[DiagramConfig] = None,
     ):
-        self.objects = list(objects)
-        self.domain = domain
-        self.index = index
-        self.rtree = rtree
-        self.object_store = object_store
-        self.disk = disk
-        self.construction_stats = construction_stats
-        self.by_id: Dict[int, UncertainObject] = {obj.oid: obj for obj in self.objects}
-        self._pnn = UVIndexPNN(index, object_store=object_store)
-        self._rtree_pnn = RTreePNN(rtree, object_store=object_store)
-        self._pattern = PatternAnalyzer(index)
+        backend = UVIndexBackend(index, construction_stats)
+        self.engine = QueryEngine(
+            objects=objects,
+            domain=domain,
+            backend=backend,
+            rtree=rtree,
+            object_store=object_store,
+            disk=disk,
+            config=config,
+            construction_stats=construction_stats,
+        )
 
     # ------------------------------------------------------------------ #
     # construction
@@ -83,10 +91,17 @@ class UVDiagram:
     ) -> "UVDiagram":
         """Build a UV-diagram with the chosen construction method.
 
+        .. deprecated::
+            Use ``QueryEngine.build(objects, domain, DiagramConfig(...))``.
+            This shim forwards to the engine and accepts any registered
+            backend name for ``method`` (including ``"grid"`` and
+            ``"rtree"``).
+
         Args:
             objects: the uncertain objects.
             domain: the domain rectangle that bounds the diagram.
-            method: ``"ic"`` (default, recommended), ``"icr"`` or ``"basic"``.
+            method: a backend name -- ``"ic"`` (default, recommended),
+                ``"icr"``, ``"basic"``, ``"rtree"`` or ``"grid"``.
             disk: shared disk manager; a fresh one is created when omitted.
             max_nonleaf: ``M``, the in-memory non-leaf budget of the UV-index.
             split_threshold: ``T_theta`` of the split rule.
@@ -94,101 +109,137 @@ class UVDiagram:
             seed_knn / seed_sectors: Algorithm 2 seed-selection parameters.
             rtree_fanout: fanout of the helper R-tree.
         """
-        objects = list(objects)
-        if not objects:
-            raise ValueError("cannot build a UV-diagram over an empty dataset")
-        disk = disk if disk is not None else DiskManager()
-        store = ObjectStore(disk)
-        store.bulk_load(objects)
-        rtree = RTree.bulk_load(objects, disk=disk, fanout=rtree_fanout)
-
-        method = method.lower()
-        if method == "ic":
-            index, stats = build_uv_index_ic(
-                objects,
-                domain,
-                rtree=rtree,
-                disk=disk,
-                max_nonleaf=max_nonleaf,
-                split_threshold=split_threshold,
-                page_capacity=page_capacity,
-                seed_knn=seed_knn,
-                seed_sectors=seed_sectors,
-            )
-        elif method == "icr":
-            index, stats = build_uv_index_icr(
-                objects,
-                domain,
-                rtree=rtree,
-                disk=disk,
-                max_nonleaf=max_nonleaf,
-                split_threshold=split_threshold,
-                page_capacity=page_capacity,
-                seed_knn=seed_knn,
-                seed_sectors=seed_sectors,
-            )
-        elif method == "basic":
-            index, stats = build_uv_index_basic(
-                objects,
-                domain,
-                disk=disk,
-                max_nonleaf=max_nonleaf,
-                split_threshold=split_threshold,
-                page_capacity=page_capacity,
-            )
-        else:
-            raise ValueError(f"unknown construction method: {method!r}")
-
-        return cls(
-            objects=objects,
-            domain=domain,
-            index=index,
-            rtree=rtree,
-            object_store=store,
-            disk=disk,
-            construction_stats=stats,
+        warnings.warn(
+            "UVDiagram.build() is deprecated; use "
+            "QueryEngine.build(objects, domain, DiagramConfig(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        config = DiagramConfig(
+            backend=method.lower(),
+            max_nonleaf=max_nonleaf,
+            split_threshold=split_threshold,
+            page_capacity=page_capacity,
+            seed_knn=seed_knn,
+            seed_sectors=seed_sectors,
+            rtree_fanout=rtree_fanout,
+        )
+        engine = QueryEngine.build(objects, domain, config, disk=disk)
+        return cls.from_engine(engine)
+
+    @classmethod
+    def from_engine(cls, engine: QueryEngine) -> "UVDiagram":
+        """Wrap an already-built engine in the facade (no rebuild, no warning)."""
+        diagram = cls.__new__(cls)
+        diagram.engine = engine
+        return diagram
+
+    # ------------------------------------------------------------------ #
+    # component access (kept for compatibility; the engine owns the state)
+    # ------------------------------------------------------------------ #
+    @property
+    def objects(self) -> List[UncertainObject]:
+        return self.engine.objects
+
+    @objects.setter
+    def objects(self, value: List[UncertainObject]) -> None:
+        self.engine.objects = value
+
+    @property
+    def by_id(self) -> Dict[int, UncertainObject]:
+        return self.engine.by_id
+
+    @property
+    def domain(self) -> Rect:
+        return self.engine.domain
+
+    @property
+    def index(self) -> Optional[UVIndex]:
+        return self.engine.index
+
+    @property
+    def rtree(self) -> RTree:
+        return self.engine.rtree
+
+    @rtree.setter
+    def rtree(self, value: RTree) -> None:
+        self.engine.rtree = value
+
+    @property
+    def object_store(self) -> ObjectStore:
+        return self.engine.object_store
+
+    @property
+    def disk(self) -> DiskManager:
+        return self.engine.disk
+
+    @property
+    def construction_stats(self) -> Optional[ConstructionStats]:
+        return self.engine.construction_stats
+
+    @property
+    def _rtree_pnn(self):
+        return self.engine._rtree_pnn
+
+    @property
+    def _pattern(self) -> PatternAnalyzer:
+        return self.engine._pattern_analyzer()
 
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
     def pnn(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
-        """Probabilistic nearest-neighbour query via the UV-index."""
-        return self._pnn.query(query, compute_probabilities=compute_probabilities)
+        """Probabilistic nearest-neighbour query via the active backend."""
+        return self.engine.pnn(query, compute_probabilities=compute_probabilities)
 
     def pnn_rtree(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
-        """The same query evaluated with the R-tree baseline (for comparison)."""
-        return self._rtree_pnn.query(query, compute_probabilities=compute_probabilities)
+        """The same query evaluated with the R-tree baseline (for comparison).
+
+        .. deprecated::
+            Use ``engine.pnn_rtree(...)`` -- or build a second engine with
+            ``DiagramConfig(backend="rtree")`` for a fully separate baseline.
+        """
+        warnings.warn(
+            "UVDiagram.pnn_rtree() is deprecated; use QueryEngine.pnn_rtree() "
+            "or a QueryEngine built with DiagramConfig(backend='rtree')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.engine.pnn_rtree(query, compute_probabilities=compute_probabilities)
 
     def answer_objects(self, query: Point) -> List[int]:
         """Just the answer-object ids (no probability computation)."""
-        return self.pnn(query, compute_probabilities=False).answer_ids
+        return self.engine.answer_objects(query)
 
     # ------------------------------------------------------------------ #
     # pattern analysis
     # ------------------------------------------------------------------ #
     def uv_cell_area(self, oid: int) -> float:
         """Approximate area of one object's UV-cell."""
-        return self._pattern.uv_cell_area(oid)
+        return self.engine.uv_cell_area(oid)
 
     def uv_cell_extent(self, oid: int) -> Optional[Rect]:
         """Bounding rectangle of one object's UV-cell approximation."""
-        return self._pattern.uv_cell_extent(oid)
+        return self.engine.uv_cell_extent(oid)
 
     def partitions_in(self, region: Rect) -> PartitionQueryResult:
         """UV-partition retrieval with densities (Section V-C, query 2)."""
-        return self._pattern.partitions_in(region)
+        return self.engine.partitions_in(region)
 
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     def object(self, oid: int) -> UncertainObject:
         """Look up an object by id."""
-        return self.by_id[oid]
+        return self.engine.object(oid)
 
     def index_statistics(self) -> Dict[str, float]:
-        """Structural statistics of the underlying UV-index."""
-        return self.index.statistics()
+        """Structural statistics of the underlying backend."""
+        return self.engine.statistics()
 
     def __len__(self) -> int:
-        return len(self.objects)
+        return len(self.engine)
+
+
+# Re-exported for callers that used to import it from this module.
+__all__ = ["UVDiagram", "DiagramConfig", "QueryEngine", "create_backend"]

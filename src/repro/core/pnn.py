@@ -5,22 +5,38 @@ quad-tree to the leaf containing ``q``, read that leaf's page list, verify
 the candidates with the ``d_minmax`` rule, and compute qualification
 probabilities for the survivors.  The evaluator records the same three time
 buckets as the R-tree baseline so the two can be compared side by side
-(Figure 6(c)).
+(Figure 6(c)); the shared pipeline lives in :mod:`repro.queries.pipeline`.
 """
 
 from __future__ import annotations
 
-import time
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.uv_index import UVIndex
+from repro.geometry.circle import Circle
 from repro.geometry.point import Point
-from repro.queries.probability import qualification_probabilities
-from repro.queries.result import PNNAnswer, PNNResult
-from repro.queries.verifier import min_max_prune
+from repro.queries.pipeline import evaluate_pnn
+from repro.queries.result import PNNResult
 from repro.storage.object_store import ObjectStore
-from repro.storage.stats import TimingBreakdown
 from repro.uncertain.objects import UncertainObject
+
+
+def uv_index_candidates(
+    index: UVIndex, query: Point, cache=None
+) -> List[Tuple[int, Circle]]:
+    """Leaf entries ``(oid, MBC)`` of the leaf containing the query point.
+
+    When ``cache`` (a :class:`repro.engine.backend.BatchReadCache`) is given,
+    a leaf's page list is read -- and counted -- at most once per batch;
+    subsequent queries landing in the same leaf reuse the entries.  This is
+    the hot-path saving of :meth:`repro.engine.engine.QueryEngine.batch`.
+    """
+    leaf = index.locate_leaf(query)
+    if cache is None:
+        entries = index.read_leaf_entries(leaf)
+    else:
+        entries = cache.get(("uv-leaf", id(leaf)), lambda: index.read_leaf_entries(leaf))
+    return [(entry.oid, entry.mbc) for entry in entries]
 
 
 class UVIndexPNN:
@@ -47,43 +63,16 @@ class UVIndexPNN:
 
     def retrieve_candidates(self, query: Point) -> List[tuple]:
         """Leaf entries ``(oid, MBC)`` of the leaf containing the query point."""
-        _, entries, _ = self.index.point_query(query)
-        return [(entry.oid, entry.mbc) for entry in entries]
+        return uv_index_candidates(self.index, query)
 
     def query(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
         """Evaluate a PNN query."""
-        timing = TimingBreakdown()
-        io_before = self.index.disk.stats.snapshot()
-
-        start = time.perf_counter()
-        candidates = self.retrieve_candidates(query)
-        answer_ids = min_max_prune(query, candidates)
-        timing.add("index", time.perf_counter() - start)
-        index_io = self.index.disk.stats.delta(io_before)
-
-        start = time.perf_counter()
-        answer_objects = self._fetch_objects(answer_ids)
-        timing.add("object_retrieval", time.perf_counter() - start)
-
-        start = time.perf_counter()
-        if compute_probabilities and answer_objects:
-            probabilities = qualification_probabilities(answer_objects, query)
-        else:
-            probabilities = {obj.oid: 0.0 for obj in answer_objects}
-        timing.add("probability", time.perf_counter() - start)
-
-        answers = [
-            PNNAnswer(oid=oid, probability=probabilities.get(oid, 0.0))
-            for oid in answer_ids
-        ]
-        answers.sort(key=lambda a: (-a.probability, a.oid))
-        return PNNResult(
-            query=query,
-            answers=answers,
-            candidates_examined=len(candidates),
-            io=self.index.disk.stats.delta(io_before),
-            index_io=index_io,
-            timing=timing,
+        return evaluate_pnn(
+            query,
+            self.retrieve_candidates,
+            self._fetch_objects,
+            self.index.disk.stats,
+            compute_probabilities=compute_probabilities,
         )
 
     def _fetch_objects(self, oids: List[int]) -> List[UncertainObject]:

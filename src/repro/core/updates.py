@@ -25,22 +25,52 @@ from __future__ import annotations
 from typing import Dict, List, Set
 
 from repro.core.cr_objects import CRObjectFinder
-from repro.core.diagram import UVDiagram
 from repro.core.uv_index import UVIndex
 from repro.uncertain.objects import UncertainObject
+
+
+def register_object(diagram, obj: UncertainObject) -> None:
+    """Add an object to a diagram's shared state (list, by-id map, store, R-tree)."""
+    diagram.objects.append(obj)
+    diagram.by_id[obj.oid] = obj
+    diagram.object_store.bulk_load([obj])
+    diagram.rtree.insert(obj)
+
+
+def unregister_object(diagram, oid: int) -> None:
+    """Drop an object from a diagram's shared state.
+
+    The R-tree substrate has no delete in this reproduction; rebuild it
+    (cheap relative to index maintenance, and it keeps the baseline
+    comparable) and resync any attached R-tree query processor.
+    """
+    from repro.rtree.tree import RTree
+
+    diagram.objects = [obj for obj in diagram.objects if obj.oid != oid]
+    del diagram.by_id[oid]
+    diagram.rtree = RTree.bulk_load(
+        diagram.objects, disk=diagram.disk, fanout=diagram.rtree.fanout
+    )
+    rtree_pnn = getattr(diagram, "_rtree_pnn", None)
+    if rtree_pnn is not None:
+        rtree_pnn.tree = diagram.rtree
 
 
 class UVDiagramUpdater:
     """Applies incremental insertions and deletions to a built UV-diagram.
 
     Args:
-        diagram: the diagram to maintain.
+        diagram: the diagram to maintain -- a :class:`repro.core.diagram.UVDiagram`
+            or any object exposing the same components (``objects``, ``by_id``,
+            ``domain``, ``rtree``, ``object_store``, ``index``, ``disk``), such
+            as a :class:`repro.engine.engine.QueryEngine` with a UV-index
+            backend.
         seed_knn / seed_sectors: Algorithm 2 parameters used when cr-objects
             have to be recomputed; default to the values that make sense for
             the current dataset size.
     """
 
-    def __init__(self, diagram: UVDiagram, seed_knn: int = 300, seed_sectors: int = 8):
+    def __init__(self, diagram, seed_knn: int = 300, seed_sectors: int = 8):
         self.diagram = diagram
         self.seed_knn = seed_knn
         self.seed_sectors = seed_sectors
@@ -81,10 +111,7 @@ class UVDiagramUpdater:
             raise ValueError(f"object id {obj.oid} already exists in the diagram")
 
         # Keep every component of the diagram in sync.
-        self.diagram.objects.append(obj)
-        self.diagram.by_id[obj.oid] = obj
-        self.diagram.object_store.bulk_load([obj])
-        self.diagram.rtree.insert(obj)
+        register_object(self.diagram, obj)
 
         finder = self._finder()
         result = finder.find(obj)
@@ -107,24 +134,13 @@ class UVDiagramUpdater:
 
         affected = sorted(self._referencing.get(oid, set()) - {oid})
 
-        # Drop the object from the in-memory dataset and the UV-index.
-        self.diagram.objects = [o for o in self.diagram.objects if o.oid != oid]
-        del self.diagram.by_id[oid]
+        # Drop the object from the shared diagram state and the UV-index.
+        unregister_object(self.diagram, oid)
         _remove_from_index(self.diagram.index, oid)
         self._cr_sets.pop(oid, None)
         self._referencing.pop(oid, None)
         for refs in self._referencing.values():
             refs.discard(oid)
-
-        # The R-tree substrate has no delete in this reproduction; rebuild it
-        # (cheap relative to UV-index maintenance, and it keeps the baseline
-        # comparable).
-        from repro.rtree.tree import RTree
-
-        self.diagram.rtree = RTree.bulk_load(
-            self.diagram.objects, disk=self.diagram.disk, fanout=self.diagram.rtree.fanout
-        )
-        self.diagram._rtree_pnn.tree = self.diagram.rtree
 
         # Refresh every object whose UV-cell may have grown.
         finder = self._finder()
@@ -156,16 +172,4 @@ class UVDiagramUpdater:
 
 def _remove_from_index(index: UVIndex, oid: int) -> None:
     """Remove every leaf entry of one object from a UV-index."""
-    index._owner_circle.pop(oid, None)
-    index._cr_circles.pop(oid, None)
-    removed_any = False
-    for leaf in index.leaves():
-        if oid not in leaf.entry_oids:
-            continue
-        removed_any = True
-        leaf.entry_oids = [existing for existing in leaf.entry_oids if existing != oid]
-        for page_id in leaf.page_ids:
-            page = index.disk.peek_page(page_id)
-            page.entries = [entry for entry in page.entries if entry.oid != oid]
-    if removed_any:
-        index.size = max(0, index.size - 1)
+    index.remove_object(oid)

@@ -100,6 +100,11 @@ class UVIndex:
         # circle and the circles of its cr-objects.
         self._owner_circle: Dict[int, Circle] = {}
         self._cr_circles: Dict[int, List[Circle]] = {}
+        # Inverted map oid -> leaves whose lists contain the object, keyed by
+        # node identity (UVIndexNode is an unhashable dataclass).  Pattern
+        # queries and updates resolve an object's leaves through this map
+        # instead of scanning the whole tree.
+        self._oid_leaves: Dict[int, Dict[int, UVIndexNode]] = {}
 
     # ------------------------------------------------------------------ #
     # insertion (Algorithm 3)
@@ -122,10 +127,14 @@ class UVIndex:
         decision, prepared_children = self._check_split(oid, node)
         if decision is SplitDecision.NORMAL:
             self._append_entry(node, oid)
+            self._register_leaf(oid, node)
         elif decision is SplitDecision.OVERFLOW:
             self._allocate_page(node)
             self._append_entry(node, oid)
+            self._register_leaf(oid, node)
         else:  # SPLIT
+            for member in node.entry_oids:
+                self._unregister_leaf(member, node)
             for page_id in node.page_ids:
                 self.disk.free_page(page_id)
             node.page_ids = []
@@ -133,6 +142,9 @@ class UVIndex:
             node.is_leaf = False
             node.children = prepared_children
             self.nonleaf_count += 1
+            for child in prepared_children or []:
+                for member in child.entry_oids:
+                    self._register_leaf(member, child)
 
     # ------------------------------------------------------------------ #
     # CheckSplit (Algorithm 4)
@@ -207,6 +219,16 @@ class UVIndex:
         page.add(UVIndexEntry(oid=oid, mbc=self._owner_circle[oid]))
         node.entry_oids.append(oid)
 
+    def _register_leaf(self, oid: int, node: UVIndexNode) -> None:
+        self._oid_leaves.setdefault(oid, {})[id(node)] = node
+
+    def _unregister_leaf(self, oid: int, node: UVIndexNode) -> None:
+        bucket = self._oid_leaves.get(oid)
+        if bucket is not None:
+            bucket.pop(id(node), None)
+            if not bucket:
+                del self._oid_leaves[oid]
+
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
@@ -269,8 +291,39 @@ class UVIndex:
         return found
 
     def leaves_of_object(self, oid: int) -> List[UVIndexNode]:
-        """All leaves whose lists include the object (UV-cell retrieval)."""
-        return [leaf for leaf in self.leaves() if oid in leaf.entry_oids]
+        """All leaves whose lists include the object (UV-cell retrieval).
+
+        Served from the inverted oid -> leaves map maintained on insertion and
+        splitting, so the cost is proportional to the object's own leaf count
+        rather than to the size of the whole tree.
+        """
+        return list(self._oid_leaves.get(oid, {}).values())
+
+    # ------------------------------------------------------------------ #
+    # deletion (incremental maintenance, Section VII)
+    # ------------------------------------------------------------------ #
+    def remove_object(self, oid: int) -> bool:
+        """Remove every leaf entry of one object; returns ``True`` if found.
+
+        Leaf pages are edited in place (uncounted maintenance I/O, matching
+        how insertion accounts its writes); empty trailing structure is left
+        as-is -- the adaptive grid never un-splits, as in the paper.
+        """
+        self._owner_circle.pop(oid, None)
+        self._cr_circles.pop(oid, None)
+        leaves = self._oid_leaves.pop(oid, {})
+        removed_any = False
+        for leaf in leaves.values():
+            if oid not in leaf.entry_oids:
+                continue
+            removed_any = True
+            leaf.entry_oids = [existing for existing in leaf.entry_oids if existing != oid]
+            for page_id in leaf.page_ids:
+                page = self.disk.peek_page(page_id)
+                page.entries = [entry for entry in page.entries if entry.oid != oid]
+        if removed_any:
+            self.size = max(0, self.size - 1)
+        return removed_any
 
     def statistics(self) -> Dict[str, float]:
         """Summary statistics used by reports and the sensitivity benchmark."""

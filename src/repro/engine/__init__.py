@@ -1,0 +1,37 @@
+"""The unified query-engine API: pluggable backends behind one query plane.
+
+Public surface:
+
+* :class:`DiagramConfig` -- typed, validated build configuration,
+* :class:`IndexBackend` / the backend registry -- swappable candidate sources,
+* :class:`QueryEngine` -- PNN / k-PNN / pattern / batch queries plus live
+  insert/delete over whichever backend the config selects.
+"""
+
+from repro.engine.backend import (
+    BatchReadCache,
+    IndexBackend,
+    UnsupportedQueryError,
+    available_backends,
+    create_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.engine.config import DiagramConfig
+from repro.engine.engine import BatchResult, QueryEngine
+
+# Importing the built-in adapters registers them.
+from repro.engine import backends as _builtin_backends  # noqa: F401
+
+__all__ = [
+    "BatchReadCache",
+    "BatchResult",
+    "DiagramConfig",
+    "IndexBackend",
+    "QueryEngine",
+    "UnsupportedQueryError",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "unregister_backend",
+]

@@ -1,0 +1,81 @@
+"""Typed configuration for building a UV-diagram / query engine.
+
+:class:`DiagramConfig` replaces the kwarg explosion that used to spread over
+``UVDiagram.build``, the ``build_uv_index_*`` functions, and the CLI: one
+frozen, validated record that can round-trip through plain dicts for CLI and
+benchmark plumbing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class DiagramConfig:
+    """Every knob of diagram construction and query evaluation in one place.
+
+    Attributes:
+        backend: registry key of the index backend -- ``"ic"`` / ``"icr"`` /
+            ``"basic"`` (UV-index construction variants), ``"rtree"``
+            (branch-and-prune baseline) or ``"grid"`` (uniform grid).
+        max_nonleaf: ``M``, the in-memory non-leaf budget of the UV-index.
+        split_threshold: ``T_theta`` of the split rule, in ``[0, 1]``.
+        page_capacity: leaf-page capacity override (``None`` = what fits in a
+            4 KB page).
+        seed_knn / seed_sectors: Algorithm 2 seed-selection parameters.
+        rtree_fanout: fanout of the R-tree (construction helper and baseline).
+        grid_resolution: cells per axis of the uniform-grid backend.
+    """
+
+    backend: str = "ic"
+    max_nonleaf: int = 4000
+    split_threshold: float = 1.0
+    page_capacity: Optional[int] = None
+    seed_knn: int = 300
+    seed_sectors: int = 8
+    rtree_fanout: int = 100
+    grid_resolution: int = 16
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError("backend must be a non-empty string")
+        if self.max_nonleaf < 1:
+            raise ValueError("max_nonleaf must be positive")
+        if not 0.0 <= self.split_threshold <= 1.0:
+            raise ValueError("split_threshold must be within [0, 1]")
+        if self.page_capacity is not None and self.page_capacity < 1:
+            raise ValueError("page_capacity must be positive when given")
+        if self.seed_knn < 1:
+            raise ValueError("seed_knn must be positive")
+        if self.seed_sectors < 1:
+            raise ValueError("seed_sectors must be positive")
+        if self.rtree_fanout < 4:
+            raise ValueError("rtree_fanout must be at least 4")
+        if self.grid_resolution < 1:
+            raise ValueError("grid_resolution must be positive")
+
+    # ------------------------------------------------------------------ #
+    # dict plumbing (CLI, benchmarks, experiment grids)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict view of the configuration (JSON-friendly)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DiagramConfig":
+        """Build a configuration from a plain dict, rejecting unknown keys."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown DiagramConfig keys: {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        return cls(**data)
+
+    def replace(self, **changes: Any) -> "DiagramConfig":
+        """A copy with the given fields changed (validation re-runs)."""
+        return dataclasses.replace(self, **changes)

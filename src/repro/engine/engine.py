@@ -1,0 +1,312 @@
+"""The :class:`QueryEngine`: one query plane over pluggable index backends.
+
+The engine owns the dataset (object list + disk-backed object store), the
+shared R-tree, and one :class:`~repro.engine.backend.IndexBackend`; every
+query type the paper discusses is a method:
+
+* :meth:`pnn` -- probabilistic nearest neighbour,
+* :meth:`knn` -- probabilistic k-NN (Monte-Carlo over possible worlds),
+* :meth:`partitions_in` -- UV-partition retrieval with densities,
+* :meth:`batch` -- many PNN queries with shared leaf-read caching,
+* :meth:`insert` / :meth:`delete` -- live updates after construction.
+
+Typical usage::
+
+    from repro import DiagramConfig, QueryEngine, generate_uniform_objects
+
+    objects, domain = generate_uniform_objects(500, seed=1)
+    engine = QueryEngine.build(objects, domain, DiagramConfig(backend="ic"))
+    result = engine.pnn(Point(4200.0, 5100.0))
+    batch = engine.batch(queries)              # shared leaf reads
+    engine.insert(new_object)                  # diagram stays queryable
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import updates
+from repro.core.pattern import PartitionQueryResult, PatternAnalyzer
+from repro.engine.backend import (
+    BatchReadCache,
+    IndexBackend,
+    UnsupportedQueryError,
+    create_backend,
+)
+from repro.engine.config import DiagramConfig
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.queries.knn import KNNResult, ProbabilisticKNN
+from repro.queries.pipeline import evaluate_pnn
+from repro.queries.result import PNNResult
+from repro.rtree.pnn import RTreePNN
+from repro.rtree.tree import RTree
+from repro.storage.disk import DiskManager
+from repro.storage.object_store import ObjectStore
+from repro.storage.stats import IOStats
+from repro.uncertain.objects import UncertainObject
+
+
+@dataclass
+class BatchResult:
+    """Result of a :meth:`QueryEngine.batch` call.
+
+    Attributes:
+        results: one :class:`PNNResult` per query, in input order -- each
+            identical to what a sequential :meth:`QueryEngine.pnn` call would
+            have returned.
+        io: total I/O of the whole batch (the saving relative to sequential
+            evaluation comes from leaf/cell page lists read once).
+        seconds: wall-clock time of the batch.
+        cache_hits / cache_misses: granule-level hit statistics of the shared
+            read cache.
+    """
+
+    results: List[PNNResult] = field(default_factory=list)
+    io: Optional[IOStats] = None
+    seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def page_reads(self) -> int:
+        """Total page reads of the batch."""
+        return self.io.page_reads if self.io is not None else 0
+
+
+class QueryEngine:
+    """A queryable, updatable UV-diagram service over a pluggable backend.
+
+    Use :meth:`build`; the constructor merely wires pre-built components.
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[UncertainObject],
+        domain: Rect,
+        backend: IndexBackend,
+        rtree: RTree,
+        object_store: ObjectStore,
+        disk: DiskManager,
+        config: Optional[DiagramConfig] = None,
+        construction_stats=None,
+    ):
+        self.objects = list(objects)
+        self.domain = domain
+        self.backend = backend
+        self.rtree = rtree
+        self.object_store = object_store
+        self.disk = disk
+        self.config = config if config is not None else DiagramConfig()
+        self.construction_stats = construction_stats
+        self.by_id: Dict[int, UncertainObject] = {obj.oid: obj for obj in self.objects}
+        self._rtree_pnn = RTreePNN(rtree, object_store=object_store)
+        backend.bind(self)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        objects: Sequence[UncertainObject],
+        domain: Rect,
+        config: Optional[DiagramConfig] = None,
+        disk: Optional[DiskManager] = None,
+        **overrides,
+    ) -> "QueryEngine":
+        """Build an engine over ``objects`` with the configured backend.
+
+        Args:
+            objects: the uncertain objects.
+            domain: the domain rectangle that bounds the diagram.
+            config: typed configuration; defaults to ``DiagramConfig()``.
+            disk: shared disk manager; a fresh one is created when omitted.
+            **overrides: per-field config overrides, e.g.
+                ``QueryEngine.build(objs, dom, backend="grid", seed_knn=60)``.
+        """
+        config = config if config is not None else DiagramConfig()
+        if overrides:
+            config = config.replace(**overrides)
+        objects = list(objects)
+        if not objects:
+            raise ValueError("cannot build a query engine over an empty dataset")
+        disk = disk if disk is not None else DiskManager()
+        store = ObjectStore(disk)
+        store.bulk_load(objects)
+        rtree = RTree.bulk_load(objects, disk=disk, fanout=config.rtree_fanout)
+        backend = create_backend(config.backend, objects, domain, config, disk, rtree)
+        return cls(
+            objects=objects,
+            domain=domain,
+            backend=backend,
+            rtree=rtree,
+            object_store=store,
+            disk=disk,
+            config=config,
+            construction_stats=getattr(backend, "construction_stats", None),
+        )
+
+    # ------------------------------------------------------------------ #
+    # point queries
+    # ------------------------------------------------------------------ #
+    def pnn(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
+        """Probabilistic nearest-neighbour query through the active backend."""
+        return self._evaluate(query, compute_probabilities, cache=None)
+
+    def pnn_rtree(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
+        """The same query through the R-tree baseline (for comparison)."""
+        return self._rtree_pnn.query(query, compute_probabilities=compute_probabilities)
+
+    def answer_objects(self, query: Point) -> List[int]:
+        """Just the answer-object ids (no probability computation)."""
+        return self.pnn(query, compute_probabilities=False).answer_ids
+
+    def knn(
+        self,
+        query: Point,
+        k: int,
+        worlds: int = 2000,
+        rng: Optional[np.random.Generator] = None,
+    ) -> KNNResult:
+        """Probabilistic k-NN query (answers with P(in top-k) estimates)."""
+        return ProbabilisticKNN(self.rtree, self.objects).query(
+            query, k, worlds=worlds, rng=rng
+        )
+
+    def _evaluate(
+        self,
+        query: Point,
+        compute_probabilities: bool,
+        cache: Optional[BatchReadCache],
+    ) -> PNNResult:
+        return evaluate_pnn(
+            query,
+            lambda q: self.backend.candidates(q, cache=cache),
+            self._fetch_objects,
+            self.disk.stats,
+            compute_probabilities=compute_probabilities,
+        )
+
+    def _fetch_objects(self, oids: List[int]) -> List[UncertainObject]:
+        return self.object_store.fetch_many(oids)
+
+    # ------------------------------------------------------------------ #
+    # batch queries
+    # ------------------------------------------------------------------ #
+    def batch(
+        self, queries: Sequence[Point], compute_probabilities: bool = True
+    ) -> BatchResult:
+        """Evaluate many PNN queries with a shared read cache.
+
+        Answers are identical to sequential :meth:`pnn` calls; the saving is
+        in I/O: a leaf (or cell) page list is read -- and counted -- once for
+        the whole batch, so clustered workloads collapse their repeated page
+        reads into one pass.
+        """
+        cache = BatchReadCache()
+        start = time.perf_counter()
+        before = self.disk.stats.snapshot()
+        results = [
+            self._evaluate(query, compute_probabilities, cache) for query in queries
+        ]
+        return BatchResult(
+            results=results,
+            io=self.disk.stats.delta(before),
+            seconds=time.perf_counter() - start,
+            cache_hits=cache.hits,
+            cache_misses=cache.misses,
+        )
+
+    # ------------------------------------------------------------------ #
+    # pattern analysis
+    # ------------------------------------------------------------------ #
+    def partitions_in(self, region: Rect) -> PartitionQueryResult:
+        """UV-partition retrieval with densities (Section V-C, query 2)."""
+        return self.backend.partitions_in(region)
+
+    def uv_cell_area(self, oid: int) -> float:
+        """Approximate area of one object's UV-cell (UV-index backends only)."""
+        return self._pattern_analyzer().uv_cell_area(oid)
+
+    def uv_cell_extent(self, oid: int) -> Optional[Rect]:
+        """Bounding rectangle of one object's UV-cell approximation."""
+        return self._pattern_analyzer().uv_cell_extent(oid)
+
+    def _pattern_analyzer(self) -> PatternAnalyzer:
+        pattern = getattr(self.backend, "pattern", None)
+        if pattern is None:
+            raise UnsupportedQueryError(
+                f"backend {self.backend.name!r} does not materialise UV-cells; "
+                "use a UV-index backend (ic/icr/basic) for UV-cell queries"
+            )
+        return pattern
+
+    # ------------------------------------------------------------------ #
+    # live updates
+    # ------------------------------------------------------------------ #
+    def insert(self, obj: UncertainObject):
+        """Insert a new object; the diagram stays queryable afterwards.
+
+        Returns whatever the backend reports (the new object's cr-object ids
+        for UV-index backends, ``None`` otherwise).
+        """
+        if obj.oid in self.by_id:
+            raise ValueError(f"object id {obj.oid} already exists in the engine")
+        if self.backend.handles_engine_state:
+            return self.backend.insert(obj)
+        self._register_object(obj)
+        return self.backend.insert(obj)
+
+    def delete(self, oid: int):
+        """Remove an object by id; the diagram stays queryable afterwards.
+
+        Returns whatever the backend reports (the refreshed object ids for
+        UV-index backends, ``None`` otherwise).
+        """
+        if oid not in self.by_id:
+            raise KeyError(f"object {oid} is not in the engine")
+        if self.backend.handles_engine_state:
+            return self.backend.delete(oid)
+        result = self.backend.delete(oid)
+        self._unregister_object(oid)
+        return result
+
+    def _register_object(self, obj: UncertainObject) -> None:
+        updates.register_object(self, obj)
+
+    def _unregister_object(self, oid: int) -> None:
+        updates.unregister_object(self, oid)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def index(self):
+        """The underlying UV-index, or ``None`` for non-UV backends."""
+        return getattr(self.backend, "index", None)
+
+    def object(self, oid: int) -> UncertainObject:
+        """Look up an object by id."""
+        return self.by_id[oid]
+
+    def statistics(self) -> Dict[str, float]:
+        """Structural statistics of the active backend."""
+        return self.backend.statistics()
+
+    def io_stats(self) -> IOStats:
+        """Snapshot of the shared disk's I/O counters."""
+        return self.disk.stats.snapshot()
+
+    def __len__(self) -> int:
+        return len(self.objects)

@@ -9,18 +9,15 @@ neighbouring cells until no unseen cell can contain a closer object.
 from __future__ import annotations
 
 import math
-import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
-from repro.queries.probability import qualification_probabilities
-from repro.queries.result import PNNAnswer, PNNResult
-from repro.queries.verifier import min_max_prune
+from repro.queries.pipeline import evaluate_pnn
+from repro.queries.result import PNNResult
 from repro.storage.disk import DiskManager
 from repro.storage.object_store import ObjectStore
-from repro.storage.stats import TimingBreakdown
 from repro.uncertain.objects import UncertainObject
 
 
@@ -61,6 +58,57 @@ class UniformGridIndex:
                 page.add(entry)
             self._cell_pages[cell] = page_ids
         self.size = len(objects)
+
+    def insert(self, obj: UncertainObject) -> None:
+        """Add one object to every cell its uncertainty region intersects."""
+        entry = (obj.oid, obj.mbc())
+        for cell in self._cells_overlapping(obj.region):
+            page_ids = self._cell_pages.setdefault(cell, [])
+            page = self.disk.peek_page(page_ids[-1]) if page_ids else None
+            if page is None or page.is_full():
+                page = self.disk.allocate_page()
+                page_ids.append(page.page_id)
+            page.add(entry)
+        self.size += 1
+
+    def remove(self, oid: int) -> bool:
+        """Drop every cell entry of one object; returns ``True`` if found.
+
+        Affected cells are repacked: the surviving entries are compacted into
+        the leading pages and emptied pages are freed, so insert/delete churn
+        does not grow a cell's page list (and hence its query I/O) without
+        bound.
+        """
+        removed = False
+        for cell in list(self._cell_pages):
+            page_ids = self._cell_pages[cell]
+            entries = [
+                entry
+                for page_id in page_ids
+                for entry in self.disk.peek_page(page_id).entries
+            ]
+            survivors = [entry for entry in entries if entry[0] != oid]
+            if len(survivors) == len(entries):
+                continue
+            removed = True
+            kept_pages: List[int] = []
+            for page_id in page_ids:
+                if not survivors:
+                    self.disk.free_page(page_id)
+                    continue
+                page = self.disk.peek_page(page_id)
+                page.entries, survivors = (
+                    survivors[: page.capacity],
+                    survivors[page.capacity:],
+                )
+                kept_pages.append(page_id)
+            if kept_pages:
+                self._cell_pages[cell] = kept_pages
+            else:
+                del self._cell_pages[cell]
+        if removed:
+            self.size = max(0, self.size - 1)
+        return removed
 
     # ------------------------------------------------------------------ #
     # cell arithmetic
@@ -121,6 +169,67 @@ class UniformGridIndex:
         ]
 
 
+def grid_candidates(
+    grid: UniformGridIndex, query: Point, cache=None
+) -> List[Tuple[int, Circle]]:
+    """Candidate ``(oid, MBC)`` pairs by expanding rings of cells around ``query``.
+
+    When ``cache`` (a :class:`repro.engine.backend.BatchReadCache`) is given,
+    each cell's page list is read -- and counted -- at most once per batch.
+    """
+
+    def read_cell(cell: Tuple[int, int]) -> List[Tuple[int, Circle]]:
+        if cache is None:
+            return grid.read_cell(cell)
+        return cache.get(("grid-cell", cell), lambda: grid.read_cell(cell))
+
+    seen_cells: Set[Tuple[int, int]] = set()
+    seen_objects: Dict[int, Circle] = {}
+    home = grid.cell_of(query)
+    frontier = [home]
+    best_minmax = math.inf
+
+    ring = 0
+    while frontier:
+        for cell in frontier:
+            if cell in seen_cells:
+                continue
+            seen_cells.add(cell)
+            for oid, mbc in read_cell(cell):
+                if oid not in seen_objects:
+                    seen_objects[oid] = mbc
+                    best_minmax = min(best_minmax, mbc.max_distance(query))
+        ring += 1
+        next_frontier = []
+        for cell in _ring_cells(grid, home, ring):
+            if cell in seen_cells:
+                continue
+            if grid.cell_rect(cell).min_distance_to_point(query) <= best_minmax:
+                next_frontier.append(cell)
+        frontier = next_frontier
+
+    return [
+        (oid, mbc)
+        for oid, mbc in seen_objects.items()
+        if mbc.min_distance(query) <= best_minmax + 1e-12
+    ]
+
+
+def _ring_cells(
+    grid: UniformGridIndex, home: Tuple[int, int], ring: int
+) -> List[Tuple[int, int]]:
+    cells = []
+    resolution = grid.resolution
+    for dx in range(-ring, ring + 1):
+        for dy in range(-ring, ring + 1):
+            if max(abs(dx), abs(dy)) != ring:
+                continue
+            cx, cy = home[0] + dx, home[1] + dy
+            if 0 <= cx < resolution and 0 <= cy < resolution:
+                cells.append((cx, cy))
+    return cells
+
+
 class GridPNN:
     """PNN evaluation over a :class:`UniformGridIndex`."""
 
@@ -138,83 +247,16 @@ class GridPNN:
 
     def query(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
         """Evaluate a PNN query by expanding rings of cells around the query."""
-        timing = TimingBreakdown()
-        io_before = self.grid.disk.stats.snapshot()
-
-        start = time.perf_counter()
-        candidates = self._retrieve_candidates(query)
-        answer_ids = min_max_prune(query, candidates)
-        timing.add("index", time.perf_counter() - start)
-        index_io = self.grid.disk.stats.delta(io_before)
-
-        start = time.perf_counter()
-        answer_objects = self._fetch_objects(answer_ids)
-        timing.add("object_retrieval", time.perf_counter() - start)
-
-        start = time.perf_counter()
-        if compute_probabilities and answer_objects:
-            probabilities = qualification_probabilities(answer_objects, query)
-        else:
-            probabilities = {obj.oid: 0.0 for obj in answer_objects}
-        timing.add("probability", time.perf_counter() - start)
-
-        answers = [
-            PNNAnswer(oid=oid, probability=probabilities.get(oid, 0.0))
-            for oid in answer_ids
-        ]
-        answers.sort(key=lambda a: (-a.probability, a.oid))
-        return PNNResult(
-            query=query,
-            answers=answers,
-            candidates_examined=len(candidates),
-            io=self.grid.disk.stats.delta(io_before),
-            index_io=index_io,
-            timing=timing,
+        return evaluate_pnn(
+            query,
+            self._retrieve_candidates,
+            self._fetch_objects,
+            self.grid.disk.stats,
+            compute_probabilities=compute_probabilities,
         )
 
     def _retrieve_candidates(self, query: Point) -> List[Tuple[int, Circle]]:
-        seen_cells: Set[Tuple[int, int]] = set()
-        seen_objects: Dict[int, Circle] = {}
-        home = self.grid.cell_of(query)
-        frontier = [home]
-        best_minmax = math.inf
-
-        ring = 0
-        while frontier:
-            for cell in frontier:
-                if cell in seen_cells:
-                    continue
-                seen_cells.add(cell)
-                for oid, mbc in self.grid.read_cell(cell):
-                    if oid not in seen_objects:
-                        seen_objects[oid] = mbc
-                        best_minmax = min(best_minmax, mbc.max_distance(query))
-            ring += 1
-            next_frontier = []
-            for cell in self._ring_cells(home, ring):
-                if cell in seen_cells:
-                    continue
-                if self.grid.cell_rect(cell).min_distance_to_point(query) <= best_minmax:
-                    next_frontier.append(cell)
-            frontier = next_frontier
-
-        return [
-            (oid, mbc)
-            for oid, mbc in seen_objects.items()
-            if mbc.min_distance(query) <= best_minmax + 1e-12
-        ]
-
-    def _ring_cells(self, home: Tuple[int, int], ring: int) -> List[Tuple[int, int]]:
-        cells = []
-        resolution = self.grid.resolution
-        for dx in range(-ring, ring + 1):
-            for dy in range(-ring, ring + 1):
-                if max(abs(dx), abs(dy)) != ring:
-                    continue
-                cx, cy = home[0] + dx, home[1] + dy
-                if 0 <= cx < resolution and 0 <= cy < resolution:
-                    cells.append((cx, cy))
-        return cells
+        return grid_candidates(self.grid, query)
 
     def _fetch_objects(self, oids: List[int]) -> List[UncertainObject]:
         if self.object_store is not None:

@@ -1,0 +1,86 @@
+"""The shared PNN evaluation pipeline.
+
+Every PNN processor in the library -- UV-index point query, R-tree
+branch-and-prune, uniform-grid ring expansion, and the unified
+:class:`~repro.engine.engine.QueryEngine` -- evaluates a query the same way:
+
+1. retrieve candidate ``(oid, MBC)`` pairs from an index structure,
+2. verify them with the ``d_minmax`` rule,
+3. fetch the surviving objects (pdf retrieval, counted I/O),
+4. compute qualification probabilities by numerical integration,
+
+while recording the three time buckets of Figure 6(c) and the I/O split of
+Figure 6(b).  This module implements that pipeline once; the processors only
+supply the candidate-retrieval step, which is the part that actually differs
+between index backends.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Sequence, Tuple
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.queries.probability import qualification_probabilities
+from repro.queries.result import PNNAnswer, PNNResult
+from repro.queries.verifier import min_max_prune
+from repro.storage.stats import IOStats, TimingBreakdown
+from repro.uncertain.objects import UncertainObject
+
+CandidateSource = Callable[[Point], Sequence[Tuple[int, Circle]]]
+ObjectFetcher = Callable[[List[int]], List[UncertainObject]]
+
+
+def evaluate_pnn(
+    query: Point,
+    retrieve_candidates: CandidateSource,
+    fetch_objects: ObjectFetcher,
+    io_counter: IOStats,
+    compute_probabilities: bool = True,
+) -> PNNResult:
+    """Run the retrieve / verify / fetch / integrate pipeline for one query.
+
+    Args:
+        query: the query point.
+        retrieve_candidates: index-specific candidate retrieval; every page it
+            touches must be counted by ``io_counter``'s disk.
+        fetch_objects: resolves answer-object ids to full objects (pdf
+            retrieval); counted through the same disk when store-backed.
+        io_counter: the live :class:`IOStats` of the disk under the index.
+        compute_probabilities: when ``False``, skip the numerical integration
+            (answer sets only, as in the pruning experiments).
+    """
+    timing = TimingBreakdown()
+    io_before = io_counter.snapshot()
+
+    start = time.perf_counter()
+    candidates = list(retrieve_candidates(query))
+    answer_ids = min_max_prune(query, candidates)
+    timing.add("index", time.perf_counter() - start)
+    index_io = io_counter.delta(io_before)
+
+    start = time.perf_counter()
+    answer_objects = fetch_objects(answer_ids)
+    timing.add("object_retrieval", time.perf_counter() - start)
+
+    start = time.perf_counter()
+    if compute_probabilities and answer_objects:
+        probabilities = qualification_probabilities(answer_objects, query)
+    else:
+        probabilities = {obj.oid: 0.0 for obj in answer_objects}
+    timing.add("probability", time.perf_counter() - start)
+
+    answers = [
+        PNNAnswer(oid=oid, probability=probabilities.get(oid, 0.0))
+        for oid in answer_ids
+    ]
+    answers.sort(key=lambda a: (-a.probability, a.oid))
+    return PNNResult(
+        query=query,
+        answers=answers,
+        candidates_examined=len(candidates),
+        io=io_counter.delta(io_before),
+        index_io=index_io,
+        timing=timing,
+    )

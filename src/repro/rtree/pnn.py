@@ -9,25 +9,67 @@ integration.
 
 The evaluator records the same three time buckets the paper reports in
 Figure 6(c): index traversal, object (pdf) retrieval, and probability
-computation, plus the leaf-page I/O of Figure 6(b).
+computation, plus the leaf-page I/O of Figure 6(b); the shared pipeline
+lives in :mod:`repro.queries.pipeline`.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-import time
 from typing import List, Optional, Tuple
 
 from repro.geometry.circle import Circle
 from repro.geometry.point import Point
-from repro.queries.probability import qualification_probabilities
-from repro.queries.result import PNNAnswer, PNNResult
-from repro.queries.verifier import min_max_prune
+from repro.queries.pipeline import evaluate_pnn
+from repro.queries.result import PNNResult
 from repro.rtree.tree import RTree
 from repro.storage.object_store import ObjectStore
-from repro.storage.stats import TimingBreakdown
 from repro.uncertain.objects import UncertainObject
+
+
+def branch_and_prune_candidates(
+    tree: RTree, query: Point, cache=None
+) -> List[Tuple[int, Circle]]:
+    """Answer-object candidates ``(oid, MBC)`` via branch-and-prune traversal.
+
+    When ``cache`` (a :class:`repro.engine.backend.BatchReadCache`) is given,
+    each leaf node's page is read -- and counted -- at most once per batch.
+    """
+    heap: List[Tuple[float, int, object]] = []
+    counter = itertools.count()
+    heapq.heappush(heap, (0.0, next(counter), tree.root))
+    best_minmax = float("inf")
+    candidates: List[Tuple[int, Circle, float]] = []
+
+    while heap:
+        min_dist, _, node = heapq.heappop(heap)
+        if min_dist > best_minmax:
+            break
+        if node.is_leaf:
+            if cache is None:
+                entries = tree._read_leaf(node)
+            else:
+                entries = cache.get(
+                    ("rtree-leaf", id(node)), lambda n=node: tree._read_leaf(n)
+                )
+            for entry in entries:
+                mbc = _mbr_to_mbc(entry.mbr)
+                entry_min = mbc.min_distance(query)
+                entry_max = mbc.max_distance(query)
+                best_minmax = min(best_minmax, entry_max)
+                candidates.append((entry.oid, mbc, entry_min))
+        else:
+            for entry in node.entries:
+                entry_min = entry.mbr.min_distance_to_point(query)
+                if entry_min <= best_minmax:
+                    heapq.heappush(heap, (entry_min, next(counter), entry.child))
+
+    return [
+        (oid, mbc)
+        for oid, mbc, entry_min in candidates
+        if entry_min <= best_minmax + 1e-12
+    ]
 
 
 class RTreePNN:
@@ -58,72 +100,19 @@ class RTreePNN:
     # ------------------------------------------------------------------ #
     def retrieve_candidates(self, query: Point) -> List[Tuple[int, Circle]]:
         """Answer-object candidates ``(oid, MBC)`` via branch-and-prune traversal."""
-        heap: List[Tuple[float, int, object]] = []
-        counter = itertools.count()
-        heapq.heappush(heap, (0.0, next(counter), self.tree.root))
-        best_minmax = float("inf")
-        candidates: List[Tuple[int, Circle, float]] = []
-
-        while heap:
-            min_dist, _, node = heapq.heappop(heap)
-            if min_dist > best_minmax:
-                break
-            if node.is_leaf:
-                for entry in self.tree._read_leaf(node):
-                    mbc = _mbr_to_mbc(entry.mbr)
-                    entry_min = mbc.min_distance(query)
-                    entry_max = mbc.max_distance(query)
-                    best_minmax = min(best_minmax, entry_max)
-                    candidates.append((entry.oid, mbc, entry_min))
-            else:
-                for entry in node.entries:
-                    entry_min = entry.mbr.min_distance_to_point(query)
-                    if entry_min <= best_minmax:
-                        heapq.heappush(heap, (entry_min, next(counter), entry.child))
-
-        return [
-            (oid, mbc)
-            for oid, mbc, entry_min in candidates
-            if entry_min <= best_minmax + 1e-12
-        ]
+        return branch_and_prune_candidates(self.tree, query)
 
     # ------------------------------------------------------------------ #
     # full query
     # ------------------------------------------------------------------ #
     def query(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
         """Evaluate a PNN query and return answers with probabilities."""
-        timing = TimingBreakdown()
-        io_before = self.tree.disk.stats.snapshot()
-
-        start = time.perf_counter()
-        candidates = self.retrieve_candidates(query)
-        answer_ids = min_max_prune(query, candidates)
-        timing.add("index", time.perf_counter() - start)
-        index_io = self.tree.disk.stats.delta(io_before)
-
-        start = time.perf_counter()
-        answer_objects = self._fetch_objects(answer_ids)
-        timing.add("object_retrieval", time.perf_counter() - start)
-
-        start = time.perf_counter()
-        if compute_probabilities and answer_objects:
-            probabilities = qualification_probabilities(answer_objects, query)
-        else:
-            probabilities = {obj.oid: 0.0 for obj in answer_objects}
-        timing.add("probability", time.perf_counter() - start)
-
-        answers = [
-            PNNAnswer(oid=oid, probability=probabilities.get(oid, 0.0))
-            for oid in answer_ids
-        ]
-        answers.sort(key=lambda a: (-a.probability, a.oid))
-        return PNNResult(
-            query=query,
-            answers=answers,
-            candidates_examined=len(candidates),
-            io=self.tree.disk.stats.delta(io_before),
-            index_io=index_io,
-            timing=timing,
+        return evaluate_pnn(
+            query,
+            self.retrieve_candidates,
+            self._fetch_objects,
+            self.tree.disk.stats,
+            compute_probabilities=compute_probabilities,
         )
 
     def _fetch_objects(self, oids: List[int]) -> List[UncertainObject]:

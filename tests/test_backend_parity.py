@@ -1,0 +1,39 @@
+"""Acceptance parity check: the engine answers PNN identically -- same answer
+sets and same qualification probabilities -- through all three backend
+families, on 200-object uniform datasets over seeds 0-2."""
+
+import pytest
+
+from repro import DiagramConfig, QueryEngine, generate_query_points, generate_uniform_objects
+from repro.core.uv_cell import answer_objects_brute_force
+
+
+CONFIG = DiagramConfig(page_capacity=16, seed_knn=60, rtree_fanout=16,
+                       grid_resolution=16)
+BACKENDS = ("ic", "rtree", "grid")
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_pnn_parity_on_200_uniform_objects(seed):
+    objects, domain = generate_uniform_objects(200, seed=seed, diameter=300.0)
+    engines = {
+        name: QueryEngine.build(objects, domain, CONFIG.replace(backend=name))
+        for name in BACKENDS
+    }
+    workload = generate_query_points(10, domain, seed=seed + 100)
+
+    # Answer sets match brute force on every backend for every query.
+    for q in workload:
+        expected = answer_objects_brute_force(objects, q)
+        for name, engine in engines.items():
+            got = sorted(engine.pnn(q, compute_probabilities=False).answer_ids)
+            assert got == expected, f"{name} diverged at seed {seed}, query {q}"
+
+    # Probabilities agree across backends (same objects, same integration).
+    for q in workload[:3]:
+        reference = engines["ic"].pnn(q).probabilities
+        for name in BACKENDS[1:]:
+            probabilities = engines[name].pnn(q).probabilities
+            assert probabilities.keys() == reference.keys()
+            for oid, p in reference.items():
+                assert probabilities[oid] == pytest.approx(p, abs=1e-9), name
