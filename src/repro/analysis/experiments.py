@@ -194,6 +194,7 @@ class BackendComparisonRow:
     avg_index_reads: float
     avg_answers: float
     answers_agree: bool
+    cache_hit_ratio: float = 0.0
 
 
 def run_backend_comparison(
@@ -202,13 +203,18 @@ def run_backend_comparison(
     queries: Optional[Sequence[Point]] = None,
     config: Optional[DiagramConfig] = None,
     compute_probabilities: bool = False,
+    prebuilt: Optional[Dict[str, QueryEngine]] = None,
 ) -> List[BackendComparisonRow]:
     """Run the same PNN workload through several engine backends.
 
     Each backend gets its own engine (and disk, so I/O is counted
     independently); ``answers_agree`` records whether a backend returned the
     same answer sets as the first backend in the list, which exercises the
-    registry's parity guarantee end-to-end.
+    registry's parity guarantee end-to-end.  ``prebuilt`` supplies existing
+    engines by backend name (e.g. one reopened from a snapshot); those skip
+    the build and report a zero build time.  ``cache_hit_ratio`` reflects the
+    integrated buffer pool over the workload (zero when ``buffer_pages`` is
+    off).
     """
     if not backend_names:
         raise ValueError("at least one backend name is required")
@@ -218,15 +224,22 @@ def run_backend_comparison(
     rows: List[BackendComparisonRow] = []
     reference_answers: Optional[List[List[int]]] = None
     for name in backend_names:
-        start = time.perf_counter()
-        engine = QueryEngine.build(
-            bundle.objects, bundle.domain, config.replace(backend=name)
-        )
-        build_seconds = time.perf_counter() - start
+        prebuilt_engine = (prebuilt or {}).get(name)
+        if prebuilt_engine is not None:
+            engine = prebuilt_engine
+            build_seconds = 0.0
+        else:
+            start = time.perf_counter()
+            engine = QueryEngine.build(
+                bundle.objects, bundle.domain, config.replace(backend=name)
+            )
+            build_seconds = time.perf_counter() - start
+        workload_before = engine.disk.stats.snapshot()
         results = [
             engine.pnn(q, compute_probabilities=compute_probabilities)
             for q in queries
         ]
+        workload_io = engine.disk.stats.delta(workload_before)
         answers = [sorted(r.answer_ids) for r in results]
         if reference_answers is None:
             reference_answers = answers
@@ -242,6 +255,7 @@ def run_backend_comparison(
                 avg_index_reads=aggregated.avg_index_io,
                 avg_answers=aggregated.avg_answers,
                 answers_agree=answers == reference_answers,
+                cache_hit_ratio=workload_io.cache_hit_ratio,
             )
         )
     return rows

@@ -3,10 +3,12 @@
 Five sub-commands cover the everyday interactions with the library:
 
 * ``info``      -- library version and a summary of the available components,
-* ``build``     -- generate a dataset, build a query engine, print index stats,
-* ``query``     -- build an engine and answer one or more PNN queries,
+* ``build``     -- generate a dataset, build a query engine, print index stats
+  (``--save`` persists the diagram as a snapshot file),
+* ``query``     -- answer PNN queries over a built engine (``--load`` serves a
+  snapshot instead of rebuilding),
 * ``compare``   -- run the same query workload across several backends,
-* ``render``    -- build a diagram and write an SVG picture of it.
+* ``render``    -- build (or ``--load``) a diagram and write an SVG picture.
 
 The CLI is intentionally thin: every command maps directly onto the public
 Python API (:class:`repro.QueryEngine` + :class:`repro.DiagramConfig`) so
@@ -45,6 +47,22 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
                         help="k of the seed-selection k-NN query")
     parser.add_argument("--grid-resolution", type=int, default=16,
                         help="cells per axis of the grid backend")
+    parser.add_argument("--store", default="memory", choices=["memory", "file"],
+                        help="page store backing the build (default: memory)")
+    parser.add_argument("--store-path", default=None,
+                        help="page-file path (required for --store file)")
+    parser.add_argument("--buffer-pages", type=int, default=None,
+                        help="LRU buffer-pool capacity on the read path "
+                             "(0 = off; default: off for builds, the saved "
+                             "value for --load)")
+
+
+def _add_load_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--load", default=None, metavar="SNAPSHOT",
+                        help="serve a saved snapshot instead of rebuilding")
+    parser.add_argument("--load-store", default="file",
+                        choices=["file", "mmap", "memory"],
+                        help="store kind used to open --load (default: file)")
 
 
 def _load_bundle(args: argparse.Namespace) -> DatasetBundle:
@@ -61,18 +79,46 @@ def _load_bundle(args: argparse.Namespace) -> DatasetBundle:
 def _config_from_args(args: argparse.Namespace, backend: Optional[str] = None) -> DiagramConfig:
     if args.method and not args.backend:
         print("warning: --method is deprecated, use --backend", file=sys.stderr)
+    if args.store == "file" and not args.store_path:
+        print("error: --store file requires --store-path", file=sys.stderr)
+        raise SystemExit(2)
     return DiagramConfig(
         backend=backend or args.backend or args.method or "ic",
         page_capacity=args.page_capacity,
         seed_knn=args.seed_knn,
         rtree_fanout=16,
         grid_resolution=args.grid_resolution,
+        store=args.store,
+        store_path=args.store_path,
+        buffer_pages=args.buffer_pages if args.buffer_pages is not None else 0,
     )
 
 
 def _build_engine(args: argparse.Namespace) -> QueryEngine:
     bundle = _load_bundle(args)
     return QueryEngine.build(bundle.objects, bundle.domain, _config_from_args(args))
+
+
+def _open_snapshot(args: argparse.Namespace) -> QueryEngine:
+    """Open ``--load`` with clean CLI errors for bad paths and formats."""
+    from repro.storage.pagestore import PageStoreError
+
+    try:
+        return QueryEngine.open(args.load, store=args.load_store,
+                                buffer_pages=args.buffer_pages)
+    except (OSError, PageStoreError, ValueError) as exc:
+        print(f"error: cannot open snapshot {args.load}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _obtain_engine(args: argparse.Namespace) -> QueryEngine:
+    """A served engine: reopened from ``--load`` when given, else freshly built."""
+    if getattr(args, "load", None):
+        engine = _open_snapshot(args)
+        print(f"opened snapshot {args.load} ({engine.backend.name!r} backend, "
+              f"{len(engine)} objects, {args.load_store} store)")
+        return engine
+    return _build_engine(args)
 
 
 def _command_info(_: argparse.Namespace) -> int:
@@ -99,11 +145,24 @@ def _command_build(args: argparse.Namespace) -> int:
         print(f"  pruning ratio     : {stats.c_pruning_ratio:.1%}")
     for key, value in engine.statistics().items():
         print(f"  index {key:<22}: {value:.1f}")
+    save_paths = []
+    if args.store == "file":
+        # A file-backed build would otherwise leave only empty allocation-time
+        # slots behind (leaf lists are mutated in memory until a flush).
+        save_paths.append(args.store_path)
+    if args.save and args.save not in save_paths:
+        save_paths.append(args.save)
+    for save_path in save_paths:
+        import os
+
+        engine.save(save_path)
+        print(f"  snapshot          : {save_path} "
+              f"({os.path.getsize(save_path)} bytes)")
     return 0
 
 
 def _command_query(args: argparse.Namespace) -> int:
-    engine = _build_engine(args)
+    engine = _obtain_engine(args)
     if args.at:
         coordinates = [float(part) for part in args.at.split(",")]
         if len(coordinates) != 2:
@@ -149,17 +208,48 @@ def _command_compare(args: argparse.Namespace) -> int:
               f"(available: {', '.join(available_backends())})", file=sys.stderr)
         return 2
 
-    bundle = _load_bundle(args)
+    prebuilt = None
+    if args.load:
+        from repro.datasets.synthetic import generate_query_points
+
+        loaded = _open_snapshot(args)
+        bundle = DatasetBundle(
+            name=f"snapshot:{args.load}",
+            objects=loaded.objects,
+            domain=loaded.domain,
+            diameter=args.diameter,
+            queries=generate_query_points(max(50, args.queries), loaded.domain,
+                                          seed=args.seed + 1),
+        )
+        prebuilt = {loaded.backend.name: loaded}
+        if loaded.backend.name not in backends:
+            # The point of --load is to put the served engine in the table;
+            # make it the reference row rather than silently dropping it.
+            backends.insert(0, loaded.backend.name)
+        # Fresh backends use the snapshot's own build knobs (not the CLI
+        # defaults) so the table compares identically parameterised engines;
+        # only the store goes back to memory -- they must not touch the file.
+        config = loaded.config.replace(
+            backend=backends[0], store="memory", store_path=None
+        )
+        print(f"opened snapshot {args.load} ({loaded.backend.name!r} backend); "
+              f"other backends are built fresh over the snapshot's objects "
+              f"with its config")
+    else:
+        bundle = _load_bundle(args)
+        config = _config_from_args(args, backend=backends[0])
     queries = bundle.queries[: args.queries]
     rows = run_backend_comparison(
         bundle,
         backends,
         queries=queries,
-        config=_config_from_args(args, backend=backends[0]),
+        config=config,
         compute_probabilities=not args.no_probabilities,
+        prebuilt=prebuilt,
     )
     table = format_table(
-        ["backend", "build s", "avg ms", "avg reads", "index reads", "answers", "agree"],
+        ["backend", "build s", "avg ms", "avg reads", "index reads", "answers",
+         "hit%", "agree"],
         [
             [
                 row.backend,
@@ -168,12 +258,14 @@ def _command_compare(args: argparse.Namespace) -> int:
                 row.avg_page_reads,
                 row.avg_index_reads,
                 row.avg_answers,
+                f"{row.cache_hit_ratio:.0%}",
                 "yes" if row.answers_agree else "NO",
             ]
             for row in rows
         ],
-        title=(f"{len(queries)} PNN queries over {bundle.size} {args.dataset} "
-               f"objects, per-backend engines"),
+        title=(f"{len(queries)} PNN queries over {bundle.size} "
+               f"{bundle.name if args.load else args.dataset} objects, "
+               f"per-backend engines"),
     )
     print(table)
     if not all(row.answers_agree for row in rows):
@@ -186,7 +278,7 @@ def _command_render(args: argparse.Namespace) -> int:
     from repro.core.diagram import UVDiagram
     from repro.viz.svg import render_uv_diagram
 
-    engine = _build_engine(args)
+    engine = _obtain_engine(args)
     if engine.index is None:
         print("error: render requires a UV-index backend (ic/icr/basic)",
               file=sys.stderr)
@@ -217,10 +309,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     build = subparsers.add_parser("build", help="build a query engine and print statistics")
     _add_dataset_arguments(build)
+    build.add_argument("--save", default=None, metavar="SNAPSHOT",
+                       help="persist the built diagram as a snapshot file")
     build.set_defaults(handler=_command_build)
 
-    query = subparsers.add_parser("query", help="build a query engine and run PNN queries")
+    query = subparsers.add_parser("query", help="run PNN queries over a built or loaded engine")
     _add_dataset_arguments(query)
+    _add_load_arguments(query)
     query.add_argument("--at", default=None, help="query point as 'x,y' (default: random)")
     query.add_argument("--count", type=int, default=3,
                        help="number of random queries when --at is not given")
@@ -229,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser(
         "compare", help="run the same PNN workload across several backends")
     _add_dataset_arguments(compare)
+    _add_load_arguments(compare)
     compare.add_argument("--backends", default="ic,rtree",
                          help="comma-separated backend names (default: ic,rtree)")
     compare.add_argument("--queries", type=int, default=10,
@@ -239,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     render = subparsers.add_parser("render", help="render the UV-diagram to an SVG file")
     _add_dataset_arguments(render)
+    _add_load_arguments(render)
     render.add_argument("--output", default="uv_diagram.svg", help="output SVG path")
     render.add_argument("--width", type=int, default=800, help="image width in pixels")
     render.add_argument("--highlight", default="",

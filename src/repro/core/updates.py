@@ -48,6 +48,18 @@ def unregister_object(diagram, oid: int) -> None:
 
     diagram.objects = [obj for obj in diagram.objects if obj.oid != oid]
     del diagram.by_id[oid]
+    diagram.object_store.remove(oid)
+    # Free the outgoing tree's leaf pages before bulk-loading its replacement;
+    # leaking them would grow the page-id space (and hence every future
+    # snapshot file) on each delete.
+    stack = [diagram.rtree.root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            if node.page_id is not None:
+                diagram.disk.free_page(node.page_id)
+        else:
+            stack.extend(entry.child for entry in node.entries)
     diagram.rtree = RTree.bulk_load(
         diagram.objects, disk=diagram.disk, fanout=diagram.rtree.fanout
     )

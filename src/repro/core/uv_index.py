@@ -306,8 +306,10 @@ class UVIndex:
         """Remove every leaf entry of one object; returns ``True`` if found.
 
         Leaf pages are edited in place (uncounted maintenance I/O, matching
-        how insertion accounts its writes); empty trailing structure is left
-        as-is -- the adaptive grid never un-splits, as in the paper.
+        how insertion accounts its writes) and pages that become empty are
+        freed, so delete churn does not grow a leaf's page list -- or the
+        disk's page-id space -- without bound.  The adaptive grid itself
+        never un-splits, as in the paper.
         """
         self._owner_circle.pop(oid, None)
         self._cr_circles.pop(oid, None)
@@ -318,12 +320,75 @@ class UVIndex:
                 continue
             removed_any = True
             leaf.entry_oids = [existing for existing in leaf.entry_oids if existing != oid]
+            kept_pages: List[int] = []
             for page_id in leaf.page_ids:
                 page = self.disk.peek_page(page_id)
                 page.entries = [entry for entry in page.entries if entry.oid != oid]
+                if page.entries:
+                    kept_pages.append(page_id)
+                else:
+                    self.disk.free_page(page_id)
+            leaf.page_ids = kept_pages
         if removed_any:
             self.size = max(0, self.size - 1)
         return removed_any
+
+    # ------------------------------------------------------------------ #
+    # persistence (diagram snapshots)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        """JSON-ready state of the in-memory structure.
+
+        Leaf page *contents* stay on the disk manager's pages (the snapshot
+        file stores them in place); this captures everything else: the
+        non-leaf tree, per-leaf page-id lists, and the circles the 4-point
+        test needs for future insertions.
+        """
+        return {
+            "max_nonleaf": self.max_nonleaf,
+            "split_threshold": self.split_threshold,
+            "page_capacity": self.page_capacity,
+            "size": self.size,
+            "nonleaf_count": self.nonleaf_count,
+            "owner_circles": {
+                str(oid): _circle_state(c) for oid, c in self._owner_circle.items()
+            },
+            "cr_circles": {
+                str(oid): [_circle_state(c) for c in circles]
+                for oid, circles in self._cr_circles.items()
+            },
+            "root": _node_state(self.root),
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: Dict, domain: Rect, disk: DiskManager) -> "UVIndex":
+        """Rebuild an index over already-persisted leaf pages.
+
+        No pages are read or allocated: the restored nodes reference the page
+        ids recorded in ``state``, so query I/O counts match the original
+        index exactly.
+        """
+        index = cls(
+            domain,
+            disk=disk,
+            max_nonleaf=state["max_nonleaf"],
+            split_threshold=state["split_threshold"],
+            page_capacity=state["page_capacity"],
+        )
+        index.size = state["size"]
+        index.nonleaf_count = state["nonleaf_count"]
+        index._owner_circle = {
+            int(oid): _circle_from_state(c) for oid, c in state["owner_circles"].items()
+        }
+        index._cr_circles = {
+            int(oid): [_circle_from_state(c) for c in circles]
+            for oid, circles in state["cr_circles"].items()
+        }
+        index.root = _node_from_state(state["root"])
+        for leaf in index.leaves():
+            for oid in leaf.entry_oids:
+                index._register_leaf(oid, leaf)
+        return index
 
     def statistics(self) -> Dict[str, float]:
         """Summary statistics used by reports and the sensitivity benchmark."""
@@ -345,3 +410,46 @@ class UVIndex:
                 sum(page_counts) / len(leaves) if leaves else 0.0
             ),
         }
+
+
+# ---------------------------------------------------------------------- #
+# snapshot plumbing
+# ---------------------------------------------------------------------- #
+def _circle_state(circle: Circle) -> List[float]:
+    return [circle.center.x, circle.center.y, circle.radius]
+
+
+def _circle_from_state(state: Sequence[float]) -> Circle:
+    return Circle(Point(state[0], state[1]), state[2])
+
+
+def _node_state(node: UVIndexNode) -> Dict:
+    from repro.storage.codec import rect_state
+
+    state: Dict = {
+        "region": rect_state(node.region),
+        "leaf": node.is_leaf,
+        "level": node.level,
+    }
+    if node.is_leaf:
+        state["pages"] = list(node.page_ids)
+        state["oids"] = list(node.entry_oids)
+    else:
+        state["children"] = [_node_state(child) for child in node.children or []]
+    return state
+
+
+def _node_from_state(state: Dict) -> UVIndexNode:
+    from repro.storage.codec import rect_from_state
+
+    node = UVIndexNode(
+        region=rect_from_state(state["region"]),
+        is_leaf=state["leaf"],
+        level=state["level"],
+    )
+    if node.is_leaf:
+        node.page_ids = list(state["pages"])
+        node.entry_oids = list(state["oids"])
+    else:
+        node.children = [_node_from_state(child) for child in state["children"]]
+    return node

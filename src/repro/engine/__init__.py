@@ -15,6 +15,7 @@ from repro.engine.backend import (
     available_backends,
     create_backend,
     register_backend,
+    restore_backend,
     unregister_backend,
 )
 from repro.engine.config import DiagramConfig
@@ -33,5 +34,6 @@ __all__ = [
     "available_backends",
     "create_backend",
     "register_backend",
+    "restore_backend",
     "unregister_backend",
 ]

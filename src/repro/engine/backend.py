@@ -128,6 +128,21 @@ class IndexBackend(abc.ABC):
         return self.engine.disk.stats.snapshot()
 
     # ------------------------------------------------------------------ #
+    # persistence (diagram snapshots)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict[str, Any]:
+        """JSON-ready state needed to rebuild the backend over saved pages.
+
+        Backends that support snapshots override this (all built-ins do) and
+        register a restorer with :func:`register_backend`; the default makes
+        snapshotting an opt-in capability for third-party backends.
+        """
+        raise UnsupportedQueryError(
+            f"backend {self.name!r} does not support snapshots; implement "
+            "snapshot_state() and register a restorer to enable save()/open()"
+        )
+
+    # ------------------------------------------------------------------ #
     # pattern queries (generic fallback)
     # ------------------------------------------------------------------ #
     def partitions_in(self, region: Rect) -> PartitionQueryResult:
@@ -156,23 +171,41 @@ BackendFactory = Callable[
     [Sequence[UncertainObject], Rect, "DiagramConfig", Any, Any], IndexBackend
 ]
 
+#: called as ``restorer(state, objects, domain, config, disk, rtree, stats)``
+#: with the :meth:`IndexBackend.snapshot_state` payload; must return an
+#: unbound backend wired to the already-persisted pages.
+BackendRestorer = Callable[..., IndexBackend]
+
 _REGISTRY: Dict[str, BackendFactory] = {}
+_RESTORERS: Dict[str, BackendRestorer] = {}
 
 
-def register_backend(name: str, factory: BackendFactory) -> None:
+def register_backend(
+    name: str,
+    factory: BackendFactory,
+    restorer: Optional[BackendRestorer] = None,
+) -> None:
     """Register (or replace) a backend factory under a string key.
 
     The factory is called as ``factory(objects, domain, config, disk, rtree)``
-    and must return an unbound :class:`IndexBackend`.
+    and must return an unbound :class:`IndexBackend`.  ``restorer``, when
+    given, enables ``QueryEngine.open()`` for this backend: it receives the
+    backend's :meth:`~IndexBackend.snapshot_state` payload and rebuilds the
+    backend over the snapshot's pages without reconstruction.
     """
     if not name:
         raise ValueError("backend name must be non-empty")
     _REGISTRY[name.lower()] = factory
+    if restorer is not None:
+        _RESTORERS[name.lower()] = restorer
+    else:
+        _RESTORERS.pop(name.lower(), None)
 
 
 def unregister_backend(name: str) -> None:
     """Remove a backend from the registry (mainly for tests)."""
     _REGISTRY.pop(name.lower(), None)
+    _RESTORERS.pop(name.lower(), None)
 
 
 def available_backends() -> List[str]:
@@ -196,5 +229,27 @@ def create_backend(
             f"unknown backend: {name!r} (available: {', '.join(available_backends())})"
         ) from None
     backend = factory(objects, domain, config, disk, rtree)
+    backend.name = name.lower()
+    return backend
+
+
+def restore_backend(
+    name: str,
+    state: Dict[str, Any],
+    objects: Sequence[UncertainObject],
+    domain: Rect,
+    config: "DiagramConfig",
+    disk,
+    rtree,
+    stats,
+) -> IndexBackend:
+    """Rebuild the backend registered under ``name`` from snapshot state."""
+    restorer = _RESTORERS.get(name.lower())
+    if restorer is None:
+        raise ValueError(
+            f"backend {name!r} has no snapshot restorer; register one via "
+            "register_backend(name, factory, restorer)"
+        )
+    backend = restorer(state, objects, domain, config, disk, rtree, stats)
     backend.name = name.lower()
     return backend

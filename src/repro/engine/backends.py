@@ -95,6 +95,10 @@ class UVIndexBackend(IndexBackend):
     def partitions_in(self, region: Rect) -> PartitionQueryResult:
         return self.pattern.partitions_in(region)
 
+    # persistence -------------------------------------------------------- #
+    def snapshot_state(self) -> Dict:
+        return {"index": self.index.snapshot_state()}
+
 
 class RTreeBackend(IndexBackend):
     """The branch-and-prune R-tree baseline as a backend.
@@ -150,6 +154,12 @@ class RTreeBackend(IndexBackend):
             "leaf_nodes": float(leaf_count),
             "max_depth": float(depth),
         }
+
+    # persistence -------------------------------------------------------- #
+    def snapshot_state(self) -> Dict:
+        # The candidate source is the engine's shared R-tree, which the
+        # snapshot already persists; the adapter itself is stateless.
+        return {}
 
 
 class UniformGridBackend(IndexBackend):
@@ -222,6 +232,10 @@ class UniformGridBackend(IndexBackend):
             io=self.engine.disk.stats.delta(before),
             seconds=time.perf_counter() - start,
         )
+
+    # persistence -------------------------------------------------------- #
+    def snapshot_state(self) -> Dict:
+        return {"grid": self.grid.snapshot_state()}
 
 
 # ---------------------------------------------------------------------- #
@@ -300,7 +314,48 @@ def _grid_factory(
     return UniformGridBackend(grid, stats)
 
 
+# ---------------------------------------------------------------------- #
+# snapshot restorers
+# ---------------------------------------------------------------------- #
+def _uv_restorer(
+    state: Dict,
+    objects: Sequence[UncertainObject],
+    domain: Rect,
+    config: DiagramConfig,
+    disk: DiskManager,
+    rtree: RTree,
+    stats: ConstructionStats,
+) -> UVIndexBackend:
+    index = UVIndex.from_snapshot(state["index"], domain, disk)
+    return UVIndexBackend(index, stats)
+
+
+def _rtree_restorer(
+    state: Dict,
+    objects: Sequence[UncertainObject],
+    domain: Rect,
+    config: DiagramConfig,
+    disk: DiskManager,
+    rtree: RTree,
+    stats: ConstructionStats,
+) -> RTreeBackend:
+    return RTreeBackend(stats)
+
+
+def _grid_restorer(
+    state: Dict,
+    objects: Sequence[UncertainObject],
+    domain: Rect,
+    config: DiagramConfig,
+    disk: DiskManager,
+    rtree: RTree,
+    stats: ConstructionStats,
+) -> UniformGridBackend:
+    grid = UniformGridIndex.from_snapshot(state["grid"], domain, disk)
+    return UniformGridBackend(grid, stats)
+
+
 for _method in ("ic", "icr", "basic"):
-    register_backend(_method, _uv_factory(_method))
-register_backend("rtree", _rtree_factory)
-register_backend("grid", _grid_factory)
+    register_backend(_method, _uv_factory(_method), restorer=_uv_restorer)
+register_backend("rtree", _rtree_factory, restorer=_rtree_restorer)
+register_backend("grid", _grid_factory, restorer=_grid_restorer)

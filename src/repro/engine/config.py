@@ -28,6 +28,13 @@ class DiagramConfig:
         seed_knn / seed_sectors: Algorithm 2 seed-selection parameters.
         rtree_fanout: fanout of the R-tree (construction helper and baseline).
         grid_resolution: cells per axis of the uniform-grid backend.
+        store: page-store kind backing the disk manager -- ``"memory"`` (the
+            historical simulator), ``"file"`` (durable fixed-slot page file)
+            or ``"mmap"`` (read-mostly serving of an existing snapshot; only
+            valid for :meth:`QueryEngine.open`, not for builds).
+        store_path: path of the page file (required for ``"file"``/``"mmap"``).
+        buffer_pages: capacity of the integrated LRU buffer pool on the
+            counted read path; zero disables caching (the paper's setup).
     """
 
     backend: str = "ic"
@@ -38,6 +45,9 @@ class DiagramConfig:
     seed_sectors: int = 8
     rtree_fanout: int = 100
     grid_resolution: int = 16
+    store: str = "memory"
+    store_path: Optional[str] = None
+    buffer_pages: int = 0
 
     def __post_init__(self) -> None:
         if not isinstance(self.backend, str) or not self.backend:
@@ -56,6 +66,14 @@ class DiagramConfig:
             raise ValueError("rtree_fanout must be at least 4")
         if self.grid_resolution < 1:
             raise ValueError("grid_resolution must be positive")
+        if self.store not in ("memory", "file", "mmap"):
+            raise ValueError(
+                f"unknown store kind: {self.store!r} (known: memory, file, mmap)"
+            )
+        if self.store in ("file", "mmap") and not self.store_path:
+            raise ValueError(f"store={self.store!r} requires a store_path")
+        if self.buffer_pages < 0:
+            raise ValueError("buffer_pages must be non-negative")
 
     # ------------------------------------------------------------------ #
     # dict plumbing (CLI, benchmarks, experiment grids)

@@ -47,6 +47,7 @@ from repro.rtree.pnn import RTreePNN
 from repro.rtree.tree import RTree
 from repro.storage.disk import DiskManager
 from repro.storage.object_store import ObjectStore
+from repro.storage.pagestore import create_page_store
 from repro.storage.stats import IOStats
 from repro.uncertain.objects import UncertainObject
 
@@ -111,6 +112,9 @@ class QueryEngine:
         self.construction_stats = construction_stats
         self.by_id: Dict[int, UncertainObject] = {obj.oid: obj for obj in self.objects}
         self._rtree_pnn = RTreePNN(rtree, object_store=object_store)
+        # True when the in-memory state has diverged from the last saved or
+        # opened snapshot (a freshly built engine was never saved at all).
+        self._dirty = True
         backend.bind(self)
 
     # ------------------------------------------------------------------ #
@@ -141,7 +145,9 @@ class QueryEngine:
         objects = list(objects)
         if not objects:
             raise ValueError("cannot build a query engine over an empty dataset")
-        disk = disk if disk is not None else DiskManager()
+        if disk is None:
+            store = create_page_store(config.store, config.store_path)
+            disk = DiskManager(store=store, buffer_pages=config.buffer_pages)
         store = ObjectStore(disk)
         store.bulk_load(objects)
         rtree = RTree.bulk_load(objects, disk=disk, fanout=config.rtree_fanout)
@@ -156,6 +162,56 @@ class QueryEngine:
             config=config,
             construction_stats=getattr(backend, "construction_stats", None),
         )
+
+    # ------------------------------------------------------------------ #
+    # persistence (diagram snapshots)
+    # ------------------------------------------------------------------ #
+    def save(self, path: str) -> str:
+        """Serialize the engine (config, objects, index, pages) to ``path``.
+
+        The snapshot is a single page file with a JSON metadata tail; a later
+        process reopens it with :meth:`open` and answers queries identically
+        to this engine -- same answer sets, probabilities, and page-read
+        counts -- without rebuilding the diagram.
+        """
+        from repro.engine.snapshot import save_engine
+
+        result = save_engine(self, path)
+        self._dirty = False
+        return result
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        store: str = "file",
+        buffer_pages: Optional[int] = None,
+        read_latency: float = 0.0,
+    ) -> "QueryEngine":
+        """Reopen a saved engine without reconstruction (cold-start serving).
+
+        Args:
+            path: snapshot written by :meth:`save`.
+            store: page-store kind serving the reads -- ``"file"`` (lazy
+                reads through the page file), ``"mmap"`` (memory-mapped
+                read-mostly view) or ``"memory"`` (eager load).
+            buffer_pages: buffer-pool override; defaults to the saved config.
+            read_latency: simulated seconds per counted page read.
+        """
+        from repro.engine.snapshot import open_engine
+
+        return open_engine(
+            path, store=store, buffer_pages=buffer_pages, read_latency=read_latency
+        )
+
+    @property
+    def dirty(self) -> bool:
+        """``True`` when in-memory state diverges from the last snapshot.
+
+        A freshly built engine is dirty until its first :meth:`save`; an
+        opened engine is clean until the first :meth:`insert` / :meth:`delete`.
+        """
+        return self._dirty
 
     # ------------------------------------------------------------------ #
     # point queries
@@ -263,6 +319,7 @@ class QueryEngine:
         """
         if obj.oid in self.by_id:
             raise ValueError(f"object id {obj.oid} already exists in the engine")
+        self._dirty = True
         if self.backend.handles_engine_state:
             return self.backend.insert(obj)
         self._register_object(obj)
@@ -276,6 +333,7 @@ class QueryEngine:
         """
         if oid not in self.by_id:
             raise KeyError(f"object {oid} is not in the engine")
+        self._dirty = True
         if self.backend.handles_engine_state:
             return self.backend.delete(oid)
         result = self.backend.delete(oid)

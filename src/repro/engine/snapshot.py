@@ -1,0 +1,167 @@
+"""Diagram snapshots: persist a built engine, reopen it without rebuilding.
+
+A snapshot is one file in the :mod:`repro.storage.pagestore` page-file
+format: every disk page (UV-index leaf lists, R-tree leaves, grid cells,
+object-store pages) lives in a fixed-size slot, and a JSON metadata tail
+records everything the page ids alone cannot express -- the build
+configuration, the engine's object order, the in-memory non-leaf structures,
+and the backend's own state.
+
+:func:`save_engine` writes that file; :func:`open_engine` restores a fully
+functional :class:`~repro.engine.engine.QueryEngine` from it, over any of the
+three store kinds (eager ``memory``, lazy ``file``, memory-mapped ``mmap``).
+Because pages keep their ids and every index keeps its page references, the
+reopened engine answers queries with the same answer sets, probabilities,
+and counted page reads as the engine that was saved.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from repro.core.construction import ConstructionStats
+from repro.engine.backend import restore_backend
+from repro.engine.config import DiagramConfig
+from repro.storage.codec import rect_from_state, rect_state
+from repro.storage.disk import DiskManager
+from repro.storage.object_store import ObjectStore
+from repro.storage.pagestore import FilePageStore, open_page_store, write_snapshot_file
+from repro.storage.stats import TimingBreakdown
+from repro.rtree.tree import RTree
+
+SNAPSHOT_FORMAT = 1
+
+
+def build_meta(engine) -> Dict[str, Any]:
+    """The JSON metadata blob describing ``engine``'s non-page state."""
+    stats = engine.construction_stats
+    return {
+        "snapshot_format": SNAPSHOT_FORMAT,
+        "config": engine.config.to_dict(),
+        "backend": engine.backend.name,
+        "domain": rect_state(engine.domain),
+        "object_order": [obj.oid for obj in engine.objects],
+        "object_store": engine.object_store.snapshot_state(),
+        "rtree": engine.rtree.snapshot_state(),
+        "backend_state": engine.backend.snapshot_state(),
+        "construction": {
+            "method": getattr(stats, "method", engine.backend.name),
+            "objects": getattr(stats, "objects", len(engine.objects)),
+            "total_seconds": getattr(stats, "total_seconds", 0.0),
+        },
+    }
+
+
+def save_engine(engine, path: str) -> str:
+    """Serialize the engine's full state (pages + metadata) to ``path``.
+
+    When the engine already lives on a :class:`FilePageStore` at the same
+    path, the working set is flushed in place; otherwise the pages are copied
+    into a freshly written snapshot file and the engine keeps running on its
+    current store.
+    """
+    path = os.fspath(path)
+    meta = build_meta(engine)
+    disk = engine.disk
+    store = disk.store
+    same_path = (
+        getattr(store, "path", None) is not None
+        and os.path.abspath(store.path) == os.path.abspath(path)
+    )
+    if isinstance(store, FilePageStore) and store.writable and same_path:
+        disk.flush()
+        store.write_meta(meta)
+        store.flush()
+    else:
+        # Materialise every page *before* the target file is touched: when a
+        # read-only store serves the same path being saved over, the copy
+        # must not race the truncation (peek_page also leaves each page in
+        # the disk's working set, so serving continues from memory after).
+        pages = [disk.peek_page(pid) for pid in store.page_ids()]
+        write_snapshot_file(path, pages, meta, next_page_id=disk.next_page_id)
+        if same_path:
+            # The rewritten file may use a different slot layout than the
+            # store's cached geometry; re-point the engine at a fresh handle.
+            old = disk.rebind_store(open_page_store(store.kind, path))
+            old.close()
+    return path
+
+
+def open_engine(
+    path: str,
+    store: str = "file",
+    buffer_pages: Optional[int] = None,
+    read_latency: float = 0.0,
+):
+    """Restore a :class:`QueryEngine` from a snapshot, without reconstruction.
+
+    Args:
+        path: snapshot file written by :func:`save_engine`.
+        store: how to serve the pages -- ``"file"`` (lazy reads through the
+            page file), ``"mmap"`` (memory-mapped read-mostly view) or
+            ``"memory"`` (eagerly load everything, fully in-memory serving).
+        buffer_pages: override for the buffer-pool capacity; defaults to the
+            value recorded in the snapshot's configuration.
+        read_latency: optional simulated seconds per counted page read.
+    """
+    from repro.engine.engine import QueryEngine  # deferred: import cycle
+
+    path = os.fspath(path)
+    page_store = open_page_store(store, path)
+    meta = page_store.read_meta()
+    if meta is None:
+        page_store.close()
+        raise ValueError(f"{path} is a page file but holds no diagram snapshot")
+    if meta.get("snapshot_format", 0) > SNAPSHOT_FORMAT:
+        page_store.close()
+        raise ValueError(
+            f"snapshot format {meta.get('snapshot_format')} is newer than this library"
+        )
+
+    config = DiagramConfig.from_dict(meta["config"]).replace(
+        store=store,
+        store_path=path,
+        buffer_pages=(
+            buffer_pages if buffer_pages is not None
+            else meta["config"].get("buffer_pages", 0)
+        ),
+    )
+    disk = DiskManager(
+        read_latency=read_latency,
+        store=page_store,
+        buffer_pages=config.buffer_pages,
+    )
+    domain = rect_from_state(meta["domain"])
+    object_store = ObjectStore.from_snapshot(meta["object_store"], disk)
+    objects = object_store.load_all(meta["object_order"])
+    rtree = RTree.from_snapshot(meta["rtree"], disk)
+    construction = meta["construction"]
+    stats = ConstructionStats(
+        method=construction["method"],
+        objects=construction["objects"],
+        total_seconds=construction["total_seconds"],
+        timing=TimingBreakdown(),
+    )
+    backend = restore_backend(
+        meta["backend"],
+        meta["backend_state"],
+        objects,
+        domain,
+        config,
+        disk,
+        rtree,
+        stats,
+    )
+    engine = QueryEngine(
+        objects=objects,
+        domain=domain,
+        backend=backend,
+        rtree=rtree,
+        object_store=object_store,
+        disk=disk,
+        config=config,
+        construction_stats=stats,
+    )
+    engine._dirty = False
+    return engine

@@ -111,6 +111,30 @@ class UniformGridIndex:
         return removed
 
     # ------------------------------------------------------------------ #
+    # persistence (diagram snapshots)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        """JSON-ready state: the cell -> page-id directory plus the knobs."""
+        return {
+            "resolution": self.resolution,
+            "size": self.size,
+            "cells": [
+                [cell[0], cell[1], list(page_ids)]
+                for cell, page_ids in sorted(self._cell_pages.items())
+            ],
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: Dict, domain: Rect, disk: DiskManager) -> "UniformGridIndex":
+        """Rebuild a grid over already-persisted cell pages (no allocation)."""
+        grid = cls(domain, resolution=state["resolution"], disk=disk)
+        grid.size = state["size"]
+        grid._cell_pages = {
+            (cx, cy): list(page_ids) for cx, cy, page_ids in state["cells"]
+        }
+        return grid
+
+    # ------------------------------------------------------------------ #
     # cell arithmetic
     # ------------------------------------------------------------------ #
     def cell_of(self, p: Point) -> Tuple[int, int]:

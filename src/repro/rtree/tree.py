@@ -69,6 +69,14 @@ class RTree:
         if not objects:
             return tree
 
+        # The constructor registered a page for the bootstrap empty root;
+        # packing replaces that root, so release its page instead of leaking
+        # one page per bulk load (deletes rebuild the tree, so this would
+        # otherwise grow the page-id space on every delete).
+        if tree.root.page_id is not None:
+            tree.disk.free_page(tree.root.page_id)
+            tree.root.page_id = None
+
         leaf_capacity = max(2, int(tree.fanout * tree.fill_factor))
         entries = [RTreeEntry(mbr=obj.mbr(), oid=obj.oid) for obj in objects]
         leaves = tree._str_pack(entries, leaf_capacity, leaf=True)
@@ -321,6 +329,38 @@ class RTree:
         return results
 
     # ------------------------------------------------------------------ #
+    # persistence (diagram snapshots)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """JSON-ready structure of the tree (node graph + leaf page ids).
+
+        Leaf entries are recorded inline as well as living on disk pages, so
+        a restored tree keeps its in-memory mirror consistent with the pages
+        (insertion and ``_sync_leaf_page`` rely on that mirror).
+        """
+        return {
+            "fanout": self.fanout,
+            "fill_factor": self.fill_factor,
+            "size": self.size,
+            "leaf_count": self.leaf_count,
+            "height": self.height,
+            "root": _rtree_node_state(self.root),
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict, disk: DiskManager) -> "RTree":
+        """Rebuild a tree over already-persisted leaf pages (no allocation)."""
+        tree = cls.__new__(cls)
+        tree.disk = disk
+        tree.fanout = state["fanout"]
+        tree.fill_factor = state["fill_factor"]
+        tree.size = state["size"]
+        tree.leaf_count = state["leaf_count"]
+        tree.height = state["height"]
+        tree.root = _rtree_node_from_state(state["root"])
+        return tree
+
+    # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     def all_object_ids(self) -> List[int]:
@@ -355,3 +395,40 @@ def _entries_mbr(entries: List[RTreeEntry]) -> Rect:
     for entry in entries[1:]:
         rect = rect.union(entry.mbr)
     return rect
+
+
+# ---------------------------------------------------------------------- #
+# snapshot plumbing
+# ---------------------------------------------------------------------- #
+def _rtree_node_state(node: RTreeNode) -> dict:
+    from repro.storage.codec import rect_state
+
+    state: dict = {"leaf": node.is_leaf, "level": node.level, "page": node.page_id}
+    if node.is_leaf:
+        state["entries"] = [
+            {"mbr": rect_state(entry.mbr), "oid": entry.oid} for entry in node.entries
+        ]
+    else:
+        state["entries"] = [
+            {"mbr": rect_state(entry.mbr), "child": _rtree_node_state(entry.child)}
+            for entry in node.entries
+        ]
+    return state
+
+
+def _rtree_node_from_state(state: dict) -> RTreeNode:
+    from repro.storage.codec import rect_from_state
+
+    node = RTreeNode(is_leaf=state["leaf"], level=state["level"], page_id=state["page"])
+    if node.is_leaf:
+        node.entries = [
+            RTreeEntry(mbr=rect_from_state(entry["mbr"]), oid=entry["oid"])
+            for entry in state["entries"]
+        ]
+    else:
+        node.entries = [
+            RTreeEntry(mbr=rect_from_state(entry["mbr"]),
+                       child=_rtree_node_from_state(entry["child"]))
+            for entry in state["entries"]
+        ]
+    return node

@@ -1,23 +1,53 @@
-"""Simulated disk storage with I/O accounting.
+"""Disk storage with I/O accounting and pluggable persistence.
 
 The paper compares the UV-index and the R-tree largely on their I/O
 behaviour (Figure 6(b)): both indexes keep non-leaf structures in memory and
-their leaf contents on 4 KB disk pages.  This package simulates that setup:
-a :class:`~repro.storage.disk.DiskManager` hands out fixed-size pages, counts
-every read/write, and an optional :class:`~repro.storage.buffer.BufferPool`
-adds LRU caching so cache effects can be studied.
+their leaf contents on 4 KB disk pages.  This package provides that setup
+with a pluggable substrate: a :class:`~repro.storage.disk.DiskManager` hands
+out fixed-size pages and counts every read/write on top of a
+:class:`~repro.storage.pagestore.PageStore` -- the in-memory simulator, a
+real file with fixed-size page slots, or a memory-mapped read-mostly view
+for cold-start serving.  An optional
+:class:`~repro.storage.buffer.BufferPool` adds LRU caching on the counted
+read path so cache effects can be studied.
 """
 
 from repro.storage.page import Page, PAGE_SIZE_BYTES, DEFAULT_ENTRY_SIZE_BYTES
 from repro.storage.disk import DiskManager
 from repro.storage.buffer import BufferPool
 from repro.storage.stats import IOStats
+from repro.storage.pagestore import (
+    DEFAULT_SLOT_BYTES,
+    FilePageStore,
+    MemoryPageStore,
+    MmapPageStore,
+    PageOverflowError,
+    PageStore,
+    PageStoreError,
+    ReadOnlyStoreError,
+    STORE_KINDS,
+    create_page_store,
+    open_page_store,
+    write_snapshot_file,
+)
 
 __all__ = [
     "Page",
     "PAGE_SIZE_BYTES",
     "DEFAULT_ENTRY_SIZE_BYTES",
+    "DEFAULT_SLOT_BYTES",
     "DiskManager",
     "BufferPool",
     "IOStats",
+    "PageStore",
+    "MemoryPageStore",
+    "FilePageStore",
+    "MmapPageStore",
+    "PageStoreError",
+    "PageOverflowError",
+    "ReadOnlyStoreError",
+    "STORE_KINDS",
+    "create_page_store",
+    "open_page_store",
+    "write_snapshot_file",
 ]

@@ -1,18 +1,28 @@
-"""A small LRU buffer pool on top of the simulated disk.
+"""An LRU buffer pool over the simulated disk.
 
 The paper's experiments keep non-leaf nodes in memory and read leaf pages
-from disk without caching; the buffer pool is therefore *optional* and is
-used by the ablation benchmarks to show how a cache would change the I/O
-comparison between the UV-index and the R-tree.
+from disk without caching; the buffer pool is therefore *optional*.  It can
+be used in two ways:
+
+* **integrated** -- ``DiskManager(buffer_pages=N)`` puts the pool on the
+  counted read path: :meth:`lookup` hits are served without an I/O,
+  misses are counted and :meth:`admit`-ed.  ``write_page`` / ``free_page``
+  invalidate the matching frame, keeping the pool coherent under splits and
+  live updates.
+* **standalone** -- :meth:`get_page` wraps a disk's ``read_page`` for the
+  ablation benchmarks that study how a cache changes the I/O comparison
+  between the UV-index and the R-tree.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
-from repro.storage.disk import DiskManager
 from repro.storage.page import Page
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.storage.disk import DiskManager
 
 
 class BufferPool:
@@ -24,7 +34,7 @@ class BufferPool:
             entirely (every request becomes a disk read).
     """
 
-    def __init__(self, disk: DiskManager, capacity: int = 64):
+    def __init__(self, disk: "DiskManager", capacity: int = 64):
         if capacity < 0:
             raise ValueError("buffer pool capacity must be non-negative")
         self.disk = disk
@@ -33,19 +43,38 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
 
-    def get_page(self, page_id: int) -> Page:
-        """Fetch a page through the cache, counting a disk read only on miss."""
+    # ------------------------------------------------------------------ #
+    # frame primitives (used by the integrated DiskManager read path)
+    # ------------------------------------------------------------------ #
+    def lookup(self, page_id: int) -> Optional[Page]:
+        """The cached frame for ``page_id`` (bumping LRU and hit count), or ``None``."""
         if self.capacity > 0 and page_id in self._frames:
             self.hits += 1
             self._frames.move_to_end(page_id)
             return self._frames[page_id]
-        self.misses += 1
+        return None
+
+    def admit(self, page_id: int, page: Page, count_miss: bool = True) -> None:
+        """Insert a frame, evicting the least recently used beyond capacity."""
+        if count_miss:
+            self.misses += 1
+        if self.capacity <= 0:
+            return
+        self._frames[page_id] = page
+        self._frames.move_to_end(page_id)
+        while len(self._frames) > self.capacity:
+            self._frames.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    # standalone wrapper
+    # ------------------------------------------------------------------ #
+    def get_page(self, page_id: int) -> Page:
+        """Fetch a page through the cache, counting a disk read only on miss."""
+        cached = self.lookup(page_id)
+        if cached is not None:
+            return cached
         page = self.disk.read_page(page_id)
-        if self.capacity > 0:
-            self._frames[page_id] = page
-            self._frames.move_to_end(page_id)
-            while len(self._frames) > self.capacity:
-                self._frames.popitem(last=False)
+        self.admit(page_id, page)
         return page
 
     def invalidate(self, page_id: Optional[int] = None) -> None:
@@ -54,6 +83,9 @@ class BufferPool:
             self._frames.clear()
         else:
             self._frames.pop(page_id, None)
+
+    def __len__(self) -> int:
+        return len(self._frames)
 
     @property
     def hit_ratio(self) -> float:

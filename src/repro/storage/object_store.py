@@ -32,18 +32,43 @@ class ObjectStore:
         self.disk = disk
         self.objects_per_page = objects_per_page
         self._page_of_object: Dict[int, int] = {}
+        self._tail_page_id: "int | None" = None
 
     # ------------------------------------------------------------------ #
     # loading
     # ------------------------------------------------------------------ #
     def bulk_load(self, objects: Sequence[UncertainObject]) -> None:
-        """Pack the objects onto pages in id order."""
+        """Pack the objects onto pages in id order.
+
+        Later calls (live insertions) keep filling the last page before
+        allocating a new one, so insert/delete churn does not grow the page
+        count without bound.
+        """
         page = None
+        if self._tail_page_id is not None and self._tail_page_id in self.disk.store:
+            tail = self.disk.peek_page(self._tail_page_id)
+            if not tail.is_full():
+                page = tail
         for obj in objects:
             if page is None or page.is_full():
                 page = self.disk.allocate_page(capacity=self.objects_per_page)
             page.add(obj)
             self._page_of_object[obj.oid] = page.page_id
+        if page is not None:
+            self._tail_page_id = page.page_id
+
+    def remove(self, oid: int) -> bool:
+        """Drop one object from its page (freeing the page when emptied)."""
+        page_id = self._page_of_object.pop(oid, None)
+        if page_id is None:
+            return False
+        page = self.disk.peek_page(page_id)
+        page.entries = [obj for obj in page.entries if obj.oid != oid]
+        if not page.entries:
+            self.disk.free_page(page_id)
+            if self._tail_page_id == page_id:
+                self._tail_page_id = None
+        return True
 
     # ------------------------------------------------------------------ #
     # retrieval (counted I/O)
@@ -75,3 +100,36 @@ class ObjectStore:
 
     def __len__(self) -> int:
         return len(self._page_of_object)
+
+    # ------------------------------------------------------------------ #
+    # persistence (diagram snapshots)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-ready state: the id -> page directory (objects stay on pages)."""
+        return {
+            "objects_per_page": self.objects_per_page,
+            "page_of_object": {str(oid): pid for oid, pid in self._page_of_object.items()},
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: Dict, disk: DiskManager) -> "ObjectStore":
+        """Rebind a store to already-persisted object pages."""
+        store = cls(disk, objects_per_page=state["objects_per_page"])
+        store._page_of_object = {
+            int(oid): pid for oid, pid in state["page_of_object"].items()
+        }
+        return store
+
+    def load_all(self, order: Sequence[int]) -> List[UncertainObject]:
+        """Materialise objects in the given id order without counting I/O.
+
+        Used when reopening a snapshot: the engine's in-memory object list is
+        rebuilt from the persisted pages (an offline, uncounted pass), so the
+        first queries of a reopened engine pay exactly the same counted I/O
+        as they would on the freshly built engine.
+        """
+        loaded: Dict[int, UncertainObject] = {}
+        for page_id in sorted(set(self._page_of_object.values())):
+            for obj in self.disk.peek_page(page_id).entries:
+                loaded[obj.oid] = obj
+        return [loaded[oid] for oid in order]

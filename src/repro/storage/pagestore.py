@@ -1,0 +1,575 @@
+"""Pluggable page stores: where disk pages actually live.
+
+The :class:`~repro.storage.disk.DiskManager` counts I/O; a :class:`PageStore`
+is the substrate underneath it that holds page contents.  Three
+implementations cover the library's lifecycle:
+
+* :class:`MemoryPageStore` -- the historical dict-backed simulator.  Pages are
+  live Python objects; nothing survives the process.
+* :class:`FilePageStore` -- one file, fixed-size page slots, a binary header,
+  and an optional JSON metadata blob at the tail.  A built diagram saved into
+  this format is a durable artifact that a later process can reopen.
+* :class:`MmapPageStore` -- the same file format opened read-mostly through
+  ``mmap`` for cold-start serving: nothing is decoded until a page is first
+  read, and updates go to an in-memory overlay that leaves the snapshot file
+  untouched.
+
+File layout (little-endian)::
+
+    [0, 64)                      header: magic, version, slot size,
+                                 slot count, next page id, meta offset/len
+    [64, 64 + slots*slot_bytes)  page slots: status byte, capacity,
+                                 payload length, encoded entries
+    [meta_offset, +meta_len)     UTF-8 JSON metadata (diagram snapshot state)
+
+Slot index equals page id (the disk manager allocates ids densely), so a page
+read is one ``seek`` -- or one slice of the mapped buffer -- plus a decode.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import mmap
+import os
+import struct
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.storage.codec import decode_page, encode_page
+from repro.storage.page import Page
+
+MAGIC = b"UVSNAP01"
+FORMAT_VERSION = 1
+HEADER_SIZE = 64
+_HEADER = struct.Struct("<8sHHIQQQQ")  # magic, version, flags, slot_bytes,
+#                                        slot_count, next_page_id, meta_offset, meta_len
+_SLOT_HEADER = struct.Struct("<BII")   # status, capacity, payload_len
+_SLOT_LIVE = 1
+_SLOT_EMPTY = 0
+
+DEFAULT_SLOT_BYTES = 8192
+"""Default page-slot size.
+
+Twice the simulated 4 KB page: encoded entries carry tags and length
+prefixes, so a full page's payload can exceed its nominal byte size.
+"""
+
+
+class PageStoreError(RuntimeError):
+    """Base error of the page-store layer."""
+
+
+class PageOverflowError(PageStoreError):
+    """An encoded page payload does not fit in the store's fixed slot size."""
+
+
+class ReadOnlyStoreError(PageStoreError):
+    """A mutation was attempted on a store that cannot persist it."""
+
+
+class PageStore(abc.ABC):
+    """Persistence substrate for fixed-size pages, keyed by page id.
+
+    The disk manager performs the I/O *accounting*; stores only move page
+    contents.  ``store_page`` persists/replaces a page, ``load_page`` returns
+    a fresh (or shared, for the memory store) :class:`Page`, and the metadata
+    hooks carry the JSON snapshot state of a saved diagram.
+    """
+
+    #: registry key of the store kind (``"memory"`` / ``"file"`` / ``"mmap"``)
+    kind: str = ""
+
+    #: ``False`` for read-mostly stores that keep mutations in an in-memory
+    #: overlay and never touch their backing file (serving a snapshot must
+    #: not be able to corrupt it).
+    writable: bool = True
+
+    @abc.abstractmethod
+    def store_page(self, page: Page) -> None:
+        """Persist ``page`` (replacing any previous content for its id)."""
+
+    @abc.abstractmethod
+    def load_page(self, page_id: int) -> Page:
+        """Materialise one page.
+
+        Raises:
+            KeyError: for an id that was never stored or has been deleted.
+        """
+
+    @abc.abstractmethod
+    def delete_page(self, page_id: int) -> None:
+        """Drop one page (no-op for unknown ids)."""
+
+    @abc.abstractmethod
+    def page_ids(self) -> List[int]:
+        """Sorted ids of all live pages."""
+
+    @abc.abstractmethod
+    def next_page_id(self) -> int:
+        """Smallest id never handed out (used to seed the allocator)."""
+
+    # metadata ----------------------------------------------------------- #
+    @abc.abstractmethod
+    def read_meta(self) -> Optional[Dict[str, Any]]:
+        """The JSON metadata blob, or ``None`` when absent."""
+
+    @abc.abstractmethod
+    def write_meta(self, meta: Dict[str, Any]) -> None:
+        """Persist the JSON metadata blob."""
+
+    # lifecycle ---------------------------------------------------------- #
+    def flush(self) -> None:
+        """Force buffered state to the backing medium (default: no-op)."""
+
+    def close(self) -> None:
+        """Release resources (default: flush)."""
+        self.flush()
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in set(self.page_ids())
+
+    def __len__(self) -> int:
+        return len(self.page_ids())
+
+
+# ---------------------------------------------------------------------- #
+# memory
+# ---------------------------------------------------------------------- #
+class MemoryPageStore(PageStore):
+    """The historical in-process simulator: pages live in a dict.
+
+    ``load_page`` returns the *same* object that was stored, so in-place page
+    mutation (how the indexes maintain their leaf lists) behaves exactly as
+    it did before stores existed.
+    """
+
+    kind = "memory"
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, Page] = {}
+        self._meta: Optional[Dict[str, Any]] = None
+
+    def store_page(self, page: Page) -> None:
+        self._pages[page.page_id] = page
+
+    def load_page(self, page_id: int) -> Page:
+        return self._pages[page_id]
+
+    def delete_page(self, page_id: int) -> None:
+        self._pages.pop(page_id, None)
+
+    def page_ids(self) -> List[int]:
+        return sorted(self._pages)
+
+    def next_page_id(self) -> int:
+        return max(self._pages, default=-1) + 1
+
+    def read_meta(self) -> Optional[Dict[str, Any]]:
+        return self._meta
+
+    def write_meta(self, meta: Dict[str, Any]) -> None:
+        self._meta = meta
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+
+# ---------------------------------------------------------------------- #
+# file
+# ---------------------------------------------------------------------- #
+class FilePageStore(PageStore):
+    """A real file-backed store: fixed-size slots addressed by page id.
+
+    :meth:`create` makes a fresh read-write file (the live store of a build).
+    :meth:`open` reopens an existing snapshot and defaults to **read-only**:
+    the file is never written; mutations (live updates on a reopened engine)
+    go to an in-memory overlay, so serving a snapshot can never corrupt it.
+    Pass ``writable=True`` only to edit a snapshot file in place.
+
+    On a writable store, page contents are authoritative on disk after
+    :meth:`flush` / :meth:`close` (the disk manager flushes its working set
+    through here when a diagram is saved).
+    """
+
+    kind = "file"
+
+    def __init__(self, path: str, handle, slot_bytes: int, slot_count: int,
+                 next_id: int, capacities: Dict[int, int], writable: bool = True):
+        self.path = path
+        self._file = handle
+        self.slot_bytes = slot_bytes
+        self._slot_count = slot_count
+        self._next_id = next_id
+        # page_id -> capacity for live slots (the in-memory slot directory)
+        self._capacities = capacities
+        self.writable = writable
+        # Read-only mode keeps mutations here, never in the file.
+        self._overlay: Dict[int, Page] = {}
+        self._deleted: Set[int] = set()
+        self._meta_cache: Optional[Dict[str, Any]] = None
+
+    # -- construction ---------------------------------------------------- #
+    @classmethod
+    def create(cls, path: str, slot_bytes: int = DEFAULT_SLOT_BYTES) -> "FilePageStore":
+        """Create (truncating) a new page file."""
+        if slot_bytes <= _SLOT_HEADER.size:
+            raise ValueError("slot_bytes is too small to hold a slot header")
+        handle = open(path, "w+b")
+        store = cls(path, handle, slot_bytes, slot_count=0, next_id=0, capacities={})
+        store._write_header(meta_offset=0, meta_len=0)
+        return store
+
+    @classmethod
+    def open(cls, path: str, writable: bool = False) -> "FilePageStore":
+        """Open an existing page file (read-only overlay mode by default)."""
+        handle = open(path, "r+b" if writable else "rb")
+        slot_bytes, slot_count, next_id, _, _ = _read_header(handle)
+        capacities = {}
+        for slot in range(slot_count):
+            handle.seek(HEADER_SIZE + slot * slot_bytes)
+            status, capacity, _ = _SLOT_HEADER.unpack(handle.read(_SLOT_HEADER.size))
+            if status == _SLOT_LIVE:
+                capacities[slot] = capacity
+        return cls(path, handle, slot_bytes, slot_count, next_id, capacities,
+                   writable=writable)
+
+    # -- page access ----------------------------------------------------- #
+    def store_page(self, page: Page) -> None:
+        if not self.writable:
+            self._overlay[page.page_id] = page
+            self._deleted.discard(page.page_id)
+            self._next_id = max(self._next_id, page.page_id + 1)
+            return
+        payload = encode_page(page)
+        if _SLOT_HEADER.size + len(payload) > self.slot_bytes:
+            raise PageOverflowError(
+                f"page {page.page_id} needs {len(payload)} payload bytes but slots "
+                f"hold {self.slot_bytes - _SLOT_HEADER.size}; recreate the store "
+                f"with a larger slot_bytes"
+            )
+        self._ensure_slot(page.page_id)
+        self._file.seek(self._slot_offset(page.page_id))
+        self._file.write(_SLOT_HEADER.pack(_SLOT_LIVE, page.capacity, len(payload)))
+        self._file.write(payload)
+        self._capacities[page.page_id] = page.capacity
+        self._next_id = max(self._next_id, page.page_id + 1)
+
+    def load_page(self, page_id: int) -> Page:
+        if page_id in self._overlay:
+            return self._overlay[page_id]
+        if page_id in self._deleted or page_id not in self._capacities:
+            raise KeyError(page_id)
+        self._file.seek(self._slot_offset(page_id))
+        status, capacity, payload_len = _SLOT_HEADER.unpack(
+            self._file.read(_SLOT_HEADER.size)
+        )
+        if status != _SLOT_LIVE:  # pragma: no cover - directory/file mismatch
+            raise KeyError(page_id)
+        return decode_page(page_id, capacity, self._file.read(payload_len))
+
+    def delete_page(self, page_id: int) -> None:
+        if not self.writable:
+            self._overlay.pop(page_id, None)
+            self._deleted.add(page_id)
+            return
+        if page_id not in self._capacities:
+            return
+        self._file.seek(self._slot_offset(page_id))
+        self._file.write(_SLOT_HEADER.pack(_SLOT_EMPTY, 0, 0))
+        del self._capacities[page_id]
+
+    def page_ids(self) -> List[int]:
+        ids = (set(self._capacities) | set(self._overlay)) - self._deleted
+        return sorted(ids)
+
+    def __contains__(self, page_id: int) -> bool:
+        if page_id in self._overlay:
+            return True
+        return page_id in self._capacities and page_id not in self._deleted
+
+    def __len__(self) -> int:
+        return len((set(self._capacities) | set(self._overlay)) - self._deleted)
+
+    def next_page_id(self) -> int:
+        return self._next_id
+
+    # -- metadata -------------------------------------------------------- #
+    def read_meta(self) -> Optional[Dict[str, Any]]:
+        if self._meta_cache is not None:
+            return self._meta_cache
+        _, _, _, meta_offset, meta_len = _read_header(self._file)
+        if meta_offset == 0 or meta_len == 0:
+            return None
+        self._file.seek(meta_offset)
+        self._meta_cache = json.loads(self._file.read(meta_len).decode("utf-8"))
+        return self._meta_cache
+
+    def write_meta(self, meta: Dict[str, Any]) -> None:
+        """Append the metadata blob after the slot region and point the header at it."""
+        if not self.writable:
+            raise ReadOnlyStoreError(
+                "this store serves its snapshot read-only; save() the engine "
+                "to a (new) path instead"
+            )
+        blob = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+        meta_offset = self._slots_end()
+        self._file.truncate(meta_offset)
+        self._file.seek(meta_offset)
+        self._file.write(blob)
+        self._write_header(meta_offset=meta_offset, meta_len=len(blob))
+        self._meta_cache = meta
+
+    # -- lifecycle ------------------------------------------------------- #
+    def flush(self) -> None:
+        if not self.writable:
+            return
+        self._write_header_preserving_meta()
+        self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self.flush()
+            self._file.close()
+
+    # -- plumbing -------------------------------------------------------- #
+    def _slot_offset(self, page_id: int) -> int:
+        return HEADER_SIZE + page_id * self.slot_bytes
+
+    def _slots_end(self) -> int:
+        return HEADER_SIZE + self._slot_count * self.slot_bytes
+
+    def _ensure_slot(self, page_id: int) -> None:
+        """Grow the slot region to cover ``page_id``, displacing any meta tail."""
+        if page_id < self._slot_count:
+            return
+        _, _, _, meta_offset, _ = _read_header(self._file)
+        new_count = page_id + 1
+        new_end = HEADER_SIZE + new_count * self.slot_bytes
+        if meta_offset:
+            # Pages grew past the saved snapshot: drop the (now stale) meta
+            # tail; the next save() writes a fresh one.
+            self._file.truncate(meta_offset)
+            self._meta_cache = None
+        # Zero-fill the new slots so their status bytes read as empty.
+        self._file.seek(0, os.SEEK_END)
+        current_end = self._file.tell()
+        if current_end < new_end:
+            self._file.write(b"\x00" * (new_end - current_end))
+        self._slot_count = new_count
+        self._write_header(meta_offset=0, meta_len=0)
+
+    def _write_header(self, meta_offset: int, meta_len: int) -> None:
+        header = _HEADER.pack(
+            MAGIC, FORMAT_VERSION, 0, self.slot_bytes,
+            self._slot_count, self._next_id, meta_offset, meta_len,
+        )
+        self._file.seek(0)
+        self._file.write(header.ljust(HEADER_SIZE, b"\x00"))
+
+    def _write_header_preserving_meta(self) -> None:
+        _, _, _, meta_offset, meta_len = _read_header(self._file)
+        self._write_header(meta_offset=meta_offset, meta_len=meta_len)
+
+
+def _read_header(handle) -> Tuple[int, int, int, int, int]:
+    """Parse a page-file header: (slot_bytes, slot_count, next_id, meta_offset, meta_len)."""
+    handle.seek(0)
+    raw = handle.read(HEADER_SIZE)
+    if len(raw) < _HEADER.size:
+        raise PageStoreError("not a repro page file: truncated header")
+    magic, version, _, slot_bytes, slot_count, next_id, meta_offset, meta_len = (
+        _HEADER.unpack(raw[:_HEADER.size])
+    )
+    if magic != MAGIC:
+        raise PageStoreError("not a repro page file: bad magic")
+    if version > FORMAT_VERSION:
+        raise PageStoreError(f"unsupported page-file version {version}")
+    return slot_bytes, slot_count, next_id, meta_offset, meta_len
+
+
+# ---------------------------------------------------------------------- #
+# mmap (read-mostly serving)
+# ---------------------------------------------------------------------- #
+class MmapPageStore(PageStore):
+    """Serve a snapshot through a memory-mapped, read-mostly view.
+
+    Opening is O(header): pages are decoded lazily from the mapped buffer on
+    first access, so a cold process starts answering queries without paying
+    for a full deserialisation pass.  Live updates after opening go to an
+    in-memory overlay; the snapshot file itself is never modified, which is
+    what makes one snapshot safely shareable between serving processes.
+    """
+
+    kind = "mmap"
+    writable = False
+
+    def __init__(self, path: str):
+        self.path = path
+        self._file = open(path, "rb")
+        self.slot_bytes, self._slot_count, self._next_id, self._meta_offset, \
+            self._meta_len = _read_header(self._file)
+        self._map = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        self._overlay: Dict[int, Page] = {}
+        self._deleted: Set[int] = set()
+        self._meta_cache: Optional[Dict[str, Any]] = None
+
+    def store_page(self, page: Page) -> None:
+        self._overlay[page.page_id] = page
+        self._deleted.discard(page.page_id)
+        self._next_id = max(self._next_id, page.page_id + 1)
+
+    def load_page(self, page_id: int) -> Page:
+        if page_id in self._overlay:
+            return self._overlay[page_id]
+        if page_id in self._deleted or not 0 <= page_id < self._slot_count:
+            raise KeyError(page_id)
+        offset = HEADER_SIZE + page_id * self.slot_bytes
+        status, capacity, payload_len = _SLOT_HEADER.unpack_from(self._map, offset)
+        if status != _SLOT_LIVE:
+            raise KeyError(page_id)
+        start = offset + _SLOT_HEADER.size
+        return decode_page(page_id, capacity, bytes(self._map[start:start + payload_len]))
+
+    def delete_page(self, page_id: int) -> None:
+        self._overlay.pop(page_id, None)
+        self._deleted.add(page_id)
+
+    def page_ids(self) -> List[int]:
+        ids = set(self._overlay)
+        for slot in range(self._slot_count):
+            if slot in ids or slot in self._deleted:
+                continue
+            status = self._map[HEADER_SIZE + slot * self.slot_bytes]
+            if status == _SLOT_LIVE:
+                ids.add(slot)
+        return sorted(ids)
+
+    def __contains__(self, page_id: int) -> bool:
+        if page_id in self._overlay:
+            return True
+        if page_id in self._deleted or not 0 <= page_id < self._slot_count:
+            return False
+        return self._map[HEADER_SIZE + page_id * self.slot_bytes] == _SLOT_LIVE
+
+    def next_page_id(self) -> int:
+        return self._next_id
+
+    def read_meta(self) -> Optional[Dict[str, Any]]:
+        if self._meta_cache is not None:
+            return self._meta_cache
+        if self._meta_offset == 0 or self._meta_len == 0:
+            return None
+        blob = bytes(self._map[self._meta_offset:self._meta_offset + self._meta_len])
+        self._meta_cache = json.loads(blob.decode("utf-8"))
+        return self._meta_cache
+
+    def write_meta(self, meta: Dict[str, Any]) -> None:
+        raise ReadOnlyStoreError(
+            "mmap stores are read-mostly; save() the engine to a new path instead"
+        )
+
+    def close(self) -> None:
+        self._map.close()
+        self._file.close()
+
+
+# ---------------------------------------------------------------------- #
+# factories
+# ---------------------------------------------------------------------- #
+STORE_KINDS = ("memory", "file", "mmap")
+
+
+def create_page_store(kind: str, path: Optional[str] = None,
+                      slot_bytes: int = DEFAULT_SLOT_BYTES) -> PageStore:
+    """A fresh, empty store for *building* a diagram.
+
+    ``"mmap"`` is rejected here: it serves existing snapshots (use
+    :func:`open_page_store`), it cannot host a build.
+    """
+    kind = kind.lower()
+    if kind == "memory":
+        return MemoryPageStore()
+    if kind == "file":
+        if not path:
+            raise ValueError("the file page store needs a store_path")
+        return FilePageStore.create(path, slot_bytes=slot_bytes)
+    if kind == "mmap":
+        raise ValueError(
+            "the mmap store is read-mostly and cannot host a build; "
+            "build with store='file' (or save a snapshot) and open it with mmap"
+        )
+    raise ValueError(f"unknown page store kind: {kind!r} (known: {', '.join(STORE_KINDS)})")
+
+
+def open_page_store(kind: str, path: str) -> PageStore:
+    """Open an existing snapshot file as a store of the requested kind.
+
+    ``"memory"`` eagerly loads every page into a dict (fully in-memory
+    serving); ``"file"`` and ``"mmap"`` stay lazy.
+    """
+    kind = kind.lower()
+    if kind == "file":
+        return FilePageStore.open(path)
+    if kind == "mmap":
+        return MmapPageStore(path)
+    if kind == "memory":
+        source = FilePageStore.open(path)
+        try:
+            memory = MemoryPageStore()
+            for page_id in source.page_ids():
+                memory.store_page(source.load_page(page_id))
+            meta = source.read_meta()
+            if meta is not None:
+                memory.write_meta(meta)
+            return memory
+        finally:
+            source.close()
+    raise ValueError(f"unknown page store kind: {kind!r} (known: {', '.join(STORE_KINDS)})")
+
+
+def write_snapshot_file(path: str, pages: Iterable[Page], meta: Dict[str, Any],
+                        slot_bytes: Optional[int] = None,
+                        next_page_id: Optional[int] = None) -> None:
+    """Write a complete snapshot (pages + meta) to ``path`` in one pass.
+
+    Slots are auto-sized to the largest encoded page when ``slot_bytes`` is
+    omitted, so saving never fails on an oversized page the way a live
+    fixed-slot store can.  ``next_page_id`` preserves the source allocator's
+    cursor so ids of freed pages are not handed out again after reopening.
+    """
+    encoded: List[Tuple[int, int, bytes]] = [
+        (page.page_id, page.capacity, encode_page(page)) for page in pages
+    ]
+    if slot_bytes is None:
+        largest = max((len(blob) for _, _, blob in encoded), default=0)
+        slot_bytes = max(DEFAULT_SLOT_BYTES, _SLOT_HEADER.size + largest)
+    for page_id, _, blob in encoded:
+        if _SLOT_HEADER.size + len(blob) > slot_bytes:
+            raise PageOverflowError(
+                f"page {page_id} does not fit in {slot_bytes}-byte slots"
+            )
+    # All ids are known up front, so the slot region is laid out in one
+    # sequential pass: empty header-sized gaps for missing ids, one write per
+    # slot, no per-page header rewrites.
+    store = FilePageStore.create(path, slot_bytes=slot_bytes)
+    try:
+        by_id = {page_id: (capacity, blob) for page_id, capacity, blob in encoded}
+        slot_count = max(by_id, default=-1) + 1
+        # Empty slots (freed page ids) are seeked over, not written: their
+        # zero bytes read back as _SLOT_EMPTY and the filesystem can keep
+        # them as holes, so churned id spaces don't inflate the on-disk size.
+        store._file.truncate(HEADER_SIZE + slot_count * slot_bytes)
+        for page_id in sorted(by_id):
+            capacity, blob = by_id[page_id]
+            store._file.seek(HEADER_SIZE + page_id * slot_bytes)
+            store._file.write(_SLOT_HEADER.pack(_SLOT_LIVE, capacity, len(blob)))
+            store._file.write(blob)
+            store._capacities[page_id] = capacity
+        store._slot_count = slot_count
+        store._next_id = max(slot_count, next_page_id or 0)
+        store.write_meta(meta)
+    finally:
+        store.close()

@@ -13,20 +13,36 @@ from typing import Dict
 
 @dataclass
 class IOStats:
-    """Mutable read/write counters for a simulated disk."""
+    """Mutable I/O counters for a simulated disk.
+
+    ``cache_hits`` / ``cache_misses`` track the integrated buffer pool (see
+    :class:`~repro.storage.disk.DiskManager`): a hit serves a page without a
+    counted read, a miss counts one read.  Both stay zero when no pool is
+    configured.
+    """
 
     page_reads: int = 0
     page_writes: int = 0
     pages_allocated: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def reset(self) -> None:
-        """Zero the read/write counters (allocation counts are preserved)."""
+        """Zero the access counters (allocation counts are preserved)."""
         self.page_reads = 0
         self.page_writes = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def snapshot(self) -> "IOStats":
         """Return an independent copy of the current counters."""
-        return IOStats(self.page_reads, self.page_writes, self.pages_allocated)
+        return IOStats(
+            self.page_reads,
+            self.page_writes,
+            self.pages_allocated,
+            self.cache_hits,
+            self.cache_misses,
+        )
 
     def delta(self, before: "IOStats") -> "IOStats":
         """Counters accumulated since ``before`` was snapshotted."""
@@ -34,6 +50,8 @@ class IOStats:
             self.page_reads - before.page_reads,
             self.page_writes - before.page_writes,
             self.pages_allocated - before.pages_allocated,
+            self.cache_hits - before.cache_hits,
+            self.cache_misses - before.cache_misses,
         )
 
     @property
@@ -41,12 +59,20 @@ class IOStats:
         """Reads plus writes."""
         return self.page_reads + self.page_writes
 
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of buffer-pool requests served from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view, convenient for report tables."""
         return {
             "page_reads": self.page_reads,
             "page_writes": self.page_writes,
             "pages_allocated": self.pages_allocated,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
         }
 
 

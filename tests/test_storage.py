@@ -102,7 +102,17 @@ class TestIOStats:
             "page_reads": 1,
             "page_writes": 2,
             "pages_allocated": 3,
+            "cache_hits": 0,
+            "cache_misses": 0,
         }
+
+    def test_cache_counters_reset_and_ratio(self):
+        stats = IOStats(cache_hits=3, cache_misses=1)
+        assert stats.cache_hit_ratio == pytest.approx(0.75)
+        stats.reset()
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == 0
+        assert IOStats().cache_hit_ratio == 0.0
 
 
 class TestTimingBreakdown:
