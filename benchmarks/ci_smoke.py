@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""CI bench-smoke runner: small benchmarks + a perf-regression gate.
+
+Runs three fast benchmarks (IC construction, batch PNN, cold-start open),
+writes one machine-readable ``BENCH_*.json`` per benchmark, and -- with
+``--check`` -- fails when construction wall-time regresses more than
+``--max-regression`` times the checked-in baseline
+(``benchmarks/baseline/BENCH_baseline.json``).
+
+Standalone on purpose: no pytest, just the library and the stdlib, so the CI
+job (and a developer bisecting a slowdown) can run it directly::
+
+    python benchmarks/ci_smoke.py --output-dir bench-out \
+        --baseline benchmarks/baseline/BENCH_baseline.json --check
+
+The baseline is intentionally generous (roughly 2x a warm local run) so the
+2x gate trips on genuine algorithmic regressions, not on runner jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.datasets.loader import load_dataset  # noqa: E402
+from repro.engine import DiagramConfig, QueryEngine  # noqa: E402
+
+OBJECTS = 120
+QUERIES = 12
+CONFIG_KNOBS = dict(backend="ic", page_capacity=32, rtree_fanout=16, seed_knn=60)
+
+
+def write_json(output_dir: Path, name: str, payload: dict) -> Path:
+    output_dir.mkdir(parents=True, exist_ok=True)
+    path = output_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def smoke_construction(bundle) -> tuple[QueryEngine, dict]:
+    start = time.perf_counter()
+    engine = QueryEngine.build(
+        bundle.objects, bundle.domain, DiagramConfig(**CONFIG_KNOBS)
+    )
+    seconds = time.perf_counter() - start
+    stats = engine.construction_stats
+    return engine, {
+        "benchmark": "construction_smoke",
+        "objects": len(bundle.objects),
+        "backend": CONFIG_KNOBS["backend"],
+        "construction_seconds": seconds,
+        "avg_cr_objects": stats.avg_cr_objects,
+        "c_pruning_ratio": stats.c_pruning_ratio,
+        "phase_fractions": stats.phase_fractions(),
+    }
+
+
+def smoke_batch_pnn(engine, queries) -> dict:
+    sequential_reads = 0
+    start = time.perf_counter()
+    for query in queries:
+        sequential_reads += engine.pnn(query).io.page_reads
+    sequential_seconds = time.perf_counter() - start
+    batch = engine.batch(queries)
+    return {
+        "benchmark": "batch_pnn_smoke",
+        "queries": len(queries),
+        "sequential_page_reads": sequential_reads,
+        "sequential_seconds": sequential_seconds,
+        "batch_page_reads": batch.page_reads,
+        "batch_seconds": batch.seconds,
+        "cache_hits": batch.cache_hits,
+        "cache_misses": batch.cache_misses,
+    }
+
+
+def smoke_cold_start(engine, queries) -> dict:
+    reference = [engine.pnn(q, compute_probabilities=False).answer_ids
+                 for q in queries]
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(Path(tmp) / "uv.snap")
+        start = time.perf_counter()
+        engine.save(path)
+        save_seconds = time.perf_counter() - start
+
+        open_seconds = {}
+        for kind in ("file", "mmap"):
+            start = time.perf_counter()
+            reopened = QueryEngine.open(path, store=kind)
+            open_seconds[kind] = time.perf_counter() - start
+            got = [reopened.pnn(q, compute_probabilities=False).answer_ids
+                   for q in queries]
+            if got != reference:
+                raise SystemExit(f"cold-start answers diverged for {kind} store")
+    return {
+        "benchmark": "cold_start_smoke",
+        "save_seconds": save_seconds,
+        "open_seconds": open_seconds,
+        "answers_verified": True,
+    }
+
+
+def check_regression(measured: dict, baseline_path: Path, max_regression: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    allowed = baseline["construction_seconds"] * max_regression
+    got = measured["construction_seconds"]
+    print(f"regression gate: construction {got:.3f}s vs baseline "
+          f"{baseline['construction_seconds']:.3f}s "
+          f"(allowed <= {allowed:.3f}s at {max_regression:.1f}x)")
+    if got > allowed:
+        print(f"FAIL: construction wall-time regressed "
+              f"{got / baseline['construction_seconds']:.2f}x over baseline "
+              f"(limit {max_regression:.1f}x)", file=sys.stderr)
+        return 1
+    print("gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--objects", type=int, default=OBJECTS)
+    parser.add_argument("--queries", type=int, default=QUERIES)
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--output-dir", default="bench-out", type=Path,
+                        help="where BENCH_*.json files are written")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).parent / "baseline" / "BENCH_baseline.json")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when construction regresses past the baseline")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="allowed multiple of the baseline wall-time")
+    args = parser.parse_args(argv)
+
+    bundle = load_dataset("uniform", args.objects, diameter=300.0,
+                          query_count=args.queries, seed=args.seed)
+    queries = bundle.queries[: args.queries]
+
+    engine, construction = smoke_construction(bundle)
+    construction["platform"] = platform.platform()
+    construction["python"] = platform.python_version()
+    print(f"construction: {construction['construction_seconds']:.3f}s "
+          f"over {construction['objects']} objects")
+    write_json(args.output_dir, "construction", construction)
+
+    batch = smoke_batch_pnn(engine, queries)
+    print(f"batch pnn: {batch['batch_page_reads']} page reads vs "
+          f"{batch['sequential_page_reads']} sequential")
+    write_json(args.output_dir, "batch_pnn", batch)
+
+    cold = smoke_cold_start(engine, queries)
+    print(f"cold start: save {cold['save_seconds']:.3f}s, "
+          f"open(file) {cold['open_seconds']['file']:.3f}s, "
+          f"open(mmap) {cold['open_seconds']['mmap']:.3f}s")
+    write_json(args.output_dir, "cold_start", cold)
+
+    if args.check:
+        return check_regression(construction, args.baseline, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

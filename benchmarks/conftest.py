@@ -12,6 +12,9 @@ operation each figure is about.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
 from typing import Dict, List
 
 import pytest
@@ -118,3 +121,21 @@ def emit(capsys, text: str) -> None:
     """Print a result table straight to the terminal, bypassing capture."""
     with capsys.disabled():
         print("\n" + text + "\n")
+
+
+def bench_output_dir() -> Path:
+    """Where machine-readable ``BENCH_*.json`` files go.
+
+    Defaults to ``bench-out/`` under the current directory; CI points
+    ``BENCH_OUTPUT_DIR`` at its artifact staging directory.
+    """
+    root = Path(os.environ.get("BENCH_OUTPUT_DIR", "bench-out"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def write_bench_json(name: str, payload: Dict) -> Path:
+    """Write one benchmark's machine-readable result as ``BENCH_<name>.json``."""
+    path = bench_output_dir() / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -24,7 +24,7 @@ Run with::
 
 import statistics
 
-from repro import Point, Rect, UVDiagram, generate_skewed_objects, generate_uniform_objects
+from repro import Rect, UVDiagram, generate_skewed_objects, generate_uniform_objects
 from repro.voronoi.point_voronoi import PointVoronoiDiagram
 
 

@@ -43,6 +43,7 @@ from repro.core.construction import (
     build_uv_index_icr,
 )
 from repro.core.pnn import UVIndexPNN
+from repro.parallel import ConstructionScheduler, available_workers
 from repro.core.pattern import PatternAnalyzer
 from repro.rtree.tree import RTree
 from repro.rtree.pnn import RTreePNN
@@ -82,6 +83,8 @@ __all__ = [
     "build_uv_index_basic",
     "build_uv_index_ic",
     "build_uv_index_icr",
+    "ConstructionScheduler",
+    "available_workers",
     "UVIndexPNN",
     "PatternAnalyzer",
     "RTree",

@@ -19,7 +19,6 @@ from repro.core.construction import (
     build_uv_index_icr,
 )
 from repro.core.pnn import UVIndexPNN
-from repro.core.uv_index import UVIndex
 from repro.datasets.loader import DatasetBundle
 from repro.engine.config import DiagramConfig
 from repro.engine.engine import QueryEngine
@@ -30,7 +29,6 @@ from repro.rtree.tree import RTree
 from repro.storage.disk import DiskManager
 from repro.storage.object_store import ObjectStore
 from repro.storage.stats import TimingBreakdown
-from repro.uncertain.objects import UncertainObject
 
 
 @dataclass

@@ -55,6 +55,13 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
                         help="LRU buffer-pool capacity on the read path "
                              "(0 = off; default: off for builds, the saved "
                              "value for --load)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the construction's "
+                             "cell-computation phase (1 = serial; results "
+                             "are bit-identical either way)")
+    parser.add_argument("--shard-strategy", default="round_robin",
+                        choices=["round_robin", "spatial_tile"],
+                        help="how objects are sharded across workers")
 
 
 def _add_load_arguments(parser: argparse.ArgumentParser) -> None:
@@ -91,6 +98,8 @@ def _config_from_args(args: argparse.Namespace, backend: Optional[str] = None) -
         store=args.store,
         store_path=args.store_path,
         buffer_pages=args.buffer_pages if args.buffer_pages is not None else 0,
+        workers=args.workers,
+        shard_strategy=args.shard_strategy,
     )
 
 

@@ -14,9 +14,24 @@ are inserted into the adaptive grid:
   more conservative but construction is an order of magnitude faster and
   query performance is essentially identical.
 
+Construction is two phases with very different parallelism profiles:
+
+1. **Cell computation** -- deriving each object's reference set (cr-objects,
+   or exact r-objects) against the rest of the dataset.  This is pure and
+   embarrassingly parallel per object: :class:`ConstructionContext.compute`
+   takes an object id and returns an :class:`ObjectCellResult` without
+   touching any shared mutable state, so shards of objects can be computed
+   on worker processes (see :mod:`repro.parallel`) from a picklable
+   :class:`CellWorkSpec`.
+2. **Indexing** -- inserting the reference sets into the adaptive grid.
+   This mutates one shared structure and always runs in canonical object
+   order, which is what makes parallel builds bit-identical to serial ones
+   regardless of how phase 1 was sharded.
+
 Each builder returns the index together with a :class:`ConstructionStats`
 record holding the per-phase timings and pruning ratios that Figures 7(a)-(g)
-report.
+report.  Stats are addable (``merge`` / ``+``) so per-shard records aggregate
+into one run-level record.
 """
 
 from __future__ import annotations
@@ -25,7 +40,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.cr_objects import CRObjectFinder, CRObjectResult
+from repro.core.cr_objects import CRObjectFinder
 from repro.core.uv_cell import build_exact_uv_cell
 from repro.core.uv_index import UVIndex
 from repro.geometry.rectangle import Rect
@@ -33,6 +48,10 @@ from repro.rtree.tree import RTree
 from repro.storage.disk import DiskManager
 from repro.storage.stats import TimingBreakdown
 from repro.uncertain.objects import UncertainObject
+
+#: fanout of the helper R-tree built when the caller does not supply one
+#: (mirrors :class:`RTree.bulk_load`'s default and ``DiagramConfig.rtree_fanout``).
+DEFAULT_RTREE_FANOUT = 100
 
 
 @dataclass
@@ -45,7 +64,12 @@ class ConstructionStats:
         total_seconds: end-to-end construction time (``T_c``).
         timing: phase breakdown with buckets ``pruning`` (seed selection +
             I-pruning + C-pruning), ``r_objects`` (exact refinement, ICR and
-            Basic only) and ``indexing`` (Algorithm 3 insertions).
+            Basic only) and ``indexing`` (Algorithm 3 insertions).  In a
+            parallel build the compute buckets sum *per-worker* seconds, so
+            ``timing.total()`` can exceed the wall-clock ``total_seconds``
+            and :meth:`phase_fractions` reports CPU-time shares; only serial
+            builds reproduce the paper's wall-consistent breakdown of
+            Figures 7(d)/7(e).
         i_pruning_ratio / c_pruning_ratio: average pruning ratios
             (Figure 7(b)); zero for the Basic method which performs no
             pruning.
@@ -66,9 +90,288 @@ class ConstructionStats:
         """Phase shares of the total time (Figures 7(d) and 7(e))."""
         return self.timing.fractions()
 
+    # ------------------------------------------------------------------ #
+    # aggregation (shard merging, multi-run reports)
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "ConstructionStats") -> "ConstructionStats":
+        """Aggregate two runs (or shards) into one record.
 
+        Counts and times add; the per-object averages and pruning ratios are
+        weighted by object count so the merged record reports the same values
+        a single pass over the union would have produced.
+        """
+        if not isinstance(other, ConstructionStats):
+            raise TypeError(f"cannot merge ConstructionStats with {type(other).__name__}")
+        total_objects = self.objects + other.objects
+
+        def weighted(a: float, b: float) -> float:
+            if total_objects == 0:
+                return 0.0
+            return (a * self.objects + b * other.objects) / total_objects
+
+        timing = TimingBreakdown()
+        timing.merge(self.timing)
+        timing.merge(other.timing)
+        method = self.method if self.method == other.method else (
+            f"{self.method}+{other.method}"
+        )
+        return ConstructionStats(
+            method=method,
+            objects=total_objects,
+            total_seconds=self.total_seconds + other.total_seconds,
+            timing=timing,
+            i_pruning_ratio=weighted(self.i_pruning_ratio, other.i_pruning_ratio),
+            c_pruning_ratio=weighted(self.c_pruning_ratio, other.c_pruning_ratio),
+            avg_cr_objects=weighted(self.avg_cr_objects, other.avg_cr_objects),
+            avg_r_objects=weighted(self.avg_r_objects, other.avg_r_objects),
+        )
+
+    def __add__(self, other: "ConstructionStats") -> "ConstructionStats":
+        if not isinstance(other, ConstructionStats):
+            return NotImplemented
+        return self.merge(other)
+
+    def __radd__(self, other) -> "ConstructionStats":
+        # supports sum(list_of_stats) whose implicit start value is 0
+        if other == 0:
+            return self
+        if not isinstance(other, ConstructionStats):
+            return NotImplemented
+        return other.merge(self)
+
+
+# ---------------------------------------------------------------------- #
+# pure per-object cell computation
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CellWorkSpec:
+    """Picklable description of one construction run's cell-computation phase.
+
+    Everything a worker process needs to compute any object's reference set:
+    the full dataset (pruning examines neighbours), the domain, and the
+    Algorithm 2 knobs.  ``rtree_fanout`` pins the helper R-tree's shape so
+    that k-NN / range-query orderings -- and therefore seeds and cr-objects
+    -- are identical in every process.
+    """
+
+    method: str
+    objects: Tuple[UncertainObject, ...]
+    domain: Rect
+    seed_knn: int = 300
+    seed_sectors: int = 8
+    arc_samples: int = 10
+    rtree_fanout: int = DEFAULT_RTREE_FANOUT
+
+    def __post_init__(self) -> None:
+        if self.method not in ("ic", "icr", "basic"):
+            raise ValueError(f"unknown construction method: {self.method!r}")
+
+
+@dataclass
+class ObjectCellResult:
+    """Outcome of the cell-computation phase for one object.
+
+    Attributes:
+        oid: the object ``O_i``.
+        ref_objects: ids inserted into the index for this object -- the
+            cr-objects for IC, the exact r-objects for ICR / Basic.
+        cr_objects: survivors of Algorithm 2 (empty for the Basic method).
+        candidates_after_i_pruning: ``|I|`` -- survivors of I-pruning.
+        examined: number of other objects in the dataset (``n - 1``).
+        refined: ``|F_i|`` after exact refinement (``None`` for IC, which
+            skips refinement).
+        phase_seconds: wall-clock buckets (``pruning`` / ``r_objects``)
+            accumulated while computing this object.
+    """
+
+    oid: int
+    ref_objects: List[int]
+    cr_objects: List[int] = field(default_factory=list)
+    candidates_after_i_pruning: int = 0
+    examined: int = 0
+    refined: Optional[int] = None
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def i_pruning_ratio(self) -> float:
+        """Fraction of the dataset discarded by I-pruning."""
+        if self.examined == 0:
+            return 0.0
+        return 1.0 - self.candidates_after_i_pruning / self.examined
+
+    @property
+    def c_pruning_ratio(self) -> float:
+        """Cumulative fraction discarded after C-pruning."""
+        if self.examined == 0:
+            return 0.0
+        return 1.0 - len(self.cr_objects) / self.examined
+
+
+class ConstructionContext:
+    """Shared-nothing, read-only state for computing object cells.
+
+    Built once per process (from a :class:`CellWorkSpec`) or once per serial
+    run; :meth:`compute` is then a pure function of the object id.  The
+    context never mutates after construction, which is what makes sharded /
+    multi-process cell computation safe and deterministic.
+    """
+
+    def __init__(
+        self,
+        spec: CellWorkSpec,
+        finder: Optional[CRObjectFinder] = None,
+        rtree: Optional[RTree] = None,
+    ):
+        self.spec = spec
+        self.objects: List[UncertainObject] = list(spec.objects)
+        self.by_id: Dict[int, UncertainObject] = {o.oid: o for o in self.objects}
+        if spec.method in ("ic", "icr") and finder is None:
+            if rtree is None:
+                rtree = RTree.bulk_load(self.objects, fanout=spec.rtree_fanout)
+            finder = CRObjectFinder(
+                self.objects,
+                spec.domain,
+                rtree=rtree,
+                seed_knn=spec.seed_knn,
+                seed_sectors=spec.seed_sectors,
+            )
+        self.finder = finder
+
+    def compute(self, oid: int) -> ObjectCellResult:
+        """Compute one object's reference set (pure: no shared mutable state)."""
+        obj = self.by_id[oid]
+        spec = self.spec
+        phases: Dict[str, float] = {}
+
+        if spec.method == "basic":
+            start = time.perf_counter()
+            others = [o for o in self.objects if o.oid != oid]
+            cell = build_exact_uv_cell(
+                obj, others, spec.domain, arc_samples=spec.arc_samples
+            )
+            r_objects = cell.r_objects if cell.r_objects else [o.oid for o in others]
+            phases["r_objects"] = time.perf_counter() - start
+            return ObjectCellResult(
+                oid=oid,
+                ref_objects=list(r_objects),
+                examined=len(self.objects) - 1,
+                refined=len(r_objects),
+                phase_seconds=phases,
+            )
+
+        start = time.perf_counter()
+        found = self.finder.find(obj)
+        phases["pruning"] = time.perf_counter() - start
+
+        if spec.method == "ic":
+            ref_objects = list(found.cr_objects)
+            refined = None
+        else:  # icr
+            start = time.perf_counter()
+            cr_objs = [self.by_id[other] for other in found.cr_objects]
+            cell = build_exact_uv_cell(
+                obj, cr_objs, spec.domain, arc_samples=spec.arc_samples
+            )
+            ref_objects = list(
+                cell.r_objects if cell.r_objects else found.cr_objects
+            )
+            phases["r_objects"] = time.perf_counter() - start
+            refined = len(ref_objects)
+
+        return ObjectCellResult(
+            oid=oid,
+            ref_objects=ref_objects,
+            cr_objects=list(found.cr_objects),
+            candidates_after_i_pruning=found.candidates_after_i_pruning,
+            examined=found.examined,
+            refined=refined,
+            phase_seconds=phases,
+        )
+
+    def compute_many(self, oids: Sequence[int]) -> List[ObjectCellResult]:
+        """Compute a shard of objects, in the given order."""
+        return [self.compute(oid) for oid in oids]
+
+
+# ---------------------------------------------------------------------- #
+# shared build pipeline
+# ---------------------------------------------------------------------- #
 def _average(values: Sequence[float]) -> float:
     return sum(values) / len(values) if values else 0.0
+
+
+def _build_uv_index(
+    method: str,
+    objects: Sequence[UncertainObject],
+    domain: Rect,
+    rtree: Optional[RTree],
+    disk: Optional[DiskManager],
+    max_nonleaf: int,
+    split_threshold: float,
+    page_capacity: Optional[int],
+    seed_knn: int,
+    seed_sectors: int,
+    arc_samples: int,
+    finder: Optional[CRObjectFinder],
+    scheduler,
+) -> Tuple[UVIndex, ConstructionStats]:
+    """Compute all object cells (serial or via a scheduler), then index them.
+
+    Indexing always runs in canonical object order, so the resulting index is
+    bit-identical however the cell computation was sharded or distributed.
+    """
+    objects = list(objects)
+    by_id = {obj.oid: obj for obj in objects}
+    index = UVIndex(
+        domain,
+        disk=disk,
+        max_nonleaf=max_nonleaf,
+        split_threshold=split_threshold,
+        page_capacity=page_capacity,
+    )
+    spec = CellWorkSpec(
+        method=method,
+        objects=tuple(objects),
+        domain=domain,
+        seed_knn=seed_knn,
+        seed_sectors=seed_sectors,
+        arc_samples=arc_samples,
+        rtree_fanout=rtree.fanout if rtree is not None else DEFAULT_RTREE_FANOUT,
+    )
+    timing = TimingBreakdown()
+
+    start_total = time.perf_counter()
+    if scheduler is not None and finder is None:
+        by_oid = scheduler.compute_cells(spec)
+        results = [by_oid[obj.oid] for obj in objects]
+    else:
+        # A caller-supplied finder cannot be shipped to worker processes, so
+        # it always computes in-process.
+        context = ConstructionContext(spec, finder=finder, rtree=rtree)
+        results = context.compute_many([obj.oid for obj in objects])
+
+    for result in results:
+        for name, seconds in result.phase_seconds.items():
+            timing.add(name, seconds)
+
+    for obj, result in zip(objects, results):
+        start = time.perf_counter()
+        index.insert(obj, [by_id[other] for other in result.ref_objects])
+        timing.add("indexing", time.perf_counter() - start)
+    total = time.perf_counter() - start_total
+
+    pruned = method != "basic"
+    stats = ConstructionStats(
+        method=method,
+        objects=len(objects),
+        total_seconds=total,
+        timing=timing,
+        i_pruning_ratio=_average([r.i_pruning_ratio for r in results]) if pruned else 0.0,
+        c_pruning_ratio=_average([r.c_pruning_ratio for r in results]) if pruned else 0.0,
+        avg_cr_objects=_average([len(r.cr_objects) for r in results]) if pruned else 0.0,
+        avg_r_objects=_average([r.refined for r in results if r.refined is not None]),
+    )
+    return index, stats
 
 
 def build_uv_index_ic(
@@ -82,46 +385,29 @@ def build_uv_index_ic(
     seed_knn: int = 300,
     seed_sectors: int = 8,
     finder: Optional[CRObjectFinder] = None,
+    scheduler=None,
 ) -> Tuple[UVIndex, ConstructionStats]:
-    """The IC construction: prune, then index cr-objects directly."""
-    objects = list(objects)
-    by_id = {obj.oid: obj for obj in objects}
-    if finder is None:
-        finder = CRObjectFinder(
-            objects, domain, rtree=rtree, seed_knn=seed_knn, seed_sectors=seed_sectors
-        )
-    index = UVIndex(
+    """The IC construction: prune, then index cr-objects directly.
+
+    ``scheduler`` (a :class:`repro.parallel.ConstructionScheduler`) shards
+    the cell-computation phase across workers; omitted, the build runs
+    serially.  Either way the result is bit-identical.
+    """
+    return _build_uv_index(
+        "ic",
+        objects,
         domain,
+        rtree=rtree,
         disk=disk,
         max_nonleaf=max_nonleaf,
         split_threshold=split_threshold,
         page_capacity=page_capacity,
+        seed_knn=seed_knn,
+        seed_sectors=seed_sectors,
+        arc_samples=10,
+        finder=finder,
+        scheduler=scheduler,
     )
-    timing = TimingBreakdown()
-    cr_results: List[CRObjectResult] = []
-
-    start_total = time.perf_counter()
-    for obj in objects:
-        start = time.perf_counter()
-        result = finder.find(obj)
-        timing.add("pruning", time.perf_counter() - start)
-        cr_results.append(result)
-
-        start = time.perf_counter()
-        index.insert(obj, [by_id[oid] for oid in result.cr_objects])
-        timing.add("indexing", time.perf_counter() - start)
-    total = time.perf_counter() - start_total
-
-    stats = ConstructionStats(
-        method="ic",
-        objects=len(objects),
-        total_seconds=total,
-        timing=timing,
-        i_pruning_ratio=_average([r.i_pruning_ratio for r in cr_results]),
-        c_pruning_ratio=_average([r.c_pruning_ratio for r in cr_results]),
-        avg_cr_objects=_average([len(r.cr_objects) for r in cr_results]),
-    )
-    return index, stats
 
 
 def build_uv_index_icr(
@@ -136,55 +422,24 @@ def build_uv_index_icr(
     seed_sectors: int = 8,
     arc_samples: int = 10,
     finder: Optional[CRObjectFinder] = None,
+    scheduler=None,
 ) -> Tuple[UVIndex, ConstructionStats]:
     """The ICR construction: prune, refine to exact r-objects, then index."""
-    objects = list(objects)
-    by_id = {obj.oid: obj for obj in objects}
-    if finder is None:
-        finder = CRObjectFinder(
-            objects, domain, rtree=rtree, seed_knn=seed_knn, seed_sectors=seed_sectors
-        )
-    index = UVIndex(
+    return _build_uv_index(
+        "icr",
+        objects,
         domain,
+        rtree=rtree,
         disk=disk,
         max_nonleaf=max_nonleaf,
         split_threshold=split_threshold,
         page_capacity=page_capacity,
+        seed_knn=seed_knn,
+        seed_sectors=seed_sectors,
+        arc_samples=arc_samples,
+        finder=finder,
+        scheduler=scheduler,
     )
-    timing = TimingBreakdown()
-    cr_results: List[CRObjectResult] = []
-    r_counts: List[int] = []
-
-    start_total = time.perf_counter()
-    for obj in objects:
-        start = time.perf_counter()
-        result = finder.find(obj)
-        timing.add("pruning", time.perf_counter() - start)
-        cr_results.append(result)
-
-        start = time.perf_counter()
-        cr_objs = [by_id[oid] for oid in result.cr_objects]
-        cell = build_exact_uv_cell(obj, cr_objs, domain, arc_samples=arc_samples)
-        r_objects = cell.r_objects if cell.r_objects else result.cr_objects
-        timing.add("r_objects", time.perf_counter() - start)
-        r_counts.append(len(r_objects))
-
-        start = time.perf_counter()
-        index.insert(obj, [by_id[oid] for oid in r_objects])
-        timing.add("indexing", time.perf_counter() - start)
-    total = time.perf_counter() - start_total
-
-    stats = ConstructionStats(
-        method="icr",
-        objects=len(objects),
-        total_seconds=total,
-        timing=timing,
-        i_pruning_ratio=_average([r.i_pruning_ratio for r in cr_results]),
-        c_pruning_ratio=_average([r.c_pruning_ratio for r in cr_results]),
-        avg_cr_objects=_average([len(r.cr_objects) for r in cr_results]),
-        avg_r_objects=_average(r_counts),
-    )
-    return index, stats
 
 
 def build_uv_index_basic(
@@ -195,6 +450,7 @@ def build_uv_index_basic(
     split_threshold: float = 1.0,
     page_capacity: Optional[int] = None,
     arc_samples: int = 10,
+    scheduler=None,
 ) -> Tuple[UVIndex, ConstructionStats]:
     """The Basic construction: exact UV-cells via Algorithm 1, then index.
 
@@ -202,37 +458,18 @@ def build_uv_index_basic(
     grows very quickly with the dataset size; this pipeline exists as the
     baseline of Figure 7(a) and as a correctness oracle for small inputs.
     """
-    objects = list(objects)
-    by_id = {obj.oid: obj for obj in objects}
-    index = UVIndex(
+    return _build_uv_index(
+        "basic",
+        objects,
         domain,
+        rtree=None,
         disk=disk,
         max_nonleaf=max_nonleaf,
         split_threshold=split_threshold,
         page_capacity=page_capacity,
+        seed_knn=300,
+        seed_sectors=8,
+        arc_samples=arc_samples,
+        finder=None,
+        scheduler=scheduler,
     )
-    timing = TimingBreakdown()
-    r_counts: List[int] = []
-
-    start_total = time.perf_counter()
-    for obj in objects:
-        start = time.perf_counter()
-        others = [o for o in objects if o.oid != obj.oid]
-        cell = build_exact_uv_cell(obj, others, domain, arc_samples=arc_samples)
-        r_objects = cell.r_objects if cell.r_objects else [o.oid for o in others]
-        timing.add("r_objects", time.perf_counter() - start)
-        r_counts.append(len(r_objects))
-
-        start = time.perf_counter()
-        index.insert(obj, [by_id[oid] for oid in r_objects])
-        timing.add("indexing", time.perf_counter() - start)
-    total = time.perf_counter() - start_total
-
-    stats = ConstructionStats(
-        method="basic",
-        objects=len(objects),
-        total_seconds=total,
-        timing=timing,
-        avg_r_objects=_average(r_counts),
-    )
-    return index, stats

@@ -32,7 +32,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.possible_region import PossibleRegion
-from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.rtree.tree import RTree
 from repro.storage.stats import TimingBreakdown

@@ -11,7 +11,7 @@ remains a valid possible region.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set
+from typing import List, Sequence, Set
 
 from repro.core.uv_edge import UVEdge
 from repro.geometry.clipping import clip_polygon_by_constraint

@@ -10,7 +10,7 @@ standard deviation ``sigma`` between 1500 and 3500.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

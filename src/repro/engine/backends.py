@@ -248,6 +248,7 @@ def _uv_factory(method: str):
         config: DiagramConfig,
         disk: DiskManager,
         rtree: RTree,
+        scheduler=None,
     ) -> UVIndexBackend:
         if method == "basic":
             index, stats = build_uv_index_basic(
@@ -257,6 +258,7 @@ def _uv_factory(method: str):
                 max_nonleaf=config.max_nonleaf,
                 split_threshold=config.split_threshold,
                 page_capacity=config.page_capacity,
+                scheduler=scheduler,
             )
         else:
             builder = build_uv_index_ic if method == "ic" else build_uv_index_icr
@@ -270,6 +272,7 @@ def _uv_factory(method: str):
                 page_capacity=config.page_capacity,
                 seed_knn=config.seed_knn,
                 seed_sectors=config.seed_sectors,
+                scheduler=scheduler,
             )
         return UVIndexBackend(index, stats)
 
@@ -282,7 +285,10 @@ def _rtree_factory(
     config: DiagramConfig,
     disk: DiskManager,
     rtree: RTree,
+    scheduler=None,
 ) -> RTreeBackend:
+    # The R-tree is bulk-loaded by the engine before backends exist; there is
+    # no per-object cell computation for a scheduler to shard.
     stats = ConstructionStats(
         method="rtree",
         objects=len(objects),
@@ -298,6 +304,7 @@ def _grid_factory(
     config: DiagramConfig,
     disk: DiskManager,
     rtree: RTree,
+    scheduler=None,
 ) -> UniformGridBackend:
     start = time.perf_counter()
     grid = UniformGridIndex(domain, resolution=config.grid_resolution, disk=disk)

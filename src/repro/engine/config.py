@@ -35,6 +35,17 @@ class DiagramConfig:
         store_path: path of the page file (required for ``"file"``/``"mmap"``).
         buffer_pages: capacity of the integrated LRU buffer pool on the
             counted read path; zero disables caching (the paper's setup).
+        workers: worker count for the cell-computation phase of construction.
+            ``1`` (the default) builds serially in-process; ``>1`` shards the
+            per-object work across a multiprocessing pool.  The resulting
+            diagram (structure, answers, probabilities, query-time I/O) is
+            bit-identical either way; only *construction-time* accounting
+            differs -- workers prune through private uncounted R-trees, so
+            build-phase page reads land in ``io_stats()`` only for serial
+            builds, and stats timing buckets become per-worker CPU seconds.
+        shard_strategy: how the object set is split across workers --
+            ``"round_robin"`` (balanced deal-out) or ``"spatial_tile"``
+            (domain tiles, spatially compact shards).
     """
 
     backend: str = "ic"
@@ -48,6 +59,8 @@ class DiagramConfig:
     store: str = "memory"
     store_path: Optional[str] = None
     buffer_pages: int = 0
+    workers: int = 1
+    shard_strategy: str = "round_robin"
 
     def __post_init__(self) -> None:
         if not isinstance(self.backend, str) or not self.backend:
@@ -74,6 +87,13 @@ class DiagramConfig:
             raise ValueError(f"store={self.store!r} requires a store_path")
         if self.buffer_pages < 0:
             raise ValueError("buffer_pages must be non-negative")
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.shard_strategy not in ("round_robin", "spatial_tile"):
+            raise ValueError(
+                f"unknown shard_strategy: {self.shard_strategy!r} "
+                "(known: round_robin, spatial_tile)"
+            )
 
     # ------------------------------------------------------------------ #
     # dict plumbing (CLI, benchmarks, experiment grids)

@@ -11,9 +11,9 @@ need: area, containment, vertex access, bounding boxes, and clipping support
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
-from repro.geometry.point import Point, cross
+from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.geometry.segment import Segment
 

@@ -7,7 +7,6 @@ centres along polylines.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional
 

@@ -1,0 +1,49 @@
+"""Parallel, sharded UV-diagram construction.
+
+The cell-computation phase of diagram construction is pure per object, so it
+shards across cores; the indexing phase replays the per-object results in
+canonical order, keeping parallel builds bit-identical to serial ones.  See
+:class:`ConstructionScheduler` for the entry point and
+:mod:`repro.parallel.scheduler` for the full story.
+
+Typical usage::
+
+    from repro import DiagramConfig, QueryEngine
+    from repro.datasets.synthetic import generate_uniform_objects
+
+    objects, domain = generate_uniform_objects(500, seed=7)
+    engine = QueryEngine.build(
+        objects, domain, DiagramConfig(backend="ic", workers=4)
+    )
+
+or explicitly::
+
+    from repro.parallel import ConstructionScheduler
+
+    scheduler = ConstructionScheduler(workers=4, shard_strategy="spatial_tile")
+    engine = QueryEngine.build(objects, domain, scheduler=scheduler)
+"""
+
+from repro.parallel.scheduler import (
+    ConstructionScheduler,
+    MultiprocessingExecutor,
+    SchedulerReport,
+    SerialExecutor,
+    ShardReport,
+    SHARD_STRATEGIES,
+    available_workers,
+    shard_round_robin,
+    shard_spatial_tiles,
+)
+
+__all__ = [
+    "ConstructionScheduler",
+    "MultiprocessingExecutor",
+    "SchedulerReport",
+    "SerialExecutor",
+    "ShardReport",
+    "SHARD_STRATEGIES",
+    "available_workers",
+    "shard_round_robin",
+    "shard_spatial_tiles",
+]

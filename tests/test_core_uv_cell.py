@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.uv_cell import (
-    UVCell,
     answer_objects_brute_force,
     build_all_uv_cells,
     build_exact_uv_cell,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.cr_objects import CRObjectFinder
-from repro.core.uv_index import SplitDecision, UVIndex
+from repro.core.uv_index import UVIndex
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.uncertain.objects import UncertainObject

@@ -114,7 +114,7 @@ class TestRegistry:
             QueryEngine.build(dataset, DOMAIN, SMALL_CONFIG.replace(backend="btree"))
 
     def test_custom_backend_registration_round_trip(self, dataset):
-        def factory(objects, domain, config, disk, rtree):
+        def factory(objects, domain, config, disk, rtree, scheduler=None):
             backend = UVIndexBackend.__new__(UVIndexBackend)  # placeholder instance
             return backend
 

@@ -11,7 +11,6 @@ import pytest
 
 from repro import UVDiagram, load_dataset
 from repro.core.uv_cell import answer_objects_brute_force
-from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.grid.uniform_grid import GridPNN, UniformGridIndex
 from repro.queries.probability import qualification_probabilities_sampling

@@ -22,7 +22,7 @@ from repro.storage.pagestore import (
     write_snapshot_file,
 )
 from repro.uncertain.objects import UncertainObject
-from repro.uncertain.pdf import HistogramPdf, TruncatedGaussianPdf, UniformPdf
+from repro.uncertain.pdf import HistogramPdf
 
 
 class TestCodec:

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager

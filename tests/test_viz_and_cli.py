@@ -1,6 +1,5 @@
 """Tests for the SVG visualisation module and the command-line interface."""
 
-import os
 
 import pytest
 
