@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Vectorized vs scalar qualification-probability kernel on the Figure 6(c) workload.
+
+Figure 6(c) shows the probability-computation (refinement) component
+dominating PNN query time.  This benchmark isolates exactly that component:
+it builds the fig6c uniform workload, collects each query's answer objects
+once, then times the scalar reference kernel against the vectorized kernel
+on identical inputs, verifying parity (<= 1e-9) along the way.
+
+Standalone on purpose (no pytest, just the library and the stdlib)::
+
+    python benchmarks/bench_prob_kernel.py --output-dir bench-out --check
+
+``--check`` fails the run when the measured speedup drops below
+``--min-speedup`` (default 5x, the acceptance target).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.datasets.loader import load_dataset  # noqa: E402
+from repro.engine import DiagramConfig, QueryEngine  # noqa: E402
+from repro.queries.probability import qualification_probabilities  # noqa: E402
+from repro.queries.probability_kernel import (  # noqa: E402
+    RingCache,
+    qualification_probabilities_vectorized,
+)
+
+# The Figure 6(c) workload at benchmark scale: uniform objects, diameter 300,
+# the benchmarks/conftest.py index knobs, largest sweep size.
+OBJECTS = 400
+QUERIES = 12
+DIAMETER = 300.0
+CONFIG_KNOBS = dict(backend="ic", page_capacity=32, rtree_fanout=16, seed_knn=60)
+
+
+def collect_answer_sets(engine, queries):
+    """The refinement inputs: each query's verified answer objects."""
+    answer_sets = []
+    for query in queries:
+        ids = engine.pnn(query, compute_probabilities=False).answer_ids
+        answer_sets.append((query, engine.object_store.fetch_many(ids)))
+    return answer_sets
+
+
+def time_kernel(answer_sets, repeats, evaluate):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = [evaluate(objects, query) for query, objects in answer_sets]
+        best = min(best, time.perf_counter() - start)
+    return best, results
+
+
+def max_parity_diff(scalar_results, vectorized_results):
+    """Largest absolute probability difference between the two kernels' results."""
+    worst = 0.0
+    for scalar, vectorized in zip(scalar_results, vectorized_results):
+        if scalar.keys() != vectorized.keys():
+            raise SystemExit("kernels disagreed on the answer-object key sets")
+        for oid, p in scalar.items():
+            worst = max(worst, abs(p - vectorized[oid]))
+    return worst
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--objects", type=int, default=OBJECTS)
+    parser.add_argument("--queries", type=int, default=QUERIES)
+    parser.add_argument("--seed", type=int, default=400)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats; the best run of each kernel counts")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="speedup the --check gate requires")
+    parser.add_argument("--output-dir", default="bench-out", type=Path,
+                        help="where BENCH_prob.json is written")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when the speedup drops below --min-speedup")
+    args = parser.parse_args(argv)
+
+    bundle = load_dataset("uniform", args.objects, diameter=DIAMETER,
+                          query_count=args.queries, seed=args.seed)
+    print(f"building {CONFIG_KNOBS['backend']} engine over {args.objects} objects ...")
+    engine = QueryEngine.build(bundle.objects, bundle.domain,
+                               DiagramConfig(**CONFIG_KNOBS))
+    queries = bundle.queries[: args.queries]
+    answer_sets = collect_answer_sets(engine, queries)
+    answer_sizes = [len(objects) for _, objects in answer_sets]
+
+    scalar_seconds, scalar_results = time_kernel(
+        answer_sets, args.repeats,
+        lambda objects, query: qualification_probabilities(objects, query),
+    )
+    ring_cache = RingCache()
+    vectorized_seconds, vectorized_results = time_kernel(
+        answer_sets, args.repeats,
+        lambda objects, query: qualification_probabilities_vectorized(
+            objects, query, ring_cache=ring_cache),
+    )
+
+    max_diff = max_parity_diff(scalar_results, vectorized_results)
+    if max_diff > 1e-9:
+        raise SystemExit(f"kernel parity violated: max abs diff {max_diff:.3e}")
+
+    speedup = scalar_seconds / vectorized_seconds if vectorized_seconds > 0 else float("inf")
+    per_query_ms = 1000.0 / len(queries)
+    print(f"refinement over {len(queries)} queries "
+          f"(answer sizes {min(answer_sizes)}-{max(answer_sizes)}, "
+          f"mean {sum(answer_sizes) / len(answer_sizes):.1f}):")
+    print(f"  scalar     : {scalar_seconds * per_query_ms:8.3f} ms/query")
+    print(f"  vectorized : {vectorized_seconds * per_query_ms:8.3f} ms/query")
+    print(f"  speedup    : {speedup:.1f}x  (parity max |diff| {max_diff:.2e})")
+
+    payload = {
+        "benchmark": "prob_kernel",
+        "workload": "fig6c-uniform",
+        "objects": args.objects,
+        "queries": len(queries),
+        "answer_sizes": answer_sizes,
+        "scalar_seconds": scalar_seconds,
+        "vectorized_seconds": vectorized_seconds,
+        "speedup": speedup,
+        "max_abs_diff": max_diff,
+        "min_speedup_target": args.min_speedup,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    path = args.output_dir / "BENCH_prob.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+    if args.check and speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.1f}x below the {args.min_speedup:.1f}x target",
+              file=sys.stderr)
+        return 1
+    if args.check:
+        print(f"gate passed ({speedup:.1f}x >= {args.min_speedup:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,10 @@
 #!/usr/bin/env python
 """CI bench-smoke runner: small benchmarks + a perf-regression gate.
 
-Runs three fast benchmarks (IC construction, batch PNN, cold-start open),
-writes one machine-readable ``BENCH_*.json`` per benchmark, and -- with
-``--check`` -- fails when construction wall-time regresses more than
+Runs four fast benchmarks (IC construction, batch PNN, cold-start open,
+qualification-probability refinement), writes one machine-readable
+``BENCH_*.json`` per benchmark, and -- with ``--check`` -- fails when
+construction or refinement wall-time regresses more than
 ``--max-regression`` times the checked-in baseline
 (``benchmarks/baseline/BENCH_baseline.json``).
 
@@ -107,20 +108,67 @@ def smoke_cold_start(engine, queries) -> dict:
     }
 
 
+def smoke_refinement(engine, queries) -> dict:
+    """Vectorized vs scalar refinement (qualification probabilities) timing.
+
+    Reuses the collection / timing / parity helpers of the full benchmark
+    (``bench_prob_kernel.py``, importable because both scripts share this
+    directory) so the smoke and the benchmark cannot drift apart.
+    """
+    from bench_prob_kernel import collect_answer_sets, max_parity_diff, time_kernel
+    from repro.queries.probability import qualification_probabilities
+    from repro.queries.probability_kernel import (
+        RingCache,
+        qualification_probabilities_vectorized,
+    )
+
+    answer_sets = collect_answer_sets(engine, queries)
+    scalar_seconds, scalar = time_kernel(
+        answer_sets, 1, lambda objs, q: qualification_probabilities(objs, q)
+    )
+    ring_cache = RingCache()
+    vectorized_seconds, vectorized = time_kernel(
+        answer_sets, 1,
+        lambda objs, q: qualification_probabilities_vectorized(
+            objs, q, ring_cache=ring_cache),
+    )
+
+    max_diff = max_parity_diff(scalar, vectorized)
+    if max_diff > 1e-9:
+        raise SystemExit(f"refinement kernels diverged: max abs diff {max_diff:.3e}")
+    return {
+        "benchmark": "refinement_smoke",
+        "queries": len(queries),
+        "scalar_seconds": scalar_seconds,
+        "refinement_seconds": vectorized_seconds,
+        "speedup": scalar_seconds / vectorized_seconds if vectorized_seconds else 0.0,
+        "max_abs_diff": max_diff,
+    }
+
+
+GATED_METRICS = (
+    ("construction_seconds", "construction"),
+    ("refinement_seconds", "refinement"),
+)
+
+
 def check_regression(measured: dict, baseline_path: Path, max_regression: float) -> int:
     baseline = json.loads(baseline_path.read_text())
-    allowed = baseline["construction_seconds"] * max_regression
-    got = measured["construction_seconds"]
-    print(f"regression gate: construction {got:.3f}s vs baseline "
-          f"{baseline['construction_seconds']:.3f}s "
-          f"(allowed <= {allowed:.3f}s at {max_regression:.1f}x)")
-    if got > allowed:
-        print(f"FAIL: construction wall-time regressed "
-              f"{got / baseline['construction_seconds']:.2f}x over baseline "
-              f"(limit {max_regression:.1f}x)", file=sys.stderr)
-        return 1
-    print("gate passed")
-    return 0
+    failed = 0
+    for key, label in GATED_METRICS:
+        allowed = baseline[key] * max_regression
+        got = measured[key]
+        print(f"regression gate: {label} {got:.3f}s vs baseline "
+              f"{baseline[key]:.3f}s "
+              f"(allowed <= {allowed:.3f}s at {max_regression:.1f}x)")
+        if got > allowed:
+            print(f"FAIL: {label} wall-time regressed "
+                  f"{got / baseline[key]:.2f}x over baseline "
+                  f"(limit {max_regression:.1f}x)", file=sys.stderr)
+            failed = 1
+    if not failed:
+        print("gate passed")
+    return failed
 
 
 def main(argv=None) -> int:
@@ -160,8 +208,16 @@ def main(argv=None) -> int:
           f"open(mmap) {cold['open_seconds']['mmap']:.3f}s")
     write_json(args.output_dir, "cold_start", cold)
 
+    refinement = smoke_refinement(engine, queries)
+    print(f"refinement: vectorized {refinement['refinement_seconds']:.3f}s vs "
+          f"scalar {refinement['scalar_seconds']:.3f}s "
+          f"({refinement['speedup']:.1f}x)")
+    write_json(args.output_dir, "refinement", refinement)
+
     if args.check:
-        return check_regression(construction, args.baseline, args.max_regression)
+        measured = dict(construction)
+        measured["refinement_seconds"] = refinement["refinement_seconds"]
+        return check_regression(measured, args.baseline, args.max_regression)
     return 0
 
 

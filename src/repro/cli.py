@@ -62,6 +62,12 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--shard-strategy", default="round_robin",
                         choices=["round_robin", "spatial_tile"],
                         help="how objects are sharded across workers")
+    parser.add_argument("--prob-kernel", default=None,
+                        choices=["vectorized", "scalar"],
+                        help="qualification-probability kernel for the PNN "
+                             "refinement step (scalar is the pure-Python "
+                             "reference implementation; default: vectorized, "
+                             "or the saved value for --load)")
 
 
 def _add_load_arguments(parser: argparse.ArgumentParser) -> None:
@@ -100,6 +106,7 @@ def _config_from_args(args: argparse.Namespace, backend: Optional[str] = None) -
         buffer_pages=args.buffer_pages if args.buffer_pages is not None else 0,
         workers=args.workers,
         shard_strategy=args.shard_strategy,
+        prob_kernel=args.prob_kernel or "vectorized",
     )
 
 
@@ -124,6 +131,10 @@ def _obtain_engine(args: argparse.Namespace) -> QueryEngine:
     """A served engine: reopened from ``--load`` when given, else freshly built."""
     if getattr(args, "load", None):
         engine = _open_snapshot(args)
+        if args.prob_kernel and args.prob_kernel != engine.config.prob_kernel:
+            # The refinement kernel is a query-time setting, so an explicit
+            # --prob-kernel overrides the snapshot's saved choice.
+            engine.config = engine.config.replace(prob_kernel=args.prob_kernel)
         print(f"opened snapshot {args.load} ({engine.backend.name!r} backend, "
               f"{len(engine)} objects, {args.load_store} store)")
         return engine
@@ -222,6 +233,8 @@ def _command_compare(args: argparse.Namespace) -> int:
         from repro.datasets.synthetic import generate_query_points
 
         loaded = _open_snapshot(args)
+        if args.prob_kernel and args.prob_kernel != loaded.config.prob_kernel:
+            loaded.config = loaded.config.replace(prob_kernel=args.prob_kernel)
         bundle = DatasetBundle(
             name=f"snapshot:{args.load}",
             objects=loaded.objects,
@@ -241,6 +254,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         config = loaded.config.replace(
             backend=backends[0], store="memory", store_path=None
         )
+        # loaded.config already carries any explicit --prob-kernel override.
         print(f"opened snapshot {args.load} ({loaded.backend.name!r} backend); "
               f"other backends are built fresh over the snapshot's objects "
               f"with its config")

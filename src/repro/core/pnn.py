@@ -16,6 +16,7 @@ from repro.core.uv_index import UVIndex
 from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.queries.pipeline import evaluate_pnn
+from repro.queries.probability_kernel import DEFAULT_PROB_KERNEL, RingCache
 from repro.queries.result import PNNResult
 from repro.storage.object_store import ObjectStore
 from repro.uncertain.objects import UncertainObject
@@ -54,11 +55,15 @@ class UVIndexPNN:
         index: UVIndex,
         object_store: Optional[ObjectStore] = None,
         objects: Optional[Sequence[UncertainObject]] = None,
+        prob_kernel: str = DEFAULT_PROB_KERNEL,
+        ring_cache: Optional[RingCache] = None,
     ):
         if object_store is None and objects is None:
             raise ValueError("either an object store or in-memory objects are required")
         self.index = index
         self.object_store = object_store
+        self.prob_kernel = prob_kernel
+        self.ring_cache = ring_cache
         self._objects_by_id = {obj.oid: obj for obj in objects} if objects else {}
 
     def retrieve_candidates(self, query: Point) -> List[tuple]:
@@ -73,6 +78,8 @@ class UVIndexPNN:
             self._fetch_objects,
             self.index.disk.stats,
             compute_probabilities=compute_probabilities,
+            prob_kernel=self.prob_kernel,
+            ring_cache=self.ring_cache,
         )
 
     def _fetch_objects(self, oids: List[int]) -> List[UncertainObject]:

@@ -42,6 +42,7 @@ from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.queries.knn import KNNResult, ProbabilisticKNN
 from repro.queries.pipeline import evaluate_pnn
+from repro.queries.probability_kernel import RingCache
 from repro.queries.result import PNNResult
 from repro.rtree.pnn import RTreePNN
 from repro.rtree.tree import RTree
@@ -111,7 +112,16 @@ class QueryEngine:
         self.config = config if config is not None else DiagramConfig()
         self.construction_stats = construction_stats
         self.by_id: Dict[int, UncertainObject] = {obj.oid: obj for obj in self.objects}
-        self._rtree_pnn = RTreePNN(rtree, object_store=object_store)
+        # Ring profiles are query-independent, so one cache serves every
+        # query (single, batch, and the R-tree comparison path) until a live
+        # update touches the object.
+        self._ring_cache = RingCache()
+        self._rtree_pnn = RTreePNN(
+            rtree,
+            object_store=object_store,
+            prob_kernel=self.config.prob_kernel,
+            ring_cache=self._ring_cache,
+        )
         # True when the in-memory state has diverged from the last saved or
         # opened snapshot (a freshly built engine was never saved at all).
         self._dirty = True
@@ -234,6 +244,9 @@ class QueryEngine:
 
     def pnn_rtree(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
         """The same query through the R-tree baseline (for comparison)."""
+        # Kernel selection is a query-time setting: follow the live config so
+        # a config.replace(prob_kernel=...) switch affects both query paths.
+        self._rtree_pnn.prob_kernel = self.config.prob_kernel
         return self._rtree_pnn.query(query, compute_probabilities=compute_probabilities)
 
     def answer_objects(self, query: Point) -> List[int]:
@@ -264,6 +277,8 @@ class QueryEngine:
             self._fetch_objects,
             self.disk.stats,
             compute_probabilities=compute_probabilities,
+            prob_kernel=self.config.prob_kernel,
+            ring_cache=self._ring_cache,
         )
 
     def _fetch_objects(self, oids: List[int]) -> List[UncertainObject]:
@@ -332,6 +347,7 @@ class QueryEngine:
         if obj.oid in self.by_id:
             raise ValueError(f"object id {obj.oid} already exists in the engine")
         self._dirty = True
+        self._ring_cache.invalidate(obj.oid)
         if self.backend.handles_engine_state:
             return self.backend.insert(obj)
         self._register_object(obj)
@@ -346,6 +362,7 @@ class QueryEngine:
         if oid not in self.by_id:
             raise KeyError(f"object {oid} is not in the engine")
         self._dirty = True
+        self._ring_cache.invalidate(oid)
         if self.backend.handles_engine_state:
             return self.backend.delete(oid)
         result = self.backend.delete(oid)

@@ -15,6 +15,7 @@ from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.queries.pipeline import evaluate_pnn
+from repro.queries.probability_kernel import DEFAULT_PROB_KERNEL, RingCache
 from repro.queries.result import PNNResult
 from repro.storage.disk import DiskManager
 from repro.storage.object_store import ObjectStore
@@ -262,11 +263,15 @@ class GridPNN:
         grid: UniformGridIndex,
         object_store: Optional[ObjectStore] = None,
         objects: Optional[Sequence[UncertainObject]] = None,
+        prob_kernel: str = DEFAULT_PROB_KERNEL,
+        ring_cache: Optional[RingCache] = None,
     ):
         if object_store is None and objects is None:
             raise ValueError("either an object store or in-memory objects are required")
         self.grid = grid
         self.object_store = object_store
+        self.prob_kernel = prob_kernel
+        self.ring_cache = ring_cache
         self._objects_by_id = {obj.oid: obj for obj in objects} if objects else {}
 
     def query(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
@@ -277,6 +282,8 @@ class GridPNN:
             self._fetch_objects,
             self.grid.disk.stats,
             compute_probabilities=compute_probabilities,
+            prob_kernel=self.prob_kernel,
+            ring_cache=self.ring_cache,
         )
 
     def _retrieve_candidates(self, query: Point) -> List[Tuple[int, Circle]]:

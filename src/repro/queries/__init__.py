@@ -17,12 +17,24 @@ from repro.queries.probability import (
     qualification_probabilities,
     qualification_probabilities_sampling,
 )
+from repro.queries.probability_kernel import (
+    DEFAULT_PROB_KERNEL,
+    PROB_KERNELS,
+    RingCache,
+    compute_qualification_probabilities,
+    qualification_probabilities_vectorized,
+)
 from repro.queries.result import PNNAnswer, PNNResult
 
 __all__ = [
+    "DEFAULT_PROB_KERNEL",
+    "PROB_KERNELS",
+    "RingCache",
+    "compute_qualification_probabilities",
     "min_max_prune",
     "qualification_probabilities",
     "qualification_probabilities_sampling",
+    "qualification_probabilities_vectorized",
     "PNNAnswer",
     "PNNResult",
 ]

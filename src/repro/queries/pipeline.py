@@ -18,11 +18,15 @@ between index backends.
 from __future__ import annotations
 
 import time
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.geometry.circle import Circle
 from repro.geometry.point import Point
-from repro.queries.probability import qualification_probabilities
+from repro.queries.probability_kernel import (
+    DEFAULT_PROB_KERNEL,
+    RingCache,
+    compute_qualification_probabilities,
+)
 from repro.queries.result import PNNAnswer, PNNResult
 from repro.queries.verifier import min_max_prune
 from repro.storage.stats import IOStats, TimingBreakdown
@@ -38,6 +42,8 @@ def evaluate_pnn(
     fetch_objects: ObjectFetcher,
     io_counter: IOStats,
     compute_probabilities: bool = True,
+    prob_kernel: str = DEFAULT_PROB_KERNEL,
+    ring_cache: Optional[RingCache] = None,
 ) -> PNNResult:
     """Run the retrieve / verify / fetch / integrate pipeline for one query.
 
@@ -50,6 +56,10 @@ def evaluate_pnn(
         io_counter: the live :class:`IOStats` of the disk under the index.
         compute_probabilities: when ``False``, skip the numerical integration
             (answer sets only, as in the pruning experiments).
+        prob_kernel: refinement kernel -- ``"vectorized"`` (array-native,
+            the default) or ``"scalar"`` (the reference implementation).
+        ring_cache: optional cross-query cache of per-object ring profiles
+            (used by the vectorized kernel).
     """
     timing = TimingBreakdown()
     io_before = io_counter.snapshot()
@@ -66,7 +76,9 @@ def evaluate_pnn(
 
     start = time.perf_counter()
     if compute_probabilities and answer_objects:
-        probabilities = qualification_probabilities(answer_objects, query)
+        probabilities = compute_qualification_probabilities(
+            answer_objects, query, kernel=prob_kernel, ring_cache=ring_cache
+        )
     else:
         probabilities = {obj.oid: 0.0 for obj in answer_objects}
     timing.add("probability", time.perf_counter() - start)

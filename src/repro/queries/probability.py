@@ -34,6 +34,11 @@ def qualification_probabilities(
 ) -> Dict[int, float]:
     """Numerically integrate each candidate's probability of being the NN.
 
+    This is the pure-Python *reference* implementation of the refinement
+    step (``O(steps * m^2)`` scalar operations); production queries use the
+    array-native kernel in :mod:`repro.queries.probability_kernel`, which
+    computes the same probabilities to well within ``1e-9`` relative error.
+
     Args:
         objects: the answer objects (candidates that survived verification).
         query: the PNN query point.
@@ -59,9 +64,11 @@ def qualification_probabilities(
     # integrand vanishes; integrating to `upper` is sufficient.
     if upper <= lower:
         # A single object certainly dominates; it is the one whose maximum
-        # distance equals the bound.
-        winner = min(objects, key=lambda o: o.max_distance(query))
-        return {obj.oid: (1.0 if obj.oid is winner.oid else 0.0) for obj in objects}
+        # distance equals the bound (oid tie-break for determinism).  The
+        # oids are compared by value: `is` would fail for equal oids held by
+        # distinct int objects (CPython only interns small ints).
+        winner = min(objects, key=lambda o: (o.max_distance(query), o.oid))
+        return {obj.oid: (1.0 if obj.oid == winner.oid else 0.0) for obj in objects}
 
     grid = np.linspace(lower, upper, steps + 1)
     cdfs = np.array([[dist.cdf(r) for r in grid] for dist in distributions])
@@ -87,14 +94,11 @@ def qualification_probabilities(
     total = float(sum(raw))
     if total <= 0:
         # Degenerate discretisation; fall back to a uniform assignment over
-        # objects whose minimum distance does not exceed the bound.
-        eligible = [obj.oid for obj in objects if obj.min_distance(query) <= upper + 1e-12]
-        if not eligible:
-            eligible = [objects[0].oid]
-        return {
-            obj.oid: (1.0 / len(eligible) if obj.oid in eligible else 0.0)
-            for obj in objects
-        }
+        # objects whose minimum distance does not exceed the bound (shared
+        # with the vectorized kernel so the parity contract cannot drift).
+        from repro.queries.probability_kernel import _uniform_fallback
+
+        return _uniform_fallback(objects, [dist.lower for dist in distributions], upper)
     return {obj.oid: float(value) / total for obj, value in zip(objects, raw)}
 
 

@@ -1,0 +1,240 @@
+"""Vectorized qualification-probability kernel: the PNN refinement step.
+
+The refinement step of a PNN query evaluates, for each answer object
+``O_i``, the TKDE'04 integral the paper's Section VI-A cites (Cheng,
+Kalashnikov, Prabhakar, *Querying Imprecise Data in Moving Object
+Environments*, TKDE 2004):
+
+    P_i = integral over r of f_i(r) * prod_{j != i} (1 - F_j(r)) dr
+
+where ``f_i`` / ``F_i`` are the pdf / cdf of ``dist(q, X_i)``.  Discretised
+over the grid ``r_0 < r_1 < ... < r_S`` spanning ``[min_i distmin_i,
+min_i distmax_i]``, the scalar reference implementation
+(:func:`repro.queries.probability.qualification_probabilities`) computes
+
+    P_i ~= sum_k [F_i(r_{k+1}) - F_i(r_k)]           (the cell mass of O_i)
+              * prod_{j != i} (1 - (F_j(r_k) + F_j(r_{k+1})) / 2)
+
+with ``O(S * m^2)`` Python-level operations per query (``m`` answer
+objects, ``S`` integration steps).  This module computes the same quantity
+with a handful of numpy array operations:
+
+* **Pre-pruning** -- candidates whose ``distmin`` exceeds the global minimum
+  ``distmax`` contribute exactly zero (their cdf vanishes on the whole
+  integration range, so their survival factor is exactly ``1``); they are
+  assigned ``0.0`` before any distribution is built.  Survivors are put in
+  canonical ``(distmin, oid)`` order so every floating-point reduction runs
+  in a fixed order -- the kernel is bit-stable under permutation of the
+  candidates.
+* **Broadcasted CDF matrix** -- the ``(m, S+1)`` matrix ``F_j(r_k)`` comes
+  from one broadcasted ring-coverage evaluation over ``(m, rings, S+1)``
+  (see :func:`repro.uncertain.distance_distribution.coverage_array`)
+  contracted against the per-object ring masses.
+* **Log-survival sums** -- ``prod_{j != i}`` is replaced by
+  ``exp(sum_j log S_j - log S_i)`` column sums with explicit zero handling,
+  eliminating the inner ``O(m)`` loop.
+
+Ring masses and midpoints depend only on each object's pdf -- not on the
+query -- so a :class:`RingCache` shares them across every query that touches
+the same object (the engine keeps one cache per dataset and invalidates it
+on live updates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.uncertain.distance_distribution import coverage_array, ring_profile
+from repro.uncertain.objects import UncertainObject
+
+#: Registry of the selectable refinement kernels (``DiagramConfig.prob_kernel``).
+PROB_KERNELS = ("vectorized", "scalar")
+DEFAULT_PROB_KERNEL = "vectorized"
+
+
+class RingCache:
+    """Shares per-object ring profiles across queries.
+
+    A ring profile (masses + midpoints of the radial integration rings) is a
+    pure function of the object's pdf, so queries hitting the same candidate
+    can reuse it.  Keys are ``(oid, rings)``; the owning engine invalidates
+    an object's entries when it is inserted or deleted.
+    """
+
+    def __init__(self) -> None:
+        self._profiles: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, obj: UncertainObject, rings: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The ring profile of ``obj``, computed at most once per object."""
+        key = (obj.oid, rings)
+        profile = self._profiles.get(key)
+        if profile is None:
+            self.misses += 1
+            profile = ring_profile(obj, rings)
+            self._profiles[key] = profile
+        else:
+            self.hits += 1
+        return profile
+
+    def invalidate(self, oid: int) -> None:
+        """Drop every cached profile of one object (live update support)."""
+        for key in [key for key in self._profiles if key[0] == oid]:
+            del self._profiles[key]
+
+    def clear(self) -> None:
+        self._profiles.clear()
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+
+def _uniform_fallback(
+    objects: Sequence[UncertainObject], lowers_all: np.ndarray, upper: float
+) -> Dict[int, float]:
+    """Uniform split over eligible objects when every raw integral is zero.
+
+    The degenerate-discretisation fallback shared by both kernels: mass is
+    shared equally among objects whose minimum distance does not exceed the
+    integration bound.  Unreachable through the vectorized kernel's normal
+    flow (the minimum-``distmax`` object always keeps positive mass at the
+    upper boundary) but kept for exact behavioural parity with the scalar
+    reference, which calls this same helper.
+    """
+    eligible = [
+        obj.oid for obj, low in zip(objects, lowers_all) if low <= upper + 1e-12
+    ]
+    if not eligible:
+        eligible = [objects[0].oid]
+    return {
+        obj.oid: (1.0 / len(eligible) if obj.oid in eligible else 0.0)
+        for obj in objects
+    }
+
+
+def qualification_probabilities_vectorized(
+    objects: Sequence[UncertainObject],
+    query: Point,
+    steps: int = 120,
+    rings: int = 48,
+    ring_cache: Optional[RingCache] = None,
+) -> Dict[int, float]:
+    """Array-native evaluation of all candidates' qualification probabilities.
+
+    Produces the same mapping as the scalar reference
+    (:func:`repro.queries.probability.qualification_probabilities`) -- same
+    grid, same ring discretisation, same normalisation -- to within
+    floating-point reassociation error (well below ``1e-9`` relative), while
+    replacing the ``O(steps * m^2)`` Python loops with numpy array
+    operations.  The result is independent of the order of ``objects``.
+
+    Args:
+        objects: the answer objects (candidates that survived verification).
+        query: the PNN query point.
+        steps: number of integration steps over the relevant distance range.
+        rings: radial resolution of each distance distribution.
+        ring_cache: optional cross-query cache of ring profiles.
+    """
+    if not objects:
+        return {}
+    if len(objects) == 1:
+        return {objects[0].oid: 1.0}
+
+    lowers_all = np.array([obj.min_distance(query) for obj in objects])
+    uppers_all = np.array([obj.max_distance(query) for obj in objects])
+    lower = float(lowers_all.min())
+    # Beyond the smallest distmax some object is certainly closer, so the
+    # integrand vanishes; integrating to `upper` is sufficient.
+    upper = float(uppers_all.min())
+    if upper <= lower:
+        # A single object certainly dominates; it is the one whose maximum
+        # distance equals the bound (oid tie-break for determinism).
+        winner = min(objects, key=lambda o: (o.max_distance(query), o.oid))
+        return {obj.oid: (1.0 if obj.oid == winner.oid else 0.0) for obj in objects}
+
+    # Pre-pruning + canonical order: objects with distmin > upper have zero
+    # cdf over [lower, upper] (survival factor exactly 1, own mass exactly
+    # 0), so dropping them changes nothing; sorting the survivors by
+    # (distmin, oid) fixes the reduction order regardless of input order.
+    order = sorted(
+        range(len(objects)), key=lambda i: (lowers_all[i], objects[i].oid)
+    )
+    kept = [i for i in order if lowers_all[i] <= upper]
+
+    profiles = [
+        ring_cache.get(objects[i], rings)
+        if ring_cache is not None
+        else ring_profile(objects[i], rings)
+        for i in kept
+    ]
+    masses = np.vstack([profile[0] for profile in profiles])       # (m, rings)
+    mids = np.vstack([profile[1] for profile in profiles])         # (m, rings)
+    dists = np.array([query.distance_to(objects[i].center) for i in kept])
+    lowers = lowers_all[kept]
+    uppers = uppers_all[kept]
+
+    grid = np.linspace(lower, upper, steps + 1)                    # (S+1,)
+    coverage = coverage_array(
+        mids[:, :, None], dists[:, None, None], grid[None, None, :]
+    )                                                              # (m, rings, S+1)
+    cdfs = np.einsum("mk,mkg->mg", masses, coverage)               # (m, S+1)
+    cdfs = np.minimum(1.0, np.maximum(0.0, cdfs))
+    cdfs = np.where(grid[None, :] < lowers[:, None], 0.0, cdfs)
+    cdfs = np.where(grid[None, :] >= uppers[:, None], 1.0, cdfs)
+
+    survivals = 1.0 - cdfs
+    mid_survivals = 0.5 * (survivals[:, :-1] + survivals[:, 1:])   # (m, S)
+    cell_masses = cdfs[:, 1:] - cdfs[:, :-1]                       # (m, S)
+
+    # prod_{j != i} via log-survival column sums.  Zeros are masked out of
+    # the logs and tracked per column: the exclusive product of row i is
+    # zero whenever any *other* row is zero in that column.
+    zero = mid_survivals <= 0.0
+    log_survivals = np.log(np.where(zero, 1.0, mid_survivals))
+    column_log = log_survivals.sum(axis=0)                         # (S,)
+    zero_count = zero.sum(axis=0)                                  # (S,)
+    others_zero = zero_count[None, :] - zero
+    exclusive = np.where(
+        others_zero > 0, 0.0, np.exp(column_log[None, :] - log_survivals)
+    )
+    raw = np.sum(np.where(cell_masses > 0.0, cell_masses, 0.0) * exclusive, axis=1)
+
+    total = float(raw.sum())
+    if total <= 0.0:
+        return _uniform_fallback(objects, lowers_all, upper)
+
+    result = {obj.oid: 0.0 for obj in objects}
+    for row, i in enumerate(kept):
+        result[objects[i].oid] = float(raw[row]) / total
+    return result
+
+
+def compute_qualification_probabilities(
+    objects: Sequence[UncertainObject],
+    query: Point,
+    kernel: str = DEFAULT_PROB_KERNEL,
+    steps: int = 120,
+    rings: int = 48,
+    ring_cache: Optional[RingCache] = None,
+) -> Dict[int, float]:
+    """Dispatch to the selected refinement kernel.
+
+    ``"vectorized"`` (the default) runs the array-native kernel above;
+    ``"scalar"`` runs the pure-Python reference implementation.  Both
+    produce the same probabilities to well within ``1e-9`` relative error.
+    """
+    if kernel == "scalar":
+        from repro.queries.probability import qualification_probabilities
+
+        return qualification_probabilities(objects, query, steps=steps, rings=rings)
+    if kernel == "vectorized":
+        return qualification_probabilities_vectorized(
+            objects, query, steps=steps, rings=rings, ring_cache=ring_cache
+        )
+    raise ValueError(
+        f"unknown probability kernel: {kernel!r} (known: {', '.join(PROB_KERNELS)})"
+    )

@@ -22,6 +22,7 @@ from typing import List, Optional, Tuple
 from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.queries.pipeline import evaluate_pnn
+from repro.queries.probability_kernel import DEFAULT_PROB_KERNEL, RingCache
 from repro.queries.result import PNNResult
 from repro.rtree.tree import RTree
 from repro.storage.object_store import ObjectStore
@@ -81,6 +82,9 @@ class RTreePNN:
             retrieval).  When omitted, ``objects`` must be supplied and
             retrieval is free (useful in unit tests).
         objects: in-memory objects keyed by id (used when no store is given).
+        prob_kernel: refinement kernel -- ``"vectorized"`` or ``"scalar"``.
+        ring_cache: optional cross-query ring-profile cache (shared with the
+            owning engine when embedded).
     """
 
     def __init__(
@@ -88,11 +92,15 @@ class RTreePNN:
         tree: RTree,
         object_store: Optional[ObjectStore] = None,
         objects: Optional[List[UncertainObject]] = None,
+        prob_kernel: str = DEFAULT_PROB_KERNEL,
+        ring_cache: Optional[RingCache] = None,
     ):
         if object_store is None and objects is None:
             raise ValueError("either an object store or in-memory objects are required")
         self.tree = tree
         self.object_store = object_store
+        self.prob_kernel = prob_kernel
+        self.ring_cache = ring_cache
         self._objects_by_id = {obj.oid: obj for obj in objects} if objects else {}
 
     # ------------------------------------------------------------------ #
@@ -113,6 +121,8 @@ class RTreePNN:
             self._fetch_objects,
             self.tree.disk.stats,
             compute_probabilities=compute_probabilities,
+            prob_kernel=self.prob_kernel,
+            ring_cache=self.ring_cache,
         )
 
     def _fetch_objects(self, oids: List[int]) -> List[UncertainObject]:

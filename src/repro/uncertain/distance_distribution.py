@@ -16,7 +16,9 @@ circle of radius ``s`` around the object's centre that lies within distance
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
 
 from repro.geometry.point import Point
 
@@ -48,6 +50,57 @@ def _ring_coverage(ring_radius: float, center_distance: float, query_radius: flo
     return math.acos(cos_angle) / math.pi
 
 
+def coverage_array(ring_radii, center_distances, query_radii) -> np.ndarray:
+    """Broadcasted ring coverage: the array form of :func:`_ring_coverage`.
+
+    All three arguments may be arrays of mutually broadcastable shapes (ring
+    radius ``s``, centre distance ``d``, query radius ``r``); the result has
+    the broadcast shape.  The piecewise cases mirror the scalar function
+    exactly: whole-ring-inside, whole-ring-outside, the arc fraction in
+    between, and the degenerate zero-radius ring / centred-query indicators.
+    """
+    s = np.asarray(ring_radii, dtype=float)
+    d = np.asarray(center_distances, dtype=float)
+    r = np.asarray(query_radii, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cos_angle = (s * s + d * d - r * r) / (2.0 * s * d)
+        partial = np.arccos(np.clip(cos_angle, -1.0, 1.0)) / math.pi
+    result = np.where((d + s) <= r, 1.0, np.where(np.abs(d - s) >= r, 0.0, partial))
+    result = np.where(s == 0.0, (d <= r).astype(float), result)
+    result = np.where(d == 0.0, (s <= r).astype(float), result)
+    return np.where(r <= 0.0, 0.0, result)
+
+
+def ring_coverage_matrix(mids, center_distance: float, radii) -> np.ndarray:
+    """The ``(rings, len(radii))`` coverage matrix of one object at one query."""
+    s = np.asarray(mids, dtype=float)[:, None]
+    r = np.asarray(radii, dtype=float)[None, :]
+    return coverage_array(s, float(center_distance), r)
+
+
+def ring_profile(obj: "UncertainObject", rings: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Query-independent ``(masses, midpoints)`` of ``rings`` equal-width rings.
+
+    The profile depends only on the object's pdf, so it can be computed once
+    and shared across every query that touches the object (see
+    :class:`repro.queries.probability_kernel.RingCache`).  Zero-radius
+    objects get all mass in a single ring at the centre, padded to ``rings``
+    entries so profiles stack into rectangular matrices.
+    """
+    if rings < 1:
+        raise ValueError("rings must be positive")
+    radius = obj.radius
+    if radius == 0.0:
+        masses = np.zeros(rings)
+        masses[0] = 1.0
+        return masses, np.zeros(rings)
+    edges = radius * np.arange(rings + 1) / rings
+    cdf_values = obj.pdf.radial_cdf_many(edges)
+    masses = np.maximum(0.0, np.diff(cdf_values))
+    midpoints = (edges[:-1] + edges[1:]) / 2.0
+    return masses, midpoints
+
+
 class DistanceDistribution:
     """Distribution of the distance between a fixed query point and an uncertain object.
 
@@ -55,9 +108,18 @@ class DistanceDistribution:
         obj: the uncertain object.
         query: the query point ``q``.
         rings: number of radial integration rings (accuracy/cost trade-off).
+        profile: optional precomputed ``(masses, midpoints)`` pair from
+            :func:`ring_profile` (query-independent, so it can be shared
+            across queries); computed on the fly when omitted.
     """
 
-    def __init__(self, obj: "UncertainObject", query: Point, rings: int = 64):
+    def __init__(
+        self,
+        obj: "UncertainObject",
+        query: Point,
+        rings: int = 64,
+        profile: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ):
         if rings < 1:
             raise ValueError("rings must be positive")
         self.obj = obj
@@ -66,22 +128,12 @@ class DistanceDistribution:
         self.center_distance = query.distance_to(obj.center)
         self.lower = obj.min_distance(query)
         self.upper = obj.max_distance(query)
-        self._ring_masses: List[float] = []
-        self._ring_midpoints: List[float] = []
-        self._prepare_rings()
-
-    def _prepare_rings(self) -> None:
-        radius = self.obj.radius
-        if radius == 0.0:
-            self._ring_masses = [1.0]
-            self._ring_midpoints = [0.0]
-            return
-        edges = [radius * i / self.rings for i in range(self.rings + 1)]
-        cdf_values = [self.obj.pdf.radial_cdf(edge) for edge in edges]
-        for i in range(self.rings):
-            mass = max(0.0, cdf_values[i + 1] - cdf_values[i])
-            self._ring_masses.append(mass)
-            self._ring_midpoints.append((edges[i] + edges[i + 1]) / 2.0)
+        if profile is None:
+            profile = ring_profile(obj, rings)
+        self._masses_arr, self._midpoints_arr = profile
+        # Plain-float views for the scalar integration loop in cdf().
+        self._ring_masses: List[float] = self._masses_arr.tolist()
+        self._ring_midpoints: List[float] = self._midpoints_arr.tolist()
 
     # ------------------------------------------------------------------ #
     # distribution interface
@@ -92,16 +144,33 @@ class DistanceDistribution:
 
     def cdf(self, r: float) -> float:
         """Probability that the object lies within distance ``r`` of the query."""
-        if r <= self.lower:
-            return 0.0 if r < self.lower else self.cdf(self.lower + 1e-12)
+        if r < self.lower:
+            return 0.0
         if r >= self.upper:
             return 1.0
+        # r in [lower, upper): direct ring integration.  The r == lower
+        # boundary is evaluated explicitly (no mass lies strictly below the
+        # minimum distance, so the sum is exact there too).
         total = 0.0
         for mass, mid in zip(self._ring_masses, self._ring_midpoints):
             if mass == 0.0:
                 continue
             total += mass * _ring_coverage(mid, self.center_distance, r)
         return min(1.0, max(0.0, total))
+
+    def cdf_many(self, radii) -> np.ndarray:
+        """Vectorized :meth:`cdf` over an array of query radii.
+
+        One broadcasted ``(rings, len(radii))`` coverage matrix replaces the
+        per-radius Python loop; the support boundaries are applied exactly as
+        in the scalar evaluation.
+        """
+        r = np.asarray(radii, dtype=float)
+        raw = self._masses_arr @ ring_coverage_matrix(
+            self._midpoints_arr, self.center_distance, r
+        )
+        interior = np.minimum(1.0, np.maximum(0.0, raw))
+        return np.where(r < self.lower, 0.0, np.where(r >= self.upper, 1.0, interior))
 
     def survival(self, r: float) -> float:
         """Probability that the object lies farther than ``r`` from the query."""

@@ -53,6 +53,18 @@ class UncertaintyPdf(ABC):
     # ------------------------------------------------------------------ #
     # shared helpers
     # ------------------------------------------------------------------ #
+    def radial_cdf_many(self, radii: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`radial_cdf` over an array of radii.
+
+        The built-in families override this with closed-form array
+        expressions; the fallback evaluates the scalar cdf per element so
+        user-defined pdfs stay correct without extra work.
+        """
+        r = np.asarray(radii, dtype=float)
+        return np.array([self.radial_cdf(float(value)) for value in r.ravel()]).reshape(
+            r.shape
+        )
+
     def radial_pdf(self, r: float, dr: float = 1e-4) -> float:
         """Numerical derivative of :meth:`radial_cdf` (density of the radius)."""
         if r < 0:
@@ -90,6 +102,14 @@ class UniformPdf(UncertaintyPdf):
         if r >= self.radius:
             return 1.0
         return (r / self.radius) ** 2
+
+    def radial_cdf_many(self, radii: np.ndarray) -> np.ndarray:
+        r = np.asarray(radii, dtype=float)
+        if self.radius == 0:
+            return (r >= 0.0).astype(float)
+        return np.where(
+            r <= 0.0, 0.0, np.where(r >= self.radius, 1.0, (r / self.radius) ** 2)
+        )
 
     def density(self, offset: Point) -> float:
         if self.radius == 0:
@@ -136,6 +156,15 @@ class TruncatedGaussianPdf(UncertaintyPdf):
             return 1.0
         raw = 1.0 - math.exp(-(r ** 2) / (2.0 * self.sigma ** 2))
         return raw / self._inside_mass
+
+    def radial_cdf_many(self, radii: np.ndarray) -> np.ndarray:
+        r = np.asarray(radii, dtype=float)
+        if self.radius == 0:
+            return (r >= 0.0).astype(float)
+        raw = 1.0 - np.exp(-(r ** 2) / (2.0 * self.sigma ** 2))
+        return np.where(
+            r <= 0.0, 0.0, np.where(r >= self.radius, 1.0, raw / self._inside_mass)
+        )
 
     def density(self, offset: Point) -> float:
         if self.radius == 0:
@@ -200,6 +229,24 @@ class HistogramPdf(UncertaintyPdf):
             partial_area = r ** 2 - inner ** 2
             cdf += self.masses[full_bars] * partial_area / ring_area
         return min(1.0, cdf)
+
+    def radial_cdf_many(self, radii: np.ndarray) -> np.ndarray:
+        r = np.asarray(radii, dtype=float)
+        if self.radius == 0:
+            return (r >= 0.0).astype(float)
+        width = self.radius / self.bars
+        masses = np.asarray(self.masses)
+        cumulative = np.concatenate(([0.0], np.cumsum(masses)))
+        full_bars = np.clip((r // width).astype(int), 0, self.bars - 1)
+        inner = full_bars * width
+        outer = inner + width
+        ring_area = outer ** 2 - inner ** 2
+        with np.errstate(divide="ignore", invalid="ignore"):
+            partial = masses[full_bars] * (r ** 2 - inner ** 2) / ring_area
+        interior = np.minimum(
+            1.0, cumulative[full_bars] + np.where(ring_area > 0, partial, 0.0)
+        )
+        return np.where(r <= 0.0, 0.0, np.where(r >= self.radius, 1.0, interior))
 
     def density(self, offset: Point) -> float:
         if self.radius == 0:

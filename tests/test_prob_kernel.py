@@ -1,0 +1,259 @@
+"""Vectorized qualification-probability kernel: parity, stability, caching.
+
+The acceptance contract of the kernel (ISSUE 4): agree with the scalar
+reference to <= 1e-9 relative error on all five backends, be bit-stable
+under permutation of the candidates, pre-prune dominated candidates, and
+share per-object ring profiles across queries through a ``RingCache``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DiagramConfig,
+    QueryEngine,
+    generate_query_points,
+    generate_uniform_objects,
+)
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.queries.probability import qualification_probabilities
+from repro.queries.probability_kernel import (
+    RingCache,
+    compute_qualification_probabilities,
+    qualification_probabilities_vectorized,
+)
+from repro.uncertain.objects import UncertainObject
+from repro.uncertain.pdf import TruncatedGaussianPdf
+
+
+def random_cluster(rng, count, spread=30.0):
+    """A mixed bag of pdf families, radii (incl. zero) and positions."""
+    objects = []
+    for i in range(count):
+        center = Point(float(rng.uniform(0, spread)), float(rng.uniform(0, spread)))
+        if rng.random() < 0.15:
+            objects.append(UncertainObject.point_object(300 + i, center))
+            continue
+        radius = float(rng.uniform(0.5, 12.0))
+        kind = int(rng.integers(0, 3))
+        if kind == 0:
+            objects.append(UncertainObject.uniform(300 + i, center, radius))
+        elif kind == 1:
+            objects.append(UncertainObject.gaussian(300 + i, center, radius))
+        else:
+            objects.append(
+                UncertainObject(
+                    300 + i,
+                    Circle(center, radius),
+                    TruncatedGaussianPdf(radius).to_histogram(20),
+                )
+            )
+    return objects
+
+
+def assert_close(scalar, vectorized, rel=1e-9):
+    assert scalar.keys() == vectorized.keys()
+    for oid, p in scalar.items():
+        assert vectorized[oid] == pytest.approx(p, rel=rel, abs=rel)
+
+
+class TestScalarVectorizedParity:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_randomized_agreement(self, seed):
+        """Hypothesis-style randomized parity over mixed pdf families."""
+        rng = np.random.default_rng(seed)
+        objects = random_cluster(rng, int(rng.integers(2, 10)))
+        query = Point(float(rng.uniform(0, 30)), float(rng.uniform(0, 30)))
+        assert_close(
+            qualification_probabilities(objects, query),
+            qualification_probabilities_vectorized(objects, query),
+        )
+
+    def test_single_candidate(self):
+        only = UncertainObject.uniform(7, Point(1.0, 1.0), 2.0)
+        assert qualification_probabilities_vectorized([only], Point(0, 0)) == {7: 1.0}
+        assert qualification_probabilities_vectorized([], Point(0, 0)) == {}
+
+    def test_overlapping_supports(self):
+        a = UncertainObject.uniform(1, Point(2.0, 0.0), 3.0)
+        b = UncertainObject.uniform(2, Point(4.0, 0.0), 3.0)
+        query = Point(0.0, 0.0)
+        probabilities = qualification_probabilities_vectorized([a, b], query)
+        assert 0.0 < probabilities[1] < 1.0
+        assert 0.0 < probabilities[2] < 1.0
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+        assert_close(qualification_probabilities([a, b], query), probabilities)
+
+    def test_disjoint_supports(self):
+        near = UncertainObject.uniform(1, Point(2.0, 0.0), 1.0)   # dist in [1, 3]
+        far = UncertainObject.uniform(2, Point(10.0, 0.0), 1.0)   # dist in [9, 11]
+        query = Point(0.0, 0.0)
+        probabilities = qualification_probabilities_vectorized([near, far], query)
+        assert probabilities[1] == pytest.approx(1.0)
+        assert probabilities[2] == pytest.approx(0.0)
+        assert_close(qualification_probabilities([near, far], query), probabilities)
+
+    def test_pre_pruned_candidate_gets_zero(self):
+        """A candidate with distmin > global min distmax never builds rings."""
+        near = UncertainObject.uniform(1, Point(2.0, 0.0), 1.0)       # distmax 3
+        also = UncertainObject.uniform(2, Point(3.0, 0.0), 1.5)       # distmin 1.5
+        hopeless = UncertainObject.uniform(3, Point(50.0, 0.0), 1.0)  # distmin 49
+        query = Point(0.0, 0.0)
+        cache = RingCache()
+        probabilities = qualification_probabilities_vectorized(
+            [near, also, hopeless], query, ring_cache=cache
+        )
+        assert probabilities[3] == 0.0
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+        cached_oids = {key[0] for key in cache._profiles}
+        assert 3 not in cached_oids  # pruned before any distribution was built
+        assert_close(
+            qualification_probabilities([near, also, hopeless], query), probabilities
+        )
+
+    def test_degenerate_dominance(self):
+        dominator = UncertainObject.point_object(11, Point(3.0, 4.0))  # dist 5
+        loser = UncertainObject.uniform(12, Point(30.0, 40.0), 45.0)   # distmin 5
+        probabilities = qualification_probabilities_vectorized(
+            [loser, dominator], Point(0.0, 0.0)
+        )
+        assert probabilities == {11: 1.0, 12: 0.0}
+
+    def test_all_zero_integral_fallback(self, monkeypatch):
+        """Zero raw integrals fall back to a uniform split over eligible oids.
+
+        The vectorized kernel cannot reach the fallback through its normal
+        flow (the minimum-distmax object always keeps mass at the upper
+        boundary), so the shared helper is exercised directly -- and the
+        scalar reference's reachable fallback is forced by stubbing out the
+        distance cdf.
+        """
+        from repro.queries.probability_kernel import _uniform_fallback
+
+        a = UncertainObject.uniform(1, Point(2.0, 0.0), 2.0)
+        b = UncertainObject.uniform(2, Point(3.0, 0.0), 2.0)
+        far = UncertainObject.uniform(3, Point(50.0, 0.0), 2.0)
+        query = Point(0.0, 0.0)
+        lowers = np.array([obj.min_distance(query) for obj in (a, b, far)])
+        upper = min(obj.max_distance(query) for obj in (a, b, far))
+        assert _uniform_fallback([a, b, far], lowers, upper) == {1: 0.5, 2: 0.5, 3: 0.0}
+
+        import repro.queries.probability as scalar_module
+
+        class ZeroCdf(scalar_module.DistanceDistribution):
+            def cdf(self, r):
+                return 0.0
+
+        monkeypatch.setattr(scalar_module, "DistanceDistribution", ZeroCdf)
+        assert qualification_probabilities([a, b, far], query) == {
+            1: 0.5, 2: 0.5, 3: 0.0,
+        }
+
+    def test_dispatcher_rejects_unknown_kernel(self):
+        objects = [UncertainObject.uniform(1, Point(1.0, 0.0), 1.0)]
+        with pytest.raises(ValueError, match="unknown probability kernel"):
+            compute_qualification_probabilities(objects, Point(0, 0), kernel="magic")
+
+
+class TestBitStability:
+    def test_bit_stable_under_permutation(self):
+        """Exact float equality of the results for any candidate order."""
+        rng = np.random.default_rng(5)
+        objects = random_cluster(rng, 8)
+        query = Point(15.0, 15.0)
+        reference = qualification_probabilities_vectorized(objects, query)
+        for seed in range(6):
+            permuted = list(objects)
+            np.random.default_rng(seed).shuffle(permuted)
+            assert qualification_probabilities_vectorized(permuted, query) == reference
+
+    def test_cache_does_not_change_results(self):
+        rng = np.random.default_rng(6)
+        objects = random_cluster(rng, 6)
+        query = Point(12.0, 12.0)
+        cache = RingCache()
+        uncached = qualification_probabilities_vectorized(objects, query)
+        first = qualification_probabilities_vectorized(objects, query, ring_cache=cache)
+        second = qualification_probabilities_vectorized(objects, query, ring_cache=cache)
+        assert first == uncached
+        assert second == uncached
+        assert cache.hits > 0
+
+
+class TestRingCache:
+    def test_hit_and_miss_accounting(self):
+        cache = RingCache()
+        obj = UncertainObject.uniform(9, Point(0, 0), 2.0)
+        first = cache.get(obj, 48)
+        again = cache.get(obj, 48)
+        other_resolution = cache.get(obj, 16)
+        assert cache.misses == 2 and cache.hits == 1
+        assert first[0] is again[0]
+        assert len(other_resolution[0]) == 16
+
+    def test_invalidate_drops_all_resolutions(self):
+        cache = RingCache()
+        obj = UncertainObject.uniform(9, Point(0, 0), 2.0)
+        cache.get(obj, 48)
+        cache.get(obj, 16)
+        cache.invalidate(9)
+        assert len(cache) == 0
+
+
+ENGINE_BACKENDS = ("ic", "icr", "basic", "rtree", "grid")
+
+
+class TestEngineIntegration:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        objects, domain = generate_uniform_objects(120, seed=3, diameter=300.0)
+        queries = generate_query_points(6, domain, seed=77)
+        return objects, domain, queries
+
+    @pytest.mark.parametrize("backend", ENGINE_BACKENDS)
+    def test_kernel_parity_on_all_backends(self, dataset, backend):
+        """Vectorized and scalar kernels agree to <= 1e-9 on every backend."""
+        objects, domain, queries = dataset
+        engine = QueryEngine.build(
+            objects,
+            domain,
+            DiagramConfig(
+                backend=backend, page_capacity=16, seed_knn=60, rtree_fanout=16,
+                grid_resolution=16,
+            ),
+        )
+        assert engine.config.prob_kernel == "vectorized"
+        for query in queries:
+            vectorized = engine.pnn(query).probabilities
+            engine.config = engine.config.replace(prob_kernel="scalar")
+            scalar = engine.pnn(query).probabilities
+            engine.config = engine.config.replace(prob_kernel="vectorized")
+            assert_close(scalar, vectorized)
+
+    def test_batch_shares_ring_profiles(self, dataset):
+        objects, domain, queries = dataset
+        engine = QueryEngine.build(
+            objects, domain, DiagramConfig(page_capacity=16, seed_knn=60,
+                                           rtree_fanout=16)
+        )
+        batch = engine.batch(list(queries) + list(queries))
+        assert len(batch) == 2 * len(queries)
+        # The duplicated workload must serve its second half from the cache.
+        assert engine._ring_cache.hits >= engine._ring_cache.misses
+
+    def test_live_updates_invalidate_ring_cache(self, dataset):
+        objects, domain, queries = dataset
+        engine = QueryEngine.build(
+            objects, domain, DiagramConfig(page_capacity=16, seed_knn=60,
+                                           rtree_fanout=16)
+        )
+        engine.pnn(queries[0])
+        cached = {key[0] for key in engine._ring_cache._profiles}
+        victim = next(iter(cached))
+        engine.delete(victim)
+        assert victim not in {key[0] for key in engine._ring_cache._profiles}
+
+    def test_config_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="unknown prob_kernel"):
+            DiagramConfig(prob_kernel="magic")

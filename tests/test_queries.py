@@ -92,6 +92,27 @@ class TestQualificationProbabilities:
         assert probs[0] == pytest.approx(1.0)
         assert probs[1] == pytest.approx(0.0)
 
+    def test_degenerate_dominance_compares_oids_by_value(self):
+        """Regression: the dominance branch must use ``==`` on oids, not ``is``.
+
+        CPython only interns small ints, so equal oids >= 257 held by
+        distinct int objects fail an identity check.  With ``is``, a
+        duplicate reference to the winner (e.g. the same object surfacing
+        twice from overlapping index entries) overwrote the winner's 1.0
+        with 0.0 in the result dict, losing all probability mass.
+        """
+        winner_oid_a = int("300")  # fresh, non-interned int objects
+        winner_oid_b = int("300")
+        assert winner_oid_a == winner_oid_b
+        # Point object at distance 5 -> distmin = distmax = 5; the far
+        # object has distmin 5, so min distmax <= min distmin (degenerate).
+        winner = UncertainObject.point_object(winner_oid_a, Point(3.0, 4.0))
+        duplicate = UncertainObject.point_object(winner_oid_b, Point(3.0, 4.0))
+        far = UncertainObject.uniform(int("400"), Point(30.0, 40.0), 45.0)
+        probs = qualification_probabilities([winner, duplicate, far], Point(0.0, 0.0))
+        assert probs[300] == 1.0
+        assert probs[400] == 0.0
+
     def test_integration_agrees_with_sampling(self):
         rng = np.random.default_rng(9)
         objects = [

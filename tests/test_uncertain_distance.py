@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.geometry.point import Point
-from repro.uncertain.distance_distribution import DistanceDistribution, _ring_coverage
+from repro.uncertain.distance_distribution import (
+    DistanceDistribution,
+    _ring_coverage,
+    coverage_array,
+    ring_profile,
+)
 from repro.uncertain.objects import UncertainObject
 from repro.uncertain.sampling import (
     empirical_distance_quantiles,
@@ -93,6 +98,74 @@ class TestDistanceDistribution:
         assert dist.support() == (5.0, 5.0)
         assert dist.cdf(5.0) == 1.0
         assert dist.cdf(4.9) == 0.0
+
+    def test_cdf_lower_boundary_is_direct_and_non_recursive(self):
+        """Regression: cdf(lower) used to re-enter cdf(lower + 1e-12)."""
+
+        class CountingDistribution(DistanceDistribution):
+            calls = 0
+
+            def cdf(self, r):
+                type(self).calls += 1
+                return super().cdf(r)
+
+        obj = UncertainObject.uniform(1, Point(0.0, 0.0), 3.0)
+        dist = CountingDistribution(obj, Point(10.0, 0.0))
+        value = dist.cdf(dist.lower)
+        assert CountingDistribution.calls == 1  # exactly one evaluation
+        # No mass lies strictly below the minimum distance.
+        assert value == 0.0
+        assert dist.cdf(dist.lower - 1e-9) == 0.0
+
+
+class TestVectorizedCdf:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: (UncertainObject.uniform(1, Point(0, 0), 3.0), Point(10.0, 0.0)),
+            lambda: (UncertainObject.gaussian(2, Point(5, 5), 4.0), Point(0.0, 0.0)),
+            lambda: (UncertainObject.uniform(3, Point(0, 0), 5.0), Point(1.0, 0.0)),
+            lambda: (UncertainObject.uniform(4, Point(2, 2), 2.0), Point(2.0, 2.0)),
+            lambda: (UncertainObject.point_object(5, Point(1, 1)), Point(4.0, 5.0)),
+        ],
+        ids=["exterior", "gaussian", "inside", "centred", "point-object"],
+    )
+    def test_cdf_many_matches_scalar(self, make):
+        obj, query = make()
+        dist = DistanceDistribution(obj, query)
+        radii = np.linspace(dist.lower - 1.0, dist.upper + 1.0, 57)
+        vectorized = dist.cdf_many(radii)
+        for r, value in zip(radii, vectorized):
+            assert value == pytest.approx(dist.cdf(float(r)), abs=1e-12)
+
+    def test_coverage_array_matches_scalar(self):
+        rng = np.random.default_rng(11)
+        s = rng.uniform(0.0, 5.0, 40)
+        s[:5] = 0.0
+        r = rng.uniform(0.0, 12.0, 40)
+        r[-3:] = 0.0
+        for d in (0.0, 2.5, 7.0):
+            expected = [_ring_coverage(float(si), d, float(ri)) for si, ri in zip(s, r)]
+            got = coverage_array(s, d, r)
+            assert np.allclose(got, expected, atol=1e-15)
+
+    def test_precomputed_profile_equivalence(self):
+        obj = UncertainObject.gaussian(1, Point(3.0, -2.0), 5.0)
+        query = Point(9.0, 1.0)
+        profile = ring_profile(obj, 64)
+        with_profile = DistanceDistribution(obj, query, profile=profile)
+        without = DistanceDistribution(obj, query)
+        radii = np.linspace(0.0, 15.0, 31)
+        assert np.array_equal(with_profile.cdf_many(radii), without.cdf_many(radii))
+
+    def test_ring_profile_masses_sum_to_one(self):
+        obj = UncertainObject.gaussian(1, Point(0, 0), 4.0)
+        masses, mids = ring_profile(obj, 32)
+        assert masses.sum() == pytest.approx(1.0)
+        assert len(masses) == len(mids) == 32
+        point = UncertainObject.point_object(2, Point(0, 0))
+        masses, mids = ring_profile(point, 32)
+        assert masses[0] == 1.0 and masses.sum() == 1.0
 
 
 class TestPossibleWorldSampling:
