@@ -44,9 +44,13 @@ CONFIG_KNOBS = dict(backend="ic", page_capacity=32, rtree_fanout=16, seed_knn=60
 
 def collect_answer_sets(engine, queries):
     """The refinement inputs: each query's verified answer objects."""
+    from repro.queries.spec import PNNQuery
+
     answer_sets = []
     for query in queries:
-        ids = engine.pnn(query, compute_probabilities=False).answer_ids
+        ids = engine.execute(
+            PNNQuery(query, compute_probabilities=False)
+        ).answer_ids
         answer_sets.append((query, engine.object_store.fetch_many(ids)))
     return answer_sets
 

@@ -1,12 +1,16 @@
 #!/usr/bin/env python
 """CI bench-smoke runner: small benchmarks + a perf-regression gate.
 
-Runs four fast benchmarks (IC construction, batch PNN, cold-start open,
-qualification-probability refinement), writes one machine-readable
+Runs six fast benchmarks (IC construction, batch PNN, cold-start open,
+qualification-probability refinement, execute/explain planning accuracy,
+threshold-PNN early termination), writes one machine-readable
 ``BENCH_*.json`` per benchmark, and -- with ``--check`` -- fails when
 construction or refinement wall-time regresses more than
 ``--max-regression`` times the checked-in baseline
-(``benchmarks/baseline/BENCH_baseline.json``).
+(``benchmarks/baseline/BENCH_baseline.json``).  The execute/explain smoke
+additionally hard-fails (no flag needed) when the planner's page-read
+estimate drifts outside 2x of the measured reads, and the threshold smoke
+when tau = 0.1 fails to reduce full-integration work.
 
 Standalone on purpose: no pytest, just the library and the stdlib, so the CI
 job (and a developer bisecting a slowdown) can run it directly::
@@ -32,6 +36,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.datasets.loader import load_dataset  # noqa: E402
 from repro.engine import DiagramConfig, QueryEngine  # noqa: E402
+from repro.queries.spec import BatchQuery, PNNQuery  # noqa: E402
 
 OBJECTS = 120
 QUERIES = 12
@@ -67,24 +72,34 @@ def smoke_batch_pnn(engine, queries) -> dict:
     sequential_reads = 0
     start = time.perf_counter()
     for query in queries:
-        sequential_reads += engine.pnn(query).io.page_reads
+        sequential_reads += engine.execute(PNNQuery(query)).io.page_reads
     sequential_seconds = time.perf_counter() - start
-    batch = engine.batch(queries)
+    before = engine.io_stats()
+    start = time.perf_counter()
+    stream = engine.execute(BatchQuery.of(queries))
+    results = [result for _, result, _ in stream]
+    batch_seconds = time.perf_counter() - start
+    batch_reads = engine.io_stats().delta(before).page_reads
     return {
         "benchmark": "batch_pnn_smoke",
-        "queries": len(queries),
+        "queries": len(results),
         "sequential_page_reads": sequential_reads,
         "sequential_seconds": sequential_seconds,
-        "batch_page_reads": batch.page_reads,
-        "batch_seconds": batch.seconds,
-        "cache_hits": batch.cache_hits,
-        "cache_misses": batch.cache_misses,
+        "batch_page_reads": batch_reads,
+        "batch_seconds": batch_seconds,
+        "cache_hits": stream.cache.hits,
+        "cache_misses": stream.cache.misses,
     }
 
 
 def smoke_cold_start(engine, queries) -> dict:
-    reference = [engine.pnn(q, compute_probabilities=False).answer_ids
-                 for q in queries]
+    def answer_sets(served):
+        return [
+            served.execute(PNNQuery(q, compute_probabilities=False)).answer_ids
+            for q in queries
+        ]
+
+    reference = answer_sets(engine)
     with tempfile.TemporaryDirectory() as tmp:
         path = str(Path(tmp) / "uv.snap")
         start = time.perf_counter()
@@ -96,9 +111,7 @@ def smoke_cold_start(engine, queries) -> dict:
             start = time.perf_counter()
             reopened = QueryEngine.open(path, store=kind)
             open_seconds[kind] = time.perf_counter() - start
-            got = [reopened.pnn(q, compute_probabilities=False).answer_ids
-                   for q in queries]
-            if got != reference:
+            if answer_sets(reopened) != reference:
                 raise SystemExit(f"cold-start answers diverged for {kind} store")
     return {
         "benchmark": "cold_start_smoke",
@@ -143,6 +156,79 @@ def smoke_refinement(engine, queries) -> dict:
         "refinement_seconds": vectorized_seconds,
         "speedup": scalar_seconds / vectorized_seconds if vectorized_seconds else 0.0,
         "max_abs_diff": max_diff,
+    }
+
+
+def smoke_execute_explain(engine, queries) -> dict:
+    """Planner accuracy gate: estimates within 2x of measured page reads.
+
+    Explains every workload query, sums estimated and actual page reads,
+    and hard-fails when the aggregate ratio leaves the [0.5, 2.0] band --
+    the planner's EXPLAIN output is only trustworthy while its cost model
+    tracks the simulated disk.
+    """
+    estimated = 0.0
+    actual = 0
+    strategies = set()
+    for query in queries:
+        report = engine.explain(PNNQuery(query))
+        estimated += report.estimated_page_reads
+        actual += report.actual_page_reads
+        strategies.add(report.plan.strategy)
+    ratio = estimated / actual if actual else float("inf")
+    if not 0.5 <= ratio <= 2.0:
+        raise SystemExit(
+            f"planner estimate drifted: {estimated:.1f} estimated vs "
+            f"{actual} actual page reads (ratio {ratio:.2f}, allowed 0.5-2.0)"
+        )
+    return {
+        "benchmark": "execute_explain_smoke",
+        "queries": len(queries),
+        "estimated_page_reads": estimated,
+        "actual_page_reads": actual,
+        "estimate_ratio": ratio,
+        "strategies": sorted(strategies),
+    }
+
+
+def smoke_threshold_pnn(engine, queries) -> dict:
+    """tau-PNN gate: tau=0.1 must do less full-integration refinement work.
+
+    Runs every workload query unfiltered and at tau=0.1, checks the filtered
+    answers equal post-filtering the full answers, and hard-fails when the
+    filter fails to reduce the number of fully-integrated candidates.
+    """
+    full_integrated = 0
+    tau_integrated = 0
+    pruned = 0
+    for query in queries:
+        full = engine.execute(PNNQuery(query))
+        filtered = engine.execute(PNNQuery(query, threshold=0.1))
+        expected = [a for a in full.answers if a.probability >= 0.1]
+        got = [(a.oid, a.probability) for a in filtered.answers]
+        want = [(a.oid, a.probability) for a in expected]
+        if [g[0] for g in got] != [w[0] for w in want] or any(
+            abs(g[1] - w[1]) > 1e-9 for g, w in zip(got, want)
+        ):
+            raise SystemExit(f"tau-PNN diverged from post-filtering at {query}")
+        if full.refinement is not None:
+            full_integrated += full.refinement.integrated
+        if filtered.refinement is not None:
+            tau_integrated += filtered.refinement.integrated
+            pruned += filtered.refinement.pruned
+    if tau_integrated >= full_integrated:
+        raise SystemExit(
+            f"tau=0.1 did not reduce refinement work "
+            f"({tau_integrated} vs {full_integrated} full integrations)"
+        )
+    return {
+        "benchmark": "threshold_pnn_smoke",
+        "queries": len(queries),
+        "tau": 0.1,
+        "full_integrated": full_integrated,
+        "tau_integrated": tau_integrated,
+        "tau_pruned": pruned,
+        "work_reduction": 1.0 - tau_integrated / max(1, full_integrated),
     }
 
 
@@ -213,6 +299,20 @@ def main(argv=None) -> int:
           f"scalar {refinement['scalar_seconds']:.3f}s "
           f"({refinement['speedup']:.1f}x)")
     write_json(args.output_dir, "refinement", refinement)
+
+    explain = smoke_execute_explain(engine, queries)
+    print(f"execute/explain: {explain['estimated_page_reads']:.1f} estimated vs "
+          f"{explain['actual_page_reads']} actual page reads "
+          f"(ratio {explain['estimate_ratio']:.2f}, "
+          f"strategies {', '.join(explain['strategies'])})")
+    write_json(args.output_dir, "execute_explain", explain)
+
+    threshold = smoke_threshold_pnn(engine, queries)
+    print(f"threshold pnn: tau=0.1 integrates {threshold['tau_integrated']} vs "
+          f"{threshold['full_integrated']} candidates "
+          f"({threshold['work_reduction']:.0%} less refinement work, "
+          f"{threshold['tau_pruned']} pruned)")
+    write_json(args.output_dir, "threshold_pnn", threshold)
 
     if args.check:
         measured = dict(construction)

@@ -12,7 +12,15 @@ Run with::
     python examples/dynamic_fleet.py
 """
 
-from repro import DiagramConfig, Point, QueryEngine, UVDiagram, generate_uniform_objects
+from repro import (
+    DiagramConfig,
+    KNNQuery,
+    PNNQuery,
+    Point,
+    QueryEngine,
+    UVDiagram,
+    generate_uniform_objects,
+)
 from repro.uncertain.objects import UncertainObject
 from repro.viz.svg import render_uv_diagram
 
@@ -31,7 +39,7 @@ def main() -> None:
     # Probabilistic k-NN dispatch: the three most plausible closest vehicles.
     # ------------------------------------------------------------------ #
     incident = Point(6_100.0, 3_800.0)
-    k_result = engine.knn(incident, k=3, worlds=3000)
+    k_result = engine.execute(KNNQuery(incident, k=3, worlds=3000))
     print(f"\ntop candidates to be among the 3 closest vehicles to "
           f"({incident.x:.0f}, {incident.y:.0f}):")
     for answer in k_result.top(5):
@@ -53,7 +61,7 @@ def main() -> None:
     engine.insert(newcomer)
     print(f"vehicle {newcomer.oid} joined near the incident")
 
-    result = engine.pnn(incident)
+    result = engine.execute(PNNQuery(incident))
     print("\nPNN after the fleet update:")
     for answer in result.sorted_by_probability()[:4]:
         print(f"  vehicle {answer.oid:>4}  P(nearest) = {answer.probability:.3f}")

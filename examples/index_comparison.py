@@ -13,7 +13,7 @@ Run with::
     python examples/index_comparison.py
 """
 
-from repro import DiagramConfig, QueryEngine, load_dataset
+from repro import BatchQuery, DiagramConfig, PNNQuery, QueryEngine, load_dataset
 from repro.analysis.report import format_table
 from repro.core.uv_cell import answer_objects_brute_force
 
@@ -37,7 +37,7 @@ def main() -> None:
     for query in bundle.queries:
         reference = answer_objects_brute_force(bundle.objects, query)
         for name, engine in engines.items():
-            result = engine.pnn(query)
+            result = engine.execute(PNNQuery(query))
             totals[name]["ms"] += 1000.0 * result.timing.total()
             totals[name]["io"] += result.io.page_reads
             totals[name]["candidates"] += result.candidates_examined
@@ -63,10 +63,16 @@ def main() -> None:
         )
     )
 
-    # Batch evaluation shares leaf reads across the whole workload.
-    batch = engines["ic"].batch(bundle.queries, compute_probabilities=False)
-    print(f"\nbatch mode on the UV-index backend: {batch.page_reads} page reads "
-          f"for {len(batch)} queries ({batch.cache_hits} leaf reads served "
+    # Batch streaming shares leaf reads across the whole workload.
+    ic_engine = engines["ic"]
+    before = ic_engine.io_stats()
+    stream = ic_engine.execute(
+        BatchQuery.of(bundle.queries, compute_probabilities=False)
+    )
+    results = [result for _query, result, _plan in stream]
+    reads = ic_engine.io_stats().delta(before).page_reads
+    print(f"\nbatch mode on the UV-index backend: {reads} page reads "
+          f"for {len(results)} queries ({stream.cache.hits} leaf reads served "
           "from the batch cache)")
     print("all backends agreed with the brute-force oracle on every query.")
 

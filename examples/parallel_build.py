@@ -23,6 +23,7 @@ import time
 from repro import (
     ConstructionScheduler,
     DiagramConfig,
+    PNNQuery,
     QueryEngine,
     available_workers,
     generate_query_points,
@@ -57,7 +58,8 @@ def main() -> None:
           f"{serial_seconds / parallel_seconds:.2f}x speedup)")
 
     assert all(
-        parallel.pnn(q).probabilities == serial.pnn(q).probabilities
+        parallel.execute(PNNQuery(q)).probabilities
+        == serial.execute(PNNQuery(q)).probabilities
         for q in queries
     )
     print("answers verified bit-identical to the serial build")
@@ -81,7 +83,7 @@ def main() -> None:
     start = time.perf_counter()
     served = QueryEngine.open(snapshot, store="mmap")
     open_seconds = time.perf_counter() - start
-    result = served.pnn(queries[0])
+    result = served.execute(PNNQuery(queries[0]))
     print(f"snapshot: {os.path.getsize(snapshot):,} bytes; reopened via mmap "
           f"in {open_seconds * 1000:.1f}ms "
           f"({parallel_seconds / open_seconds:.0f}x faster than rebuilding); "

@@ -23,6 +23,7 @@ import time
 
 from repro import (
     DiagramConfig,
+    PNNQuery,
     QueryEngine,
     generate_query_points,
     generate_uniform_objects,
@@ -54,7 +55,8 @@ def main() -> None:
     open_seconds = time.perf_counter() - start
     queries = generate_query_points(20, domain, seed=1)
     assert all(
-        served.pnn(q).probabilities == engine.pnn(q).probabilities
+        served.execute(PNNQuery(q)).probabilities
+        == engine.execute(PNNQuery(q)).probabilities
         for q in queries
     )
     print(f"reopened in {open_seconds*1000:.1f}ms "
@@ -65,7 +67,7 @@ def main() -> None:
     # 3. Cold-start serving through mmap: nothing is decoded up front.
     # ------------------------------------------------------------------ #
     cold = QueryEngine.open(snapshot, store="mmap")
-    result = cold.pnn(queries[0])
+    result = cold.execute(PNNQuery(queries[0]))
     print(f"mmap serving: first query -> {result.answer_ids} "
           f"[{result.io.page_reads} page reads]")
 
@@ -74,9 +76,9 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     cached = QueryEngine.open(snapshot, buffer_pages=64)
     for q in queries:
-        cached.pnn(q)
+        cached.execute(PNNQuery(q))
     for q in queries:  # warm pass
-        cached.pnn(q)
+        cached.execute(PNNQuery(q))
     stats = cached.io_stats()
     print(f"buffer pool: {stats.cache_hits} hits / {stats.cache_misses} misses "
           f"({stats.cache_hit_ratio:.0%} hit ratio)")

@@ -19,7 +19,9 @@ Run with::
 """
 
 from repro import (
+    BatchQuery,
     DiagramConfig,
+    PNNQuery,
     Point,
     QueryEngine,
     generate_query_points,
@@ -55,7 +57,7 @@ def main() -> None:
     # 3. A probabilistic nearest-neighbour query.
     # ------------------------------------------------------------------ #
     query = Point(5_000.0, 5_000.0)
-    result = engine.pnn(query)
+    result = engine.execute(PNNQuery(query))
     print(f"\nPNN at ({query.x:.0f}, {query.y:.0f}):")
     for answer in result.sorted_by_probability():
         obj = engine.object(answer.oid)
@@ -66,9 +68,11 @@ def main() -> None:
           f"leaf-page reads = {result.io.page_reads}")
 
     # ------------------------------------------------------------------ #
-    # 4. Cross-check against the R-tree baseline and a brute-force oracle.
+    # 4. Cross-check against the R-tree baseline and a brute-force oracle
+    #    (a second engine whose backend IS the branch-and-prune R-tree).
     # ------------------------------------------------------------------ #
-    rtree_result = engine.pnn_rtree(query)
+    rtree_engine = QueryEngine.build(objects, domain, config.replace(backend="rtree"))
+    rtree_result = rtree_engine.execute(PNNQuery(query))
     brute = answer_objects_brute_force(objects, query)
     print("\nconsistency check:")
     print(f"  UV-index answers : {sorted(result.answer_ids)}")
@@ -80,8 +84,10 @@ def main() -> None:
     # 5. A short query workload + index structure.
     # ------------------------------------------------------------------ #
     queries = generate_query_points(20, domain, seed=42)
-    uv_io = sum(engine.pnn(q, compute_probabilities=False).io.page_reads for q in queries)
-    rt_io = sum(engine.pnn_rtree(q, compute_probabilities=False).io.page_reads for q in queries)
+    uv_io = sum(engine.execute(PNNQuery(q, compute_probabilities=False)).io.page_reads
+                for q in queries)
+    rt_io = sum(rtree_engine.execute(PNNQuery(q, compute_probabilities=False)).io.page_reads
+                for q in queries)
     print(f"\nworkload of {len(queries)} queries: "
           f"UV-index {uv_io} page reads vs R-tree {rt_io} page reads")
 
@@ -93,12 +99,16 @@ def main() -> None:
           f"{index_stats['avg_entries_per_leaf']:.1f} entries/leaf on average")
 
     # ------------------------------------------------------------------ #
-    # 6. Batch evaluation: the whole workload in one pass, leaf page lists
-    #    read once and shared across the queries that land in them.
+    # 6. Batch evaluation: the whole workload streamed through one shared
+    #    read cache -- leaf page lists are read once and shared across the
+    #    queries that land in them.
     # ------------------------------------------------------------------ #
-    batch = engine.batch(queries, compute_probabilities=False)
-    print(f"batch mode: {batch.page_reads} page reads for {len(batch)} queries "
-          f"({batch.cache_hits} leaf reads served from the batch cache)")
+    before = engine.io_stats()
+    stream = engine.execute(BatchQuery.of(queries, compute_probabilities=False))
+    results = [result for _query, result, _plan in stream]
+    reads = engine.io_stats().delta(before).page_reads
+    print(f"batch mode: {reads} page reads for {len(results)} queries "
+          f"({stream.cache.hits} leaf reads served from the batch cache)")
 
 
 if __name__ == "__main__":

@@ -8,13 +8,14 @@ probability machinery for probabilistic nearest-neighbour queries.
 
 Typical usage::
 
-    from repro import DiagramConfig, Point, QueryEngine, generate_uniform_objects
+    from repro import DiagramConfig, PNNQuery, Point, QueryEngine, generate_uniform_objects
 
     objects, domain = generate_uniform_objects(500, seed=7)
     engine = QueryEngine.build(objects, domain, DiagramConfig(backend="ic"))
-    result = engine.pnn(Point(5000.0, 5000.0))
+    result = engine.execute(PNNQuery(Point(5000.0, 5000.0), threshold=0.1))
     for answer in result.answers:
         print(answer.oid, answer.probability)
+    print(engine.explain(PNNQuery(Point(5000.0, 5000.0))))
 
 The legacy ``UVDiagram`` facade remains available and forwards to the engine.
 """
@@ -27,13 +28,18 @@ from repro.uncertain.pdf import HistogramPdf, TruncatedGaussianPdf, UniformPdf
 from repro.core.diagram import UVDiagram
 from repro.engine import (
     BatchResult,
+    BatchStream,
     DiagramConfig,
+    ExplainReport,
     IndexBackend,
     QueryEngine,
+    QueryPlan,
+    QueryPlanner,
     UnsupportedQueryError,
     available_backends,
     register_backend,
 )
+from repro.queries.spec import BatchQuery, KNNQuery, PNNQuery, RangeQuery
 from repro.core.uv_cell import UVCell, build_all_uv_cells, build_exact_uv_cell
 from repro.core.uv_index import UVIndex
 from repro.core.cr_objects import CRObjectFinder
@@ -69,9 +75,17 @@ __all__ = [
     "HistogramPdf",
     "UVDiagram",
     "QueryEngine",
+    "QueryPlan",
+    "QueryPlanner",
+    "ExplainReport",
     "DiagramConfig",
     "IndexBackend",
     "BatchResult",
+    "BatchStream",
+    "PNNQuery",
+    "KNNQuery",
+    "RangeQuery",
+    "BatchQuery",
     "UnsupportedQueryError",
     "available_backends",
     "register_backend",

@@ -233,8 +233,11 @@ def run_backend_comparison(
             )
             build_seconds = time.perf_counter() - start
         workload_before = engine.disk.stats.snapshot()
+        # Pin each engine to its own primary structure: the table compares
+        # index structures, so the planner must not reroute a slow backend's
+        # queries to the shared R-tree.
         results = [
-            engine.pnn(q, compute_probabilities=compute_probabilities)
+            engine._legacy_pnn(q, compute_probabilities=compute_probabilities)
             for q in queries
         ]
         workload_io = engine.disk.stats.delta(workload_before)

@@ -1,18 +1,22 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five sub-commands cover the everyday interactions with the library:
+Six sub-commands cover the everyday interactions with the library:
 
 * ``info``      -- library version and a summary of the available components,
 * ``build``     -- generate a dataset, build a query engine, print index stats
   (``--save`` persists the diagram as a snapshot file),
 * ``query``     -- answer PNN queries over a built engine (``--load`` serves a
-  snapshot instead of rebuilding),
+  snapshot instead of rebuilding; ``--threshold`` / ``--top-k`` run the
+  probability-threshold and top-k variants),
+* ``explain``   -- plan a query, run it, and print estimated vs. actual page
+  reads plus per-stage timings (EXPLAIN ANALYZE),
 * ``compare``   -- run the same query workload across several backends,
 * ``render``    -- build (or ``--load``) a diagram and write an SVG picture.
 
 The CLI is intentionally thin: every command maps directly onto the public
-Python API (:class:`repro.QueryEngine` + :class:`repro.DiagramConfig`) so
-that scripts can graduate from the shell to Python verbatim.
+Python API (:class:`repro.QueryEngine` + :class:`repro.DiagramConfig` +
+the :mod:`repro.queries.spec` descriptors) so that scripts can graduate from
+the shell to Python verbatim.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from repro import __version__
 from repro.datasets.loader import DatasetBundle, load_dataset
 from repro.engine import DiagramConfig, QueryEngine, available_backends
 from repro.geometry.point import Point
+from repro.queries.spec import BatchQuery, PNNQuery
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -68,6 +73,18 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
                              "refinement step (scalar is the pure-Python "
                              "reference implementation; default: vectorized, "
                              "or the saved value for --load)")
+
+
+def _add_query_point_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--at", default=None, help="query point as 'x,y' (default: random)")
+    parser.add_argument("--count", type=int, default=3,
+                        help="number of random queries when --at is not given")
+    parser.add_argument("--threshold", type=float, default=0.0,
+                        help="qualification-probability threshold tau: only "
+                             "answers with p >= tau are reported, with "
+                             "refinement-level early termination")
+    parser.add_argument("--top-k", type=int, default=None, dest="top_k",
+                        help="report only the k most probable answers")
 
 
 def _add_load_arguments(parser: argparse.ArgumentParser) -> None:
@@ -181,22 +198,42 @@ def _command_build(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_query(args: argparse.Namespace) -> int:
-    engine = _obtain_engine(args)
+def _query_points(args: argparse.Namespace, engine: QueryEngine) -> List[Point]:
+    """The workload of a query/explain run: ``--at`` or random points."""
     if args.at:
         coordinates = [float(part) for part in args.at.split(",")]
         if len(coordinates) != 2:
             print("error: --at expects 'x,y'", file=sys.stderr)
-            return 2
-        queries = [Point(coordinates[0], coordinates[1])]
-    else:
-        from repro.datasets.synthetic import generate_query_points
+            raise SystemExit(2)
+        return [Point(coordinates[0], coordinates[1])]
+    from repro.datasets.synthetic import generate_query_points
 
-        queries = generate_query_points(args.count, engine.domain, seed=args.seed + 1)
+    return generate_query_points(args.count, engine.domain, seed=args.seed + 1)
+
+
+def _pnn_descriptor(args: argparse.Namespace, point: Point) -> PNNQuery:
+    try:
+        return PNNQuery(
+            point,
+            threshold=args.threshold,
+            top_k=args.top_k,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    engine = _obtain_engine(args)
+    try:
+        queries = _query_points(args, engine)
+        descriptors = [_pnn_descriptor(args, query) for query in queries]
+    except SystemExit as exc:
+        return int(exc.code)
     sequential_reads = 0
-    for query in queries:
+    for descriptor in descriptors:
         try:
-            result = engine.pnn(query)
+            result = engine.execute(descriptor)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -204,12 +241,48 @@ def _command_query(args: argparse.Namespace) -> int:
         answers = ", ".join(
             f"{a.oid} (p={a.probability:.3f})" for a in result.sorted_by_probability()
         )
-        print(f"PNN({result.query.x:.1f}, {result.query.y:.1f}) -> {answers} "
+        label = "PNN"
+        if args.threshold > 0.0:
+            label += f"[tau={args.threshold:g}]"
+        if args.top_k is not None:
+            label += f"[top-{args.top_k}]"
+        print(f"{label}({result.query.x:.1f}, {result.query.y:.1f}) -> {answers} "
               f"[{result.io.page_reads} page reads]")
     if len(queries) > 1:
-        batch = engine.batch(queries, compute_probabilities=False)
-        print(f"batch mode: {batch.page_reads} page reads vs {sequential_reads} "
-              f"sequential ({batch.cache_hits} leaf reads served from the cache)")
+        stream = engine.execute(
+            BatchQuery.of(queries, compute_probabilities=False)
+        )
+        before = engine.io_stats()
+        batch_results = [result for _, result, _ in stream]
+        batch_reads = engine.io_stats().delta(before).page_reads
+        print(f"batch mode: {batch_reads} page reads vs {sequential_reads} "
+              f"sequential ({stream.cache.hits} leaf reads served from the "
+              f"cache, {len(batch_results)} results streamed)")
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    engine = _obtain_engine(args)
+    try:
+        queries = _query_points(args, engine)
+        descriptors = [_pnn_descriptor(args, query) for query in queries]
+    except SystemExit as exc:
+        return int(exc.code)
+    for query, descriptor in zip(queries, descriptors):
+        report = engine.explain(descriptor)
+        print(f"EXPLAIN PNN({query.x:.1f}, {query.y:.1f})")
+        print(report.describe())
+        answers = ", ".join(
+            f"{a.oid} (p={a.probability:.3f})"
+            for a in report.result.sorted_by_probability()
+        ) or "(no answers)"
+        print(f"  answers              : {answers}")
+        if report.result.refinement is not None:
+            refinement = report.result.refinement
+            print(f"  refinement           : {refinement.integrated} integrated, "
+                  f"{refinement.pruned} pruned, {refinement.trivial} trivial "
+                  f"of {refinement.candidates} candidates")
+        print()
     return 0
 
 
@@ -339,10 +412,16 @@ def build_parser() -> argparse.ArgumentParser:
     query = subparsers.add_parser("query", help="run PNN queries over a built or loaded engine")
     _add_dataset_arguments(query)
     _add_load_arguments(query)
-    query.add_argument("--at", default=None, help="query point as 'x,y' (default: random)")
-    query.add_argument("--count", type=int, default=3,
-                       help="number of random queries when --at is not given")
+    _add_query_point_arguments(query)
     query.set_defaults(handler=_command_query)
+
+    explain = subparsers.add_parser(
+        "explain",
+        help="plan a PNN query, run it, and report estimates vs. actuals")
+    _add_dataset_arguments(explain)
+    _add_load_arguments(explain)
+    _add_query_point_arguments(explain)
+    explain.set_defaults(handler=_command_explain)
 
     compare = subparsers.add_parser(
         "compare", help="run the same PNN workload across several backends")

@@ -190,7 +190,9 @@ class UVDiagram:
     # ------------------------------------------------------------------ #
     def pnn(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
         """Probabilistic nearest-neighbour query via the active backend."""
-        return self.engine.pnn(query, compute_probabilities=compute_probabilities)
+        return self.engine._legacy_pnn(
+            query, compute_probabilities=compute_probabilities
+        )
 
     def pnn_rtree(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
         """The same query evaluated with the R-tree baseline (for comparison).
@@ -200,16 +202,24 @@ class UVDiagram:
             ``DiagramConfig(backend="rtree")`` for a fully separate baseline.
         """
         warnings.warn(
-            "UVDiagram.pnn_rtree() is deprecated; use QueryEngine.pnn_rtree() "
-            "or a QueryEngine built with DiagramConfig(backend='rtree')",
+            "UVDiagram.pnn_rtree() is deprecated; use "
+            "QueryEngine.execute(PNNQuery(point)) (the planner selects the "
+            "candidate source cost-based) or a QueryEngine built with "
+            "DiagramConfig(backend='rtree')",
             DeprecationWarning,
             stacklevel=2,
         )
-        return self.engine.pnn_rtree(query, compute_probabilities=compute_probabilities)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            return self.engine.pnn_rtree(
+                query, compute_probabilities=compute_probabilities
+            )
 
     def answer_objects(self, query: Point) -> List[int]:
         """Just the answer-object ids (no probability computation)."""
-        return self.engine.answer_objects(query)
+        return self.engine._legacy_pnn(
+            query, compute_probabilities=False
+        ).answer_ids
 
     # ------------------------------------------------------------------ #
     # pattern analysis
@@ -224,7 +234,9 @@ class UVDiagram:
 
     def partitions_in(self, region: Rect) -> PartitionQueryResult:
         """UV-partition retrieval with densities (Section V-C, query 2)."""
-        return self.engine.partitions_in(region)
+        from repro.queries.spec import RangeQuery
+
+        return self.engine.execute(RangeQuery(region))
 
     # ------------------------------------------------------------------ #
     # introspection

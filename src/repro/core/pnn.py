@@ -70,8 +70,14 @@ class UVIndexPNN:
         """Leaf entries ``(oid, MBC)`` of the leaf containing the query point."""
         return uv_index_candidates(self.index, query)
 
-    def query(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
-        """Evaluate a PNN query."""
+    def query(
+        self,
+        query: Point,
+        compute_probabilities: bool = True,
+        threshold: float = 0.0,
+        top_k: "int | None" = None,
+    ) -> PNNResult:
+        """Evaluate a PNN query (optionally threshold- / top-k-filtered)."""
         return evaluate_pnn(
             query,
             self.retrieve_candidates,
@@ -80,6 +86,8 @@ class UVIndexPNN:
             compute_probabilities=compute_probabilities,
             prob_kernel=self.prob_kernel,
             ring_cache=self.ring_cache,
+            threshold=threshold,
+            top_k=top_k,
         )
 
     def _fetch_objects(self, oids: List[int]) -> List[UncertainObject]:

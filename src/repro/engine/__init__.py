@@ -4,8 +4,11 @@ Public surface:
 
 * :class:`DiagramConfig` -- typed, validated build configuration,
 * :class:`IndexBackend` / the backend registry -- swappable candidate sources,
-* :class:`QueryEngine` -- PNN / k-PNN / pattern / batch queries plus live
-  insert/delete over whichever backend the config selects.
+* :class:`QueryEngine` -- typed query descriptors through
+  :meth:`~QueryEngine.execute` / :meth:`~QueryEngine.explain`, plus live
+  insert/delete over whichever backend the config selects,
+* :class:`QueryPlanner` / :class:`QueryPlan` / :class:`ExplainReport` -- the
+  cost-based planning layer behind both entry points.
 """
 
 from repro.engine.backend import (
@@ -19,7 +22,8 @@ from repro.engine.backend import (
     unregister_backend,
 )
 from repro.engine.config import DiagramConfig
-from repro.engine.engine import BatchResult, QueryEngine
+from repro.engine.engine import BatchResult, BatchStream, QueryEngine
+from repro.engine.planner import ExplainReport, QueryPlan, QueryPlanner
 
 # Importing the built-in adapters registers them.
 from repro.engine import backends as _builtin_backends  # noqa: F401
@@ -27,9 +31,13 @@ from repro.engine import backends as _builtin_backends  # noqa: F401
 __all__ = [
     "BatchReadCache",
     "BatchResult",
+    "BatchStream",
     "DiagramConfig",
+    "ExplainReport",
     "IndexBackend",
     "QueryEngine",
+    "QueryPlan",
+    "QueryPlanner",
     "UnsupportedQueryError",
     "available_backends",
     "create_backend",

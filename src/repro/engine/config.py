@@ -127,5 +127,18 @@ class DiagramConfig:
         return cls(**data)
 
     def replace(self, **changes: Any) -> "DiagramConfig":
-        """A copy with the given fields changed (validation re-runs)."""
+        """A copy with the given fields changed.
+
+        Unknown field names are rejected with a :class:`ValueError` naming
+        the known fields (instead of ``dataclasses.replace``'s opaque
+        ``TypeError``), and the copy goes through ``__init__``, so the full
+        ``__post_init__`` validation re-runs on the new instance.
+        """
+        known = {f.name for f in dataclasses.fields(self)}
+        unknown = sorted(set(changes) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown DiagramConfig field(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
         return dataclasses.replace(self, **changes)

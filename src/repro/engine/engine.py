@@ -1,31 +1,39 @@
 """The :class:`QueryEngine`: one query plane over pluggable index backends.
 
 The engine owns the dataset (object list + disk-backed object store), the
-shared R-tree, and one :class:`~repro.engine.backend.IndexBackend`; every
-query type the paper discusses is a method:
+shared R-tree, one :class:`~repro.engine.backend.IndexBackend`, and a
+:class:`~repro.engine.planner.QueryPlanner`.  Queries are immutable
+descriptors (:mod:`repro.queries.spec`) handed to two entry points:
 
-* :meth:`pnn` -- probabilistic nearest neighbour,
-* :meth:`knn` -- probabilistic k-NN (Monte-Carlo over possible worlds),
-* :meth:`partitions_in` -- UV-partition retrieval with densities,
-* :meth:`batch` -- many PNN queries with shared leaf-read caching,
-* :meth:`insert` / :meth:`delete` -- live updates after construction.
+* :meth:`execute` -- plan and run any descriptor (``PNNQuery`` /
+  ``KNNQuery`` / ``RangeQuery`` / ``BatchQuery``),
+* :meth:`explain` -- plan, run, and report estimated vs. actual page reads
+  plus per-stage timings (EXPLAIN ANALYZE).
+
+plus :meth:`insert` / :meth:`delete` for live updates after construction.
+The per-shape methods of earlier releases (:meth:`pnn`, :meth:`pnn_rtree`,
+:meth:`knn`, :meth:`batch`, :meth:`partitions_in`) remain as thin
+deprecating wrappers that build descriptors and call :meth:`execute`.
 
 Typical usage::
 
-    from repro import DiagramConfig, QueryEngine, generate_uniform_objects
+    from repro import DiagramConfig, PNNQuery, QueryEngine, generate_uniform_objects
 
     objects, domain = generate_uniform_objects(500, seed=1)
     engine = QueryEngine.build(objects, domain, DiagramConfig(backend="ic"))
-    result = engine.pnn(Point(4200.0, 5100.0))
-    batch = engine.batch(queries)              # shared leaf reads
+    result = engine.execute(PNNQuery(Point(4200.0, 5100.0), threshold=0.1))
+    print(engine.explain(PNNQuery(Point(4200.0, 5100.0))))
+    for query, result, plan in engine.execute(BatchQuery.of(queries)):
+        ...                                    # streamed, shared leaf reads
     engine.insert(new_object)                  # diagram stays queryable
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -38,18 +46,25 @@ from repro.engine.backend import (
     create_backend,
 )
 from repro.engine.config import DiagramConfig
+from repro.engine.planner import (
+    STRATEGY_RTREE,
+    ExplainReport,
+    QueryPlan,
+    QueryPlanner,
+)
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.queries.knn import KNNResult, ProbabilisticKNN
 from repro.queries.pipeline import evaluate_pnn
 from repro.queries.probability_kernel import RingCache
 from repro.queries.result import PNNResult
-from repro.rtree.pnn import RTreePNN
+from repro.queries.spec import BatchQuery, KNNQuery, PNNQuery, Query, RangeQuery
+from repro.rtree.pnn import RTreePNN, branch_and_prune_candidates
 from repro.rtree.tree import RTree
 from repro.storage.disk import DiskManager
 from repro.storage.object_store import ObjectStore
 from repro.storage.pagestore import create_page_store
-from repro.storage.stats import IOStats
+from repro.storage.stats import IOStats, TimingBreakdown
 from repro.uncertain.objects import UncertainObject
 
 
@@ -84,6 +99,68 @@ class BatchResult:
     def page_reads(self) -> int:
         """Total page reads of the batch."""
         return self.io.page_reads if self.io is not None else 0
+
+
+class BatchStream:
+    """Streaming execution of a :class:`~repro.queries.spec.BatchQuery`.
+
+    An iterator of ``(query, result, plan)`` triples in input order.  All
+    queries of the batch share one :class:`BatchReadCache` (leaf / cell page
+    lists are read and counted once) and the engine's cross-query
+    :class:`RingCache`, so consuming the stream incrementally costs the same
+    total I/O as the old materialising ``batch()`` call while results become
+    available one by one.
+
+    Attributes:
+        query: the batch descriptor being streamed.
+        cache: the shared read cache (``hits`` / ``misses`` are live while
+            the stream is consumed).
+        plan: the batch-level plan the stream runs under.
+    """
+
+    def __init__(
+        self,
+        engine: "QueryEngine",
+        query: BatchQuery,
+        plan: QueryPlan,
+        force_strategy: Optional[str] = None,
+    ):
+        self.query = query
+        self.plan = plan
+        self.cache = BatchReadCache()
+        self._version = engine.structure_version
+        self._iterator = self._generate(engine, force_strategy)
+
+    def _generate(
+        self, engine: "QueryEngine", force_strategy: Optional[str]
+    ) -> Iterator[Tuple[PNNQuery, PNNResult, QueryPlan]]:
+        plans: Dict[Tuple[float, Optional[int], bool], QueryPlan] = {}
+        for query in self.query.queries:
+            if engine.structure_version != self._version:
+                # The shared read cache memoises index granules; a live
+                # insert/delete mid-stream would silently serve stale leaf
+                # lists (missing or ghost answer objects).  Fail loudly.
+                raise RuntimeError(
+                    "the engine was structurally modified (insert/delete) "
+                    "while a BatchStream was being consumed; re-issue the "
+                    "batch against the updated diagram"
+                )
+            shape = (query.threshold, query.top_k, query.compute_probabilities)
+            plan = plans.get(shape)
+            if plan is None:
+                plan = engine.planner.plan(query, force_strategy=force_strategy)
+                plans[shape] = plan
+            result = engine._execute_pnn(query, plan, cache=self.cache)
+            yield query, result, plan
+
+    def __iter__(self) -> "BatchStream":
+        return self
+
+    def __next__(self) -> Tuple[PNNQuery, PNNResult, QueryPlan]:
+        return next(self._iterator)
+
+    def __len__(self) -> int:
+        return len(self.query)
 
 
 class QueryEngine:
@@ -125,6 +202,10 @@ class QueryEngine:
         # True when the in-memory state has diverged from the last saved or
         # opened snapshot (a freshly built engine was never saved at all).
         self._dirty = True
+        # Bumped by every structural change (insert/delete); the planner
+        # caches backend statistics against it.
+        self._structure_version = 0
+        self.planner = QueryPlanner(self)
         backend.bind(self)
 
     # ------------------------------------------------------------------ #
@@ -236,22 +317,181 @@ class QueryEngine:
         return self._dirty
 
     # ------------------------------------------------------------------ #
-    # point queries
+    # the typed query surface: execute / explain
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        query: Query,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Union[PNNResult, KNNResult, PartitionQueryResult, BatchStream]:
+        """Plan and run a query descriptor.
+
+        The return type follows the descriptor: a :class:`PNNResult` for a
+        :class:`~repro.queries.spec.PNNQuery`, a :class:`KNNResult` for a
+        :class:`~repro.queries.spec.KNNQuery`, a
+        :class:`PartitionQueryResult` for a
+        :class:`~repro.queries.spec.RangeQuery`, and a lazily-evaluated
+        :class:`BatchStream` of ``(query, result, plan)`` triples for a
+        :class:`~repro.queries.spec.BatchQuery`.
+
+        Args:
+            query: the descriptor.
+            rng: Monte-Carlo generator override, meaningful only for
+                ``KNNQuery`` (takes precedence over the descriptor's seed).
+        """
+        return self._run(query, self.planner.plan(query), rng=rng)
+
+    def explain(
+        self,
+        query: Query,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ExplainReport:
+        """Plan, run, and report estimates against what actually happened.
+
+        Like ``EXPLAIN ANALYZE``: the query *is* executed, and the report
+        carries the plan, its estimated page reads, the actual counted page
+        reads, and the per-stage wall-clock breakdown.  A ``BatchQuery``'s
+        stream is materialised into a list of triples so the whole batch is
+        measured.
+        """
+        plan = self.planner.plan(query)
+        before = self.disk.stats.snapshot()
+        start = time.perf_counter()
+        result = self._run(query, plan, rng=rng)
+        timings = TimingBreakdown()
+        if isinstance(result, BatchStream):
+            triples = list(result)
+            for _, item, _ in triples:
+                if item.timing is not None:
+                    timings.merge(item.timing)
+            result = triples
+        elif isinstance(result, PNNResult):
+            if result.timing is not None:
+                timings.merge(result.timing)
+        elif isinstance(result, PartitionQueryResult):
+            timings.add("partitions", result.seconds)
+        seconds = time.perf_counter() - start
+        if not timings.buckets:
+            timings.add("total", seconds)
+        return ExplainReport(
+            query=query,
+            plan=plan,
+            result=result,
+            io=self.disk.stats.delta(before),
+            seconds=seconds,
+            timings=timings,
+        )
+
+    @property
+    def structure_version(self) -> int:
+        """Monotonic counter of structural changes (planner cache key)."""
+        return self._structure_version
+
+    def _run(
+        self,
+        query: Query,
+        plan: QueryPlan,
+        rng: Optional[np.random.Generator] = None,
+        force_strategy: Optional[str] = None,
+    ):
+        if isinstance(query, PNNQuery):
+            return self._execute_pnn(query, plan, cache=None)
+        if isinstance(query, BatchQuery):
+            return BatchStream(self, query, plan, force_strategy=force_strategy)
+        if isinstance(query, KNNQuery):
+            if rng is None and query.seed is not None:
+                rng = np.random.default_rng(query.seed)
+            return ProbabilisticKNN(self.rtree, self.objects).query(
+                query.point, query.k, worlds=query.worlds, rng=rng
+            )
+        if isinstance(query, RangeQuery):
+            return self.backend.partitions_in(query.region)
+        raise TypeError(f"unknown query descriptor: {query!r}")
+
+    def _execute_pnn(
+        self,
+        query: PNNQuery,
+        plan: QueryPlan,
+        cache: Optional[BatchReadCache],
+    ) -> PNNResult:
+        if plan.strategy == STRATEGY_RTREE and self.backend.name != "rtree":
+            # The planner routed the query to the shared R-tree baseline
+            # (cost-based takeover, or the deprecated pnn_rtree wrapper).
+            def retrieve(point: Point):
+                return branch_and_prune_candidates(self.rtree, point, cache=cache)
+        else:
+            def retrieve(point: Point):
+                return self.backend.candidates(point, cache=cache)
+
+        return evaluate_pnn(
+            query.point,
+            retrieve,
+            self._fetch_objects,
+            self.disk.stats,
+            compute_probabilities=query.compute_probabilities,
+            prob_kernel=self.config.prob_kernel,
+            ring_cache=self._ring_cache,
+            threshold=query.threshold,
+            top_k=query.top_k,
+        )
+
+    def _fetch_objects(self, oids: List[int]) -> List[UncertainObject]:
+        return self.object_store.fetch_many(oids)
+
+    def _legacy_pnn(self, query: Point, compute_probabilities: bool) -> PNNResult:
+        """The historical pnn() behaviour: primary structure, no filters.
+
+        Shared by the deprecated wrappers and the :class:`UVDiagram` facade
+        so they stay behaviour-identical without re-warning through each
+        other.
+        """
+        descriptor = PNNQuery(query, compute_probabilities=compute_probabilities)
+        plan = self.planner.plan(descriptor, force_strategy="primary")
+        return self._run(descriptor, plan)
+
+    # ------------------------------------------------------------------ #
+    # legacy per-shape methods (deprecating wrappers over execute)
     # ------------------------------------------------------------------ #
     def pnn(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
-        """Probabilistic nearest-neighbour query through the active backend."""
-        return self._evaluate(query, compute_probabilities, cache=None)
+        """Probabilistic nearest-neighbour query through the active backend.
+
+        .. deprecated::
+            Use ``execute(PNNQuery(point))``, which also supports threshold
+            / top-k filtering and cost-based planning.
+        """
+        warnings.warn(
+            "QueryEngine.pnn() is deprecated; use "
+            "engine.execute(PNNQuery(point, ...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._legacy_pnn(query, compute_probabilities)
 
     def pnn_rtree(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
-        """The same query through the R-tree baseline (for comparison)."""
-        # Kernel selection is a query-time setting: follow the live config so
-        # a config.replace(prob_kernel=...) switch affects both query paths.
-        self._rtree_pnn.prob_kernel = self.config.prob_kernel
-        return self._rtree_pnn.query(query, compute_probabilities=compute_probabilities)
+        """The same query through the R-tree baseline (for comparison).
+
+        .. deprecated::
+            The planner now owns backend selection; use
+            ``execute(PNNQuery(point))`` (cost-based choice) or build a
+            second engine with ``DiagramConfig(backend="rtree")`` for a
+            fully separate baseline.
+        """
+        warnings.warn(
+            "QueryEngine.pnn_rtree() is deprecated; the planner selects the "
+            "candidate source cost-based -- use engine.execute(PNNQuery(point)) "
+            "or DiagramConfig(backend='rtree')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        descriptor = PNNQuery(query, compute_probabilities=compute_probabilities)
+        plan = self.planner.plan(descriptor, force_strategy=STRATEGY_RTREE)
+        return self._run(descriptor, plan)
 
     def answer_objects(self, query: Point) -> List[int]:
         """Just the answer-object ids (no probability computation)."""
-        return self.pnn(query, compute_probabilities=False).answer_ids
+        return self._legacy_pnn(query, compute_probabilities=False).answer_ids
 
     def knn(
         self,
@@ -260,32 +500,22 @@ class QueryEngine:
         worlds: int = 2000,
         rng: Optional[np.random.Generator] = None,
     ) -> KNNResult:
-        """Probabilistic k-NN query (answers with P(in top-k) estimates)."""
-        return ProbabilisticKNN(self.rtree, self.objects).query(
-            query, k, worlds=worlds, rng=rng
-        )
+        """Probabilistic k-NN query (answers with P(in top-k) estimates).
 
-    def _evaluate(
-        self,
-        query: Point,
-        compute_probabilities: bool,
-        cache: Optional[BatchReadCache],
-    ) -> PNNResult:
-        return evaluate_pnn(
-            query,
-            lambda q: self.backend.candidates(q, cache=cache),
-            self._fetch_objects,
-            self.disk.stats,
-            compute_probabilities=compute_probabilities,
-            prob_kernel=self.config.prob_kernel,
-            ring_cache=self._ring_cache,
+        .. deprecated::
+            Use ``execute(KNNQuery(point, k, worlds, seed))``.
+        """
+        warnings.warn(
+            "QueryEngine.knn() is deprecated; use "
+            "engine.execute(KNNQuery(point, k, ...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-
-    def _fetch_objects(self, oids: List[int]) -> List[UncertainObject]:
-        return self.object_store.fetch_many(oids)
+        descriptor = KNNQuery(query, k, worlds=worlds)
+        return self._run(descriptor, self.planner.plan(descriptor), rng=rng)
 
     # ------------------------------------------------------------------ #
-    # batch queries
+    # batch queries (deprecating wrapper over the streaming execution)
     # ------------------------------------------------------------------ #
     def batch(
         self, queries: Sequence[Point], compute_probabilities: bool = True
@@ -296,27 +526,54 @@ class QueryEngine:
         in I/O: a leaf (or cell) page list is read -- and counted -- once for
         the whole batch, so clustered workloads collapse their repeated page
         reads into one pass.
+
+        .. deprecated::
+            Use ``execute(BatchQuery.of(points))``, which streams
+            ``(query, result, plan)`` triples instead of materialising
+            every result up front.
         """
-        cache = BatchReadCache()
+        warnings.warn(
+            "QueryEngine.batch() is deprecated; use "
+            "engine.execute(BatchQuery.of(points)) and consume the stream",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        descriptor = BatchQuery.of(
+            queries, compute_probabilities=compute_probabilities
+        )
         start = time.perf_counter()
         before = self.disk.stats.snapshot()
-        results = [
-            self._evaluate(query, compute_probabilities, cache) for query in queries
-        ]
+        stream = self._run(
+            descriptor,
+            self.planner.plan(descriptor, force_strategy="primary"),
+            force_strategy="primary",
+        )
+        results = [result for _, result, _ in stream]
         return BatchResult(
             results=results,
             io=self.disk.stats.delta(before),
             seconds=time.perf_counter() - start,
-            cache_hits=cache.hits,
-            cache_misses=cache.misses,
+            cache_hits=stream.cache.hits,
+            cache_misses=stream.cache.misses,
         )
 
     # ------------------------------------------------------------------ #
     # pattern analysis
     # ------------------------------------------------------------------ #
     def partitions_in(self, region: Rect) -> PartitionQueryResult:
-        """UV-partition retrieval with densities (Section V-C, query 2)."""
-        return self.backend.partitions_in(region)
+        """UV-partition retrieval with densities (Section V-C, query 2).
+
+        .. deprecated::
+            Use ``execute(RangeQuery(region))``.
+        """
+        warnings.warn(
+            "QueryEngine.partitions_in() is deprecated; use "
+            "engine.execute(RangeQuery(region)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        descriptor = RangeQuery(region)
+        return self._run(descriptor, self.planner.plan(descriptor))
 
     def uv_cell_area(self, oid: int) -> float:
         """Approximate area of one object's UV-cell (UV-index backends only)."""
@@ -347,6 +604,7 @@ class QueryEngine:
         if obj.oid in self.by_id:
             raise ValueError(f"object id {obj.oid} already exists in the engine")
         self._dirty = True
+        self._structure_version += 1
         self._ring_cache.invalidate(obj.oid)
         if self.backend.handles_engine_state:
             return self.backend.insert(obj)
@@ -362,6 +620,7 @@ class QueryEngine:
         if oid not in self.by_id:
             raise KeyError(f"object {oid} is not in the engine")
         self._dirty = True
+        self._structure_version += 1
         self._ring_cache.invalidate(oid)
         if self.backend.handles_engine_state:
             return self.backend.delete(oid)

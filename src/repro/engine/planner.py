@@ -1,0 +1,540 @@
+"""Cost-based query planning and EXPLAIN.
+
+The planner is the *how* half of the query API: it turns an immutable
+descriptor from :mod:`repro.queries.spec` into a :class:`QueryPlan` -- a
+concrete choice of candidate-retrieval strategy, probability kernel, and
+early-termination parameters, annotated with cost estimates derived from
+three inputs:
+
+* **index statistics** of the active backend (leaf page counts, entries per
+  leaf, grid cell occupancy ...), cached per structure version so live
+  updates invalidate them,
+* **buffer-pool state** of the shared disk (capacity and the observed hit
+  ratio discount expected page reads),
+* the engine's :class:`~repro.engine.config.DiagramConfig` -- which also
+  means a ``--load``-ed snapshot plans with its *saved* configuration.
+
+:meth:`QueryEngine.execute` runs the plan; :meth:`QueryEngine.explain` runs
+it *and* reports estimated vs. actual page reads plus the per-stage timing
+breakdown, the way EXPLAIN ANALYZE does in a relational engine.
+
+The cost model is deliberately simple -- a handful of closed-form estimates
+calibrated against the simulated disk -- but it is a real model: for PNN
+queries the planner prices the primary backend's point lookup against the
+shared R-tree's branch-and-prune traversal and picks the cheaper source
+(with hysteresis, so it only abandons the primary structure when the
+estimates clearly favour the baseline).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.queries.spec import BatchQuery, KNNQuery, PNNQuery, Query, RangeQuery
+from repro.storage.stats import IOStats, TimingBreakdown
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import QueryEngine
+
+#: Strategy names a plan can carry.
+STRATEGY_UV_POINT = "uv-point-lookup"
+STRATEGY_RTREE = "rtree-branch-and-prune"
+STRATEGY_GRID = "grid-ring-expansion"
+STRATEGY_KNN = "knn-monte-carlo"
+STRATEGY_RANGE_NATIVE = "native-partitions"
+STRATEGY_RANGE_SCAN = "range-candidate-scan"
+STRATEGY_BATCH = "streaming-shared-cache"
+
+#: Primary candidate-retrieval strategy of each built-in backend family.
+_PRIMARY_STRATEGY = {
+    "ic": STRATEGY_UV_POINT,
+    "icr": STRATEGY_UV_POINT,
+    "basic": STRATEGY_UV_POINT,
+    "rtree": STRATEGY_RTREE,
+    "grid": STRATEGY_GRID,
+}
+
+#: The planner abandons the primary structure only when the R-tree estimate
+#: undercuts it by this factor (hysteresis against estimate noise).
+_RTREE_TAKEOVER_RATIO = 0.8
+
+#: Cost units charged per candidate for CPU-side verification / refinement,
+#: relative to one counted page read.
+_CPU_WEIGHT_PER_CANDIDATE = 0.05
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """One strategy's estimated price for a query."""
+
+    page_reads: float
+    candidates: float
+    cost: float
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The planner's decision for one query descriptor.
+
+    Attributes:
+        kind: descriptor family -- ``"pnn"`` / ``"knn"`` / ``"range"`` /
+            ``"batch"``.
+        backend: registry key of the engine's active backend.
+        strategy: chosen candidate-retrieval strategy (one of the
+            ``STRATEGY_*`` names above).
+        prob_kernel: refinement kernel the run will use (``"none"`` when no
+            probabilities are computed).
+        threshold / top_k: early-termination parameters pushed into the
+            refinement step.
+        estimated_page_reads: expected counted page reads of the run.
+        estimated_candidates: expected candidates entering verification.
+        estimated_cost: abstract cost units (page reads + weighted CPU).
+        buffer_pool: human-readable state of the disk's buffer pool.
+        notes: why the planner chose what it chose.
+    """
+
+    kind: str
+    backend: str
+    strategy: str
+    prob_kernel: str
+    threshold: float = 0.0
+    top_k: Optional[int] = None
+    estimated_page_reads: float = 0.0
+    estimated_candidates: float = 0.0
+    estimated_cost: float = 0.0
+    buffer_pool: str = "off"
+    notes: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """Multi-line EXPLAIN rendering of the plan."""
+        lines = [
+            f"plan: {self.kind} via {self.strategy} "
+            f"[backend={self.backend}, kernel={self.prob_kernel}]",
+            f"  estimated page reads : {self.estimated_page_reads:.1f}",
+            f"  estimated candidates : {self.estimated_candidates:.1f}",
+            f"  estimated cost       : {self.estimated_cost:.2f}",
+            f"  buffer pool          : {self.buffer_pool}",
+        ]
+        if self.threshold > 0.0 or self.top_k is not None:
+            filters = []
+            if self.threshold > 0.0:
+                filters.append(f"tau={self.threshold:g}")
+            if self.top_k is not None:
+                filters.append(f"top_k={self.top_k}")
+            lines.append(
+                f"  refinement filter    : {', '.join(filters)} (early termination)"
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.describe()
+
+
+@dataclass
+class ExplainReport:
+    """EXPLAIN ANALYZE output: the plan plus what actually happened.
+
+    Attributes:
+        query: the descriptor that was explained.
+        plan: the plan the query ran under.
+        result: whatever :meth:`QueryEngine.execute` returned (for a
+            ``BatchQuery`` the stream is materialised into a list of
+            ``(query, result, plan)`` triples so the I/O can be measured).
+        io: counted I/O of the run.
+        seconds: wall-clock time of the run.
+        timings: per-stage wall-clock breakdown (index traversal, object
+            retrieval, probability computation ... merged across a batch).
+    """
+
+    query: Query
+    plan: QueryPlan
+    result: object
+    io: IOStats
+    seconds: float
+    timings: TimingBreakdown = field(default_factory=TimingBreakdown)
+
+    @property
+    def estimated_page_reads(self) -> float:
+        return self.plan.estimated_page_reads
+
+    @property
+    def actual_page_reads(self) -> int:
+        return self.io.page_reads
+
+    @property
+    def estimate_ratio(self) -> float:
+        """Estimated over actual page reads (``inf`` when nothing was read)."""
+        if self.actual_page_reads <= 0:
+            return float("inf")
+        return self.estimated_page_reads / self.actual_page_reads
+
+    def describe(self) -> str:
+        """Multi-line EXPLAIN ANALYZE rendering."""
+        lines = [self.plan.describe()]
+        lines.append(
+            f"  actual page reads    : {self.actual_page_reads} "
+            f"(estimated {self.estimated_page_reads:.1f})"
+        )
+        lines.append(f"  wall time            : {self.seconds * 1000.0:.2f} ms")
+        for name, value in sorted(self.timings.buckets.items()):
+            lines.append(f"    {name:<18} : {value * 1000.0:.2f} ms")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.describe()
+
+
+class QueryPlanner:
+    """Plans query descriptors over one :class:`QueryEngine`.
+
+    The planner holds no query state of its own; it reads the engine's
+    backend statistics (cached until a live update bumps the engine's
+    structure version), disk / buffer-pool counters, and configuration.
+    """
+
+    def __init__(self, engine: "QueryEngine"):
+        self._engine = engine
+        self._stats_cache: Optional[Dict[str, float]] = None
+        self._stats_version: int = -1
+        self._answer_cache: Optional[float] = None
+        self._answer_version: int = -1
+
+    # ------------------------------------------------------------------ #
+    # entry point
+    # ------------------------------------------------------------------ #
+    def plan(self, query: Query, force_strategy: Optional[str] = None) -> QueryPlan:
+        """Turn a descriptor into a plan.
+
+        Args:
+            query: a descriptor from :mod:`repro.queries.spec`.
+            force_strategy: pin the candidate-retrieval strategy instead of
+                letting the cost model choose -- ``"primary"`` (the active
+                backend's own structure; what the legacy wrappers use to
+                stay behaviour-identical) or an explicit ``STRATEGY_*``
+                name such as :data:`STRATEGY_RTREE`.
+        """
+        if isinstance(query, PNNQuery):
+            return self._plan_pnn(query, force_strategy)
+        if isinstance(query, KNNQuery):
+            return self._plan_knn(query)
+        if isinstance(query, RangeQuery):
+            return self._plan_range(query)
+        if isinstance(query, BatchQuery):
+            return self._plan_batch(query, force_strategy)
+        raise TypeError(
+            f"unknown query descriptor: {query!r} (expected PNNQuery, KNNQuery, "
+            "RangeQuery or BatchQuery)"
+        )
+
+    # ------------------------------------------------------------------ #
+    # statistics plumbing
+    # ------------------------------------------------------------------ #
+    def backend_statistics(self) -> Dict[str, float]:
+        """The backend's structural statistics, cached per structure version."""
+        engine = self._engine
+        version = engine.structure_version
+        if self._stats_cache is None or self._stats_version != version:
+            self._stats_cache = engine.backend.statistics()
+            self._stats_version = version
+        return self._stats_cache
+
+    def _buffer_pool_state(self) -> Tuple[str, float]:
+        """Description + expected miss ratio of the disk's buffer pool."""
+        disk = self._engine.disk
+        if disk.buffer_pool is None:
+            return "off", 1.0
+        stats = disk.stats
+        requests = stats.cache_hits + stats.cache_misses
+        if requests == 0:
+            # A cold pool serves nothing yet; assume every read misses.
+            return f"lru({disk.buffer_pool.capacity} pages), cold", 1.0
+        hit_ratio = stats.cache_hit_ratio
+        return (
+            f"lru({disk.buffer_pool.capacity} pages), "
+            f"observed hit ratio {hit_ratio:.0%}",
+            max(0.05, 1.0 - hit_ratio),
+        )
+
+    def _expected_answers(self) -> float:
+        """Expected answer-set size of a PNN query (cached per version).
+
+        The answer objects are those whose region overlaps the d_minmax
+        circle.  For ``n`` objects of mean region radius ``r`` over a domain
+        of area ``A``, the circle's radius is roughly the mean
+        nearest-neighbour centre distance (``0.5 * sqrt(A / n)``) plus a
+        region diameter, so the expected count is that circle's area times
+        the object density.
+        """
+        engine = self._engine
+        version = engine.structure_version
+        if self._answer_cache is None or self._answer_version != version:
+            objects = engine.objects
+            count = max(1, len(objects))
+            area = max(1e-12, engine.domain.area())
+            sample = objects[:256]
+            mean_radius = sum(obj.mbc().radius for obj in sample) / max(
+                1, len(sample)
+            )
+            nn_distance = 0.5 * math.sqrt(area / count)
+            reach = nn_distance + 2.0 * mean_radius
+            expected = count * math.pi * reach * reach / area
+            self._answer_cache = min(float(count), max(1.0, expected))
+            self._answer_version = version
+        return self._answer_cache
+
+    def _expected_fetch_pages(self, answers: float) -> float:
+        """Expected distinct object-store pages hit when fetching ``answers``.
+
+        Objects are packed ``objects_per_page`` to a page; drawing ``a``
+        objects uniformly from ``P`` pages touches ``P * (1 - (1 - 1/P)^a)``
+        distinct pages in expectation.
+        """
+        store = self._engine.object_store
+        pages = max(1, store.page_count)
+        if answers <= 0:
+            return 0.0
+        return pages * (1.0 - (1.0 - 1.0 / pages) ** answers)
+
+    # ------------------------------------------------------------------ #
+    # per-strategy cost estimates (PNN)
+    # ------------------------------------------------------------------ #
+    def _estimate_primary(self) -> Tuple[str, CostEstimate]:
+        engine = self._engine
+        name = engine.backend.name
+        strategy = _PRIMARY_STRATEGY.get(name, STRATEGY_UV_POINT)
+        stats = self.backend_statistics()
+        answers = self._expected_answers()
+        if strategy == STRATEGY_UV_POINT:
+            # A point query reads exactly one leaf's page list; the leaf
+            # entries all enter d_minmax verification.
+            index_reads = max(1.0, stats.get("avg_pages_per_leaf", 1.0))
+            candidates = max(1.0, stats.get("avg_entries_per_leaf", 1.0))
+        elif strategy == STRATEGY_GRID:
+            pages_per_cell = stats.get("total_pages", 1.0) / max(
+                1.0, stats.get("populated_cells", 1.0)
+            )
+            cells = max(1.0, stats.get("populated_cells", 1.0))
+            # The ring expansion reads the home cell plus (usually) its first
+            # ring before the d_minmax bound stops it.
+            cells_read = min(cells, 5.0)
+            index_reads = cells_read * max(1.0, pages_per_cell)
+            # The expansion pre-filters entries by the running bound, so
+            # what reaches verification is essentially the answer set.
+            candidates = answers
+        else:  # the backend IS the R-tree baseline
+            return strategy, self._estimate_rtree()
+        return strategy, self._finish_pnn_estimate(index_reads, candidates)
+
+    def _estimate_rtree(self) -> CostEstimate:
+        engine = self._engine
+        tree = engine.rtree
+        objects = max(1.0, float(len(engine.objects)))
+        leaf_capacity = max(1.0, tree.fanout / 2.0)
+        leaf_count = max(1.0, math.ceil(objects / leaf_capacity))
+        # Branch-and-prune touches the leaves whose MBR min-distance falls
+        # under d_minmax: the home leaf plus a slowly growing neighbourhood.
+        leaves_read = min(leaf_count, 1.0 + math.log2(leaf_count + 1.0) / 4.0)
+        # The traversal prunes entries against the running bound, so what
+        # reaches verification is essentially the answer set.
+        return self._finish_pnn_estimate(leaves_read, self._expected_answers())
+
+    def _finish_pnn_estimate(
+        self, index_reads: float, candidates: float
+    ) -> CostEstimate:
+        answers = min(self._expected_answers(), candidates)
+        fetch_reads = self._expected_fetch_pages(answers)
+        _, miss_ratio = self._buffer_pool_state()
+        page_reads = (index_reads + fetch_reads) * miss_ratio
+        cost = page_reads + candidates * _CPU_WEIGHT_PER_CANDIDATE
+        return CostEstimate(
+            page_reads=page_reads, candidates=candidates, cost=cost
+        )
+
+    # ------------------------------------------------------------------ #
+    # per-kind planning
+    # ------------------------------------------------------------------ #
+    def _plan_pnn(
+        self, query: PNNQuery, force_strategy: Optional[str]
+    ) -> QueryPlan:
+        engine = self._engine
+        backend = engine.backend.name
+        primary_strategy, primary = self._estimate_primary()
+        notes: List[str] = []
+
+        if force_strategy == "primary":
+            strategy, chosen = primary_strategy, primary
+            notes.append("strategy pinned to the primary backend structure")
+        elif force_strategy is not None:
+            if force_strategy == STRATEGY_RTREE:
+                strategy, chosen = STRATEGY_RTREE, self._estimate_rtree()
+            elif force_strategy == primary_strategy:
+                strategy, chosen = primary_strategy, primary
+            else:
+                raise ValueError(
+                    f"backend {backend!r} cannot serve strategy "
+                    f"{force_strategy!r} (available: {primary_strategy}, "
+                    f"{STRATEGY_RTREE})"
+                )
+            notes.append(f"strategy pinned to {strategy}")
+        elif primary_strategy == STRATEGY_RTREE:
+            strategy, chosen = primary_strategy, primary
+        else:
+            rtree = self._estimate_rtree()
+            if rtree.cost < primary.cost * _RTREE_TAKEOVER_RATIO:
+                strategy, chosen = STRATEGY_RTREE, rtree
+                notes.append(
+                    f"r-tree branch-and-prune estimate ({rtree.cost:.2f}) "
+                    f"undercuts the primary {primary_strategy} "
+                    f"({primary.cost:.2f}) past the "
+                    f"{_RTREE_TAKEOVER_RATIO:.0%} takeover bar"
+                )
+            else:
+                strategy, chosen = primary_strategy, primary
+                notes.append(
+                    f"primary {primary_strategy} estimate ({primary.cost:.2f}) "
+                    f"kept over r-tree branch-and-prune ({rtree.cost:.2f})"
+                )
+
+        kernel = (
+            engine.config.prob_kernel if query.compute_probabilities else "none"
+        )
+        if query.threshold > 0.0 or query.top_k is not None:
+            notes.append(
+                "refinement prunes candidates whose probability upper bound "
+                "misses the threshold / top-k bar"
+            )
+        buffer_pool, _ = self._buffer_pool_state()
+        return QueryPlan(
+            kind="pnn",
+            backend=backend,
+            strategy=strategy,
+            prob_kernel=kernel,
+            threshold=query.threshold,
+            top_k=query.top_k,
+            estimated_page_reads=chosen.page_reads,
+            estimated_candidates=chosen.candidates,
+            estimated_cost=chosen.cost,
+            buffer_pool=buffer_pool,
+            notes=tuple(notes),
+        )
+
+    def _plan_knn(self, query: KNNQuery) -> QueryPlan:
+        engine = self._engine
+        objects = max(1.0, float(len(engine.objects)))
+        leaf_capacity = max(1.0, engine.rtree.fanout / 2.0)
+        leaf_count = max(1.0, math.ceil(objects / leaf_capacity))
+        # The bound traversal reads roughly the leaves holding the k nearest
+        # objects; the circular range query then re-reads a similar set.
+        leaves = min(leaf_count, 2.0 * max(1.0, query.k / leaf_capacity) + 2.0)
+        candidates = min(objects, max(float(query.k) * 3.0, leaf_capacity))
+        _, miss_ratio = self._buffer_pool_state()
+        page_reads = leaves * miss_ratio
+        cost = page_reads + query.worlds * candidates * 1e-4
+        buffer_pool, _ = self._buffer_pool_state()
+        return QueryPlan(
+            kind="knn",
+            backend=engine.backend.name,
+            strategy=STRATEGY_KNN,
+            prob_kernel="monte-carlo",
+            estimated_page_reads=page_reads,
+            estimated_candidates=candidates,
+            estimated_cost=cost,
+            buffer_pool=buffer_pool,
+            notes=(
+                f"{query.worlds} sampled worlds over the shared r-tree "
+                f"(k={query.k})",
+            ),
+        )
+
+    def _plan_range(self, query: RangeQuery) -> QueryPlan:
+        engine = self._engine
+        stats = self.backend_statistics()
+        backend = engine.backend.name
+        domain_area = max(1e-12, engine.domain.area())
+        fraction = min(1.0, query.region.area() / domain_area)
+        if backend in ("ic", "icr", "basic"):
+            strategy = STRATEGY_RANGE_NATIVE
+            leaves = max(1.0, stats.get("leaf_nodes", 1.0) * fraction)
+            page_reads = leaves * max(1.0, stats.get("avg_pages_per_leaf", 1.0))
+            candidates = leaves * max(1.0, stats.get("avg_entries_per_leaf", 1.0))
+        elif backend == "grid":
+            strategy = STRATEGY_RANGE_NATIVE
+            cells = max(1.0, stats.get("populated_cells", 1.0) * fraction)
+            pages_per_cell = stats.get("total_pages", 1.0) / max(
+                1.0, stats.get("populated_cells", 1.0)
+            )
+            page_reads = cells * max(1.0, pages_per_cell)
+            candidates = min(
+                stats.get("objects", 1.0),
+                cells * stats.get("objects", 1.0)
+                / max(1.0, stats.get("populated_cells", 1.0)),
+            )
+        else:
+            strategy = STRATEGY_RANGE_SCAN
+            leaves = max(1.0, stats.get("leaf_nodes", 1.0) * fraction)
+            page_reads = leaves
+            candidates = max(1.0, stats.get("objects", 1.0) * fraction)
+        _, miss_ratio = self._buffer_pool_state()
+        page_reads *= miss_ratio
+        buffer_pool, _ = self._buffer_pool_state()
+        return QueryPlan(
+            kind="range",
+            backend=backend,
+            strategy=strategy,
+            prob_kernel="none",
+            estimated_page_reads=page_reads,
+            estimated_candidates=candidates,
+            estimated_cost=page_reads + candidates * _CPU_WEIGHT_PER_CANDIDATE,
+            buffer_pool=buffer_pool,
+            notes=(f"region covers {fraction:.1%} of the domain",),
+        )
+
+    def _plan_batch(
+        self, query: BatchQuery, force_strategy: Optional[str]
+    ) -> QueryPlan:
+        engine = self._engine
+        count = len(query.queries)
+        if count == 0:
+            buffer_pool, _ = self._buffer_pool_state()
+            return QueryPlan(
+                kind="batch",
+                backend=engine.backend.name,
+                strategy=STRATEGY_BATCH,
+                prob_kernel=engine.config.prob_kernel,
+                buffer_pool=buffer_pool,
+                notes=("empty batch",),
+            )
+        sample = self._plan_pnn(query.queries[0], force_strategy)
+        stats = self.backend_statistics()
+        # The shared read cache pays each index granule once; with more
+        # queries than granules the expected distinct-granule count saturates.
+        granules = max(
+            1.0,
+            stats.get("leaf_nodes", stats.get("populated_cells", float(count))),
+        )
+        distinct = granules * (1.0 - (1.0 - 1.0 / granules) ** count)
+        sharing = distinct / count
+        page_reads = sample.estimated_page_reads * count * (
+            0.5 + 0.5 * sharing
+        )
+        return QueryPlan(
+            kind="batch",
+            backend=sample.backend,
+            strategy=STRATEGY_BATCH,
+            prob_kernel=sample.prob_kernel,
+            threshold=sample.threshold,
+            top_k=sample.top_k,
+            estimated_page_reads=page_reads,
+            estimated_candidates=sample.estimated_candidates * count,
+            estimated_cost=sample.estimated_cost * count * (0.5 + 0.5 * sharing),
+            buffer_pool=sample.buffer_pool,
+            notes=sample.notes
+            + (
+                f"{count} queries stream through one shared read cache "
+                f"(expected {distinct:.1f} distinct index granules)",
+            ),
+        )

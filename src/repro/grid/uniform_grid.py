@@ -274,8 +274,18 @@ class GridPNN:
         self.ring_cache = ring_cache
         self._objects_by_id = {obj.oid: obj for obj in objects} if objects else {}
 
-    def query(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
-        """Evaluate a PNN query by expanding rings of cells around the query."""
+    def query(
+        self,
+        query: Point,
+        compute_probabilities: bool = True,
+        threshold: float = 0.0,
+        top_k: "int | None" = None,
+    ) -> PNNResult:
+        """Evaluate a PNN query by expanding rings of cells around the query.
+
+        ``threshold`` / ``top_k`` push early termination into the refinement
+        step (probability-threshold and top-k PNN).
+        """
         return evaluate_pnn(
             query,
             self._retrieve_candidates,
@@ -284,6 +294,8 @@ class GridPNN:
             compute_probabilities=compute_probabilities,
             prob_kernel=self.prob_kernel,
             ring_cache=self.ring_cache,
+            threshold=threshold,
+            top_k=top_k,
         )
 
     def _retrieve_candidates(self, query: Point) -> List[Tuple[int, Circle]]:

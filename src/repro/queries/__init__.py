@@ -20,21 +20,29 @@ from repro.queries.probability import (
 from repro.queries.probability_kernel import (
     DEFAULT_PROB_KERNEL,
     PROB_KERNELS,
+    RefinementStats,
     RingCache,
     compute_qualification_probabilities,
     qualification_probabilities_vectorized,
 )
 from repro.queries.result import PNNAnswer, PNNResult
+from repro.queries.spec import BatchQuery, KNNQuery, PNNQuery, Query, RangeQuery
 
 __all__ = [
     "DEFAULT_PROB_KERNEL",
     "PROB_KERNELS",
+    "RefinementStats",
     "RingCache",
     "compute_qualification_probabilities",
     "min_max_prune",
     "qualification_probabilities",
     "qualification_probabilities_sampling",
     "qualification_probabilities_vectorized",
+    "BatchQuery",
+    "KNNQuery",
     "PNNAnswer",
+    "PNNQuery",
     "PNNResult",
+    "Query",
+    "RangeQuery",
 ]

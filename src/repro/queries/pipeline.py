@@ -24,6 +24,7 @@ from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.queries.probability_kernel import (
     DEFAULT_PROB_KERNEL,
+    RefinementStats,
     RingCache,
     compute_qualification_probabilities,
 )
@@ -44,6 +45,8 @@ def evaluate_pnn(
     compute_probabilities: bool = True,
     prob_kernel: str = DEFAULT_PROB_KERNEL,
     ring_cache: Optional[RingCache] = None,
+    threshold: float = 0.0,
+    top_k: Optional[int] = None,
 ) -> PNNResult:
     """Run the retrieve / verify / fetch / integrate pipeline for one query.
 
@@ -60,7 +63,20 @@ def evaluate_pnn(
             the default) or ``"scalar"`` (the reference implementation).
         ring_cache: optional cross-query cache of per-object ring profiles
             (used by the vectorized kernel).
+        threshold: qualification-probability threshold ``tau``; answers with
+            probability below it are dropped, and the kernel skips full
+            integration for candidates provably below the bar.  The reported
+            probabilities of the surviving answers are identical to
+            post-filtering a full (``tau = 0``) evaluation.
+        top_k: when given, keep only the ``top_k`` most probable answers
+            (ties broken by object id), with the same early-termination and
+            post-filter-equivalence guarantees.
     """
+    if (threshold > 0.0 or top_k is not None) and not compute_probabilities:
+        raise ValueError(
+            "threshold / top_k filter on qualification probabilities and "
+            "therefore require compute_probabilities=True"
+        )
     timing = TimingBreakdown()
     io_before = io_counter.snapshot()
 
@@ -75,9 +91,17 @@ def evaluate_pnn(
     timing.add("object_retrieval", time.perf_counter() - start)
 
     start = time.perf_counter()
+    refinement: Optional[RefinementStats] = None
     if compute_probabilities and answer_objects:
+        refinement = RefinementStats()
         probabilities = compute_qualification_probabilities(
-            answer_objects, query, kernel=prob_kernel, ring_cache=ring_cache
+            answer_objects,
+            query,
+            kernel=prob_kernel,
+            ring_cache=ring_cache,
+            threshold=threshold,
+            top_k=top_k,
+            stats=refinement,
         )
     else:
         probabilities = {obj.oid: 0.0 for obj in answer_objects}
@@ -88,6 +112,10 @@ def evaluate_pnn(
         for oid in answer_ids
     ]
     answers.sort(key=lambda a: (-a.probability, a.oid))
+    if threshold > 0.0:
+        answers = [answer for answer in answers if answer.probability >= threshold]
+    if top_k is not None:
+        answers = answers[:top_k]
     return PNNResult(
         query=query,
         answers=answers,
@@ -95,4 +123,7 @@ def evaluate_pnn(
         io=io_counter.delta(io_before),
         index_io=index_io,
         timing=timing,
+        threshold=threshold,
+        top_k=top_k,
+        refinement=refinement,
     )

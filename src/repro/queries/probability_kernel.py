@@ -42,7 +42,9 @@ on live updates).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,6 +55,93 @@ from repro.uncertain.objects import UncertainObject
 #: Registry of the selectable refinement kernels (``DiagramConfig.prob_kernel``).
 PROB_KERNELS = ("vectorized", "scalar")
 DEFAULT_PROB_KERNEL = "vectorized"
+
+
+@dataclass
+class RefinementStats:
+    """Work counters of one refinement (qualification-probability) pass.
+
+    The threshold / top-k early-termination machinery reports how much full
+    integration it actually performed, so EXPLAIN output and the benchmark
+    gates can measure refinement work independently of wall-clock jitter.
+
+    Attributes:
+        candidates: answer objects that entered the refinement step.
+        integrated: candidates whose probability was computed by full
+            (reference-arithmetic) integration.
+        pruned_threshold: candidates short-circuited because their
+            probability upper bound fell below the threshold bar.
+        pruned_topk: candidates short-circuited because their upper bound
+            fell below the running k-th best probability.
+        trivial: candidates resolved without any integration at all --
+            single-candidate queries, dominance short-circuits (one object's
+            maximum distance under every other's minimum), and candidates
+            the vectorized kernel drops up front because their cdf vanishes
+            on the whole integration range.
+
+    Every candidate lands in exactly one bucket, so
+    ``integrated + pruned + trivial == candidates``.
+    """
+
+    candidates: int = 0
+    integrated: int = 0
+    pruned_threshold: int = 0
+    pruned_topk: int = 0
+    trivial: int = 0
+
+    @property
+    def pruned(self) -> int:
+        """Candidates that skipped full integration via the prune bar."""
+        return self.pruned_threshold + self.pruned_topk
+
+    def merge(self, other: "RefinementStats") -> None:
+        """Accumulate another pass's counters into this one."""
+        self.candidates += other.candidates
+        self.integrated += other.integrated
+        self.pruned_threshold += other.pruned_threshold
+        self.pruned_topk += other.pruned_topk
+        self.trivial += other.trivial
+
+
+class _PruneBar:
+    """The running lower bar a candidate's raw upper bound must clear.
+
+    Combines the two early-termination rules of threshold / top-k PNN on the
+    *unnormalised* (raw-integral) scale, where both are sound: a candidate
+    whose raw upper bound is strictly below ``threshold * T_lb`` (``T_lb`` a
+    running lower bound of the final normalisation total) ends up strictly
+    below the threshold after normalisation, and one strictly below the
+    running k-th best raw value can never reach the top k.  Candidates that
+    fail the bar still get their (tiny) raw value via a cheap
+    column-product path, so the normalisation total -- and hence every
+    surviving probability -- matches the full computation to within
+    floating-point reassociation error.
+    """
+
+    def __init__(self, threshold: float, top_k: Optional[int]):
+        self.threshold = threshold
+        self.top_k = top_k
+        self.total_lower_bound = 0.0
+        self._best: List[float] = []  # min-heap of the top_k best raws
+
+    def classify(self, upper_bound: float) -> Optional[str]:
+        """``None`` to integrate fully, else which rule prunes the candidate."""
+        if self.threshold > 0.0 and self.total_lower_bound > 0.0:
+            if upper_bound < self.threshold * self.total_lower_bound:
+                return "threshold"
+        if self.top_k is not None and len(self._best) >= self.top_k:
+            if upper_bound < self._best[0]:
+                return "topk"
+        return None
+
+    def observe(self, raw: float) -> None:
+        """Record a computed raw value (any candidate, full or cheap path)."""
+        self.total_lower_bound = max(self.total_lower_bound, raw)
+        if self.top_k is not None:
+            if len(self._best) < self.top_k:
+                heapq.heappush(self._best, raw)
+            elif raw > self._best[0]:
+                heapq.heapreplace(self._best, raw)
 
 
 class RingCache:
@@ -122,6 +211,9 @@ def qualification_probabilities_vectorized(
     steps: int = 120,
     rings: int = 48,
     ring_cache: Optional[RingCache] = None,
+    threshold: float = 0.0,
+    top_k: Optional[int] = None,
+    stats: Optional[RefinementStats] = None,
 ) -> Dict[int, float]:
     """Array-native evaluation of all candidates' qualification probabilities.
 
@@ -138,10 +230,23 @@ def qualification_probabilities_vectorized(
         steps: number of integration steps over the relevant distance range.
         rings: radial resolution of each distance distribution.
         ring_cache: optional cross-query cache of ring profiles.
+        threshold / top_k: early-termination hints for threshold / top-k PNN.
+            Candidates whose probability upper bound (their cdf mass inside
+            the integration range) provably falls below the threshold or the
+            running k-th probability skip full integration; their raw value
+            comes from the shared column products instead, so every reported
+            probability still equals the full computation's to within float
+            reassociation error.  ``threshold=0.0`` with ``top_k=None`` (the
+            default) runs the original full-matrix path unchanged.
+        stats: optional work counters, updated in place.
     """
     if not objects:
         return {}
+    if stats is not None:
+        stats.candidates = len(objects)
     if len(objects) == 1:
+        if stats is not None:
+            stats.trivial = 1
         return {objects[0].oid: 1.0}
 
     lowers_all = np.array([obj.min_distance(query) for obj in objects])
@@ -153,6 +258,8 @@ def qualification_probabilities_vectorized(
     if upper <= lower:
         # A single object certainly dominates; it is the one whose maximum
         # distance equals the bound (oid tie-break for determinism).
+        if stats is not None:
+            stats.trivial = len(objects)
         winner = min(objects, key=lambda o: (o.max_distance(query), o.oid))
         return {obj.oid: (1.0 if obj.oid == winner.oid else 0.0) for obj in objects}
 
@@ -164,6 +271,8 @@ def qualification_probabilities_vectorized(
         range(len(objects)), key=lambda i: (lowers_all[i], objects[i].oid)
     )
     kept = [i for i in order if lowers_all[i] <= upper]
+    if stats is not None:
+        stats.trivial = len(objects) - len(kept)
 
     profiles = [
         ring_cache.get(objects[i], rings)
@@ -197,11 +306,31 @@ def qualification_probabilities_vectorized(
     log_survivals = np.log(np.where(zero, 1.0, mid_survivals))
     column_log = log_survivals.sum(axis=0)                         # (S,)
     zero_count = zero.sum(axis=0)                                  # (S,)
-    others_zero = zero_count[None, :] - zero
-    exclusive = np.where(
-        others_zero > 0, 0.0, np.exp(column_log[None, :] - log_survivals)
-    )
-    raw = np.sum(np.where(cell_masses > 0.0, cell_masses, 0.0) * exclusive, axis=1)
+    if threshold <= 0.0 and top_k is None:
+        others_zero = zero_count[None, :] - zero
+        exclusive = np.where(
+            others_zero > 0, 0.0, np.exp(column_log[None, :] - log_survivals)
+        )
+        raw = np.sum(
+            np.where(cell_masses > 0.0, cell_masses, 0.0) * exclusive, axis=1
+        )
+        if stats is not None:
+            stats.integrated = len(kept)
+    else:
+        raw = _raw_with_early_termination(
+            objects,
+            kept,
+            cdfs,
+            mid_survivals,
+            cell_masses,
+            zero,
+            log_survivals,
+            column_log,
+            zero_count,
+            threshold,
+            top_k,
+            stats,
+        )
 
     total = float(raw.sum())
     if total <= 0.0:
@@ -213,6 +342,72 @@ def qualification_probabilities_vectorized(
     return result
 
 
+def _raw_with_early_termination(
+    objects: Sequence[UncertainObject],
+    kept: Sequence[int],
+    cdfs: np.ndarray,
+    mid_survivals: np.ndarray,
+    cell_masses: np.ndarray,
+    zero: np.ndarray,
+    log_survivals: np.ndarray,
+    column_log: np.ndarray,
+    zero_count: np.ndarray,
+    threshold: float,
+    top_k: Optional[int],
+    stats: Optional[RefinementStats],
+) -> np.ndarray:
+    """Row-by-row raw integrals with threshold / top-k early termination.
+
+    Rows are visited in decreasing order of their raw upper bound (the cdf
+    mass inside the integration range, ``cdfs[:, -1]``).  A row that clears
+    the :class:`_PruneBar` is integrated with exactly the arithmetic of the
+    full-matrix path (``exp(column_log - log_survival)``), so its raw value
+    is bit-identical; a pruned row's raw is recovered from the shared column
+    product by one division per step -- still exact up to float
+    reassociation, but without the per-row ``exp`` of full integration.
+    Pruned rows always have survival bounded away from zero (their cdf never
+    reaches the bar, which never exceeds one), so the division is safe.
+    """
+    upper_bounds = cdfs[:, -1]
+    order = sorted(
+        range(len(kept)), key=lambda r: (-upper_bounds[r], objects[kept[r]].oid)
+    )
+    bar = _PruneBar(threshold, top_k)
+    raw = np.zeros(len(kept))
+    exp_columns: Optional[np.ndarray] = None
+    for row in order:
+        pruned_by = bar.classify(float(upper_bounds[row]))
+        if pruned_by is None:
+            others_zero = zero_count - zero[row]
+            exclusive = np.where(
+                others_zero > 0, 0.0, np.exp(column_log - log_survivals[row])
+            )
+            if stats is not None:
+                stats.integrated += 1
+        else:
+            if exp_columns is None:
+                exp_columns = np.exp(column_log)
+            others_zero = zero_count - zero[row]
+            exclusive = np.where(
+                others_zero > 0,
+                0.0,
+                exp_columns / np.where(zero[row], 1.0, mid_survivals[row]),
+            )
+            if stats is not None:
+                if pruned_by == "threshold":
+                    stats.pruned_threshold += 1
+                else:
+                    stats.pruned_topk += 1
+        value = float(
+            np.sum(
+                np.where(cell_masses[row] > 0.0, cell_masses[row], 0.0) * exclusive
+            )
+        )
+        raw[row] = value
+        bar.observe(value)
+    return raw
+
+
 def compute_qualification_probabilities(
     objects: Sequence[UncertainObject],
     query: Point,
@@ -220,20 +415,40 @@ def compute_qualification_probabilities(
     steps: int = 120,
     rings: int = 48,
     ring_cache: Optional[RingCache] = None,
+    threshold: float = 0.0,
+    top_k: Optional[int] = None,
+    stats: Optional[RefinementStats] = None,
 ) -> Dict[int, float]:
     """Dispatch to the selected refinement kernel.
 
     ``"vectorized"`` (the default) runs the array-native kernel above;
     ``"scalar"`` runs the pure-Python reference implementation.  Both
-    produce the same probabilities to well within ``1e-9`` relative error.
+    produce the same probabilities to well within ``1e-9`` relative error,
+    and both honour the ``threshold`` / ``top_k`` early-termination hints
+    (see :func:`qualification_probabilities_vectorized`).
     """
     if kernel == "scalar":
         from repro.queries.probability import qualification_probabilities
 
-        return qualification_probabilities(objects, query, steps=steps, rings=rings)
+        return qualification_probabilities(
+            objects,
+            query,
+            steps=steps,
+            rings=rings,
+            threshold=threshold,
+            top_k=top_k,
+            stats=stats,
+        )
     if kernel == "vectorized":
         return qualification_probabilities_vectorized(
-            objects, query, steps=steps, rings=rings, ring_cache=ring_cache
+            objects,
+            query,
+            steps=steps,
+            rings=rings,
+            ring_cache=ring_cache,
+            threshold=threshold,
+            top_k=top_k,
+            stats=stats,
         )
     raise ValueError(
         f"unknown probability kernel: {kernel!r} (known: {', '.join(PROB_KERNELS)})"

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.geometry.point import Point
+from repro.queries.probability_kernel import RefinementStats
 from repro.storage.stats import IOStats, TimingBreakdown
 
 
@@ -38,6 +39,13 @@ class PNNResult:
             in Figure 6(b).
         timing: wall-clock breakdown (index traversal, object retrieval,
             probability computation) -- the components of Figure 6(c).
+        threshold: the qualification-probability threshold ``tau`` the
+            answers were filtered with (``0.0`` = unfiltered).
+        top_k: the top-k cut applied to the answers (``None`` = all).
+        refinement: work counters of the probability (refinement) step --
+            how many candidates were fully integrated vs short-circuited by
+            the threshold / top-k prune bar.  ``None`` when probabilities
+            were not computed.
     """
 
     query: Point
@@ -46,6 +54,9 @@ class PNNResult:
     io: Optional[IOStats] = None
     index_io: Optional[IOStats] = None
     timing: Optional[TimingBreakdown] = None
+    threshold: float = 0.0
+    top_k: Optional[int] = None
+    refinement: Optional[RefinementStats] = None
 
     @property
     def answer_ids(self) -> List[int]:

@@ -113,8 +113,18 @@ class RTreePNN:
     # ------------------------------------------------------------------ #
     # full query
     # ------------------------------------------------------------------ #
-    def query(self, query: Point, compute_probabilities: bool = True) -> PNNResult:
-        """Evaluate a PNN query and return answers with probabilities."""
+    def query(
+        self,
+        query: Point,
+        compute_probabilities: bool = True,
+        threshold: float = 0.0,
+        top_k: "int | None" = None,
+    ) -> PNNResult:
+        """Evaluate a PNN query and return answers with probabilities.
+
+        ``threshold`` / ``top_k`` push early termination into the refinement
+        step (probability-threshold and top-k PNN).
+        """
         return evaluate_pnn(
             query,
             self.retrieve_candidates,
@@ -123,6 +133,8 @@ class RTreePNN:
             compute_probabilities=compute_probabilities,
             prob_kernel=self.prob_kernel,
             ring_cache=self.ring_cache,
+            threshold=threshold,
+            top_k=top_k,
         )
 
     def _fetch_objects(self, oids: List[int]) -> List[UncertainObject]:

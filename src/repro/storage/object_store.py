@@ -101,6 +101,11 @@ class ObjectStore:
     def __len__(self) -> int:
         return len(self._page_of_object)
 
+    @property
+    def page_count(self) -> int:
+        """Distinct pages currently holding objects (cost-model input)."""
+        return len(set(self._page_of_object.values()))
+
     # ------------------------------------------------------------------ #
     # persistence (diagram snapshots)
     # ------------------------------------------------------------------ #

@@ -1,0 +1,344 @@
+"""The cost-based planner, execute/explain entry points, and batch streaming."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import (
+    DiagramConfig,
+    Point,
+    QueryEngine,
+    Rect,
+    generate_query_points,
+    generate_uniform_objects,
+)
+from repro.core.pattern import PartitionQueryResult
+from repro.engine.engine import BatchStream
+from repro.engine.planner import STRATEGY_BATCH, STRATEGY_RTREE
+from repro.queries.knn import KNNResult
+from repro.queries.result import PNNResult
+from repro.queries.spec import BatchQuery, KNNQuery, PNNQuery, RangeQuery
+
+BACKENDS = ("ic", "icr", "basic", "rtree", "grid")
+CONFIG = DiagramConfig(page_capacity=16, seed_knn=60, rtree_fanout=16,
+                       grid_resolution=16)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    objects, domain = generate_uniform_objects(150, seed=5, diameter=400.0)
+    queries = generate_query_points(6, domain, seed=77)
+    return objects, domain, queries
+
+
+@pytest.fixture(scope="module")
+def engines(dataset):
+    objects, domain, _ = dataset
+    return {
+        name: QueryEngine.build(objects, domain, CONFIG.replace(backend=name))
+        for name in BACKENDS
+    }
+
+
+class TestExecuteMatchesLegacy:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_execute_pnn_is_answer_and_probability_identical(
+        self, engines, dataset, backend
+    ):
+        _, _, queries = dataset
+        engine = engines[backend]
+        for q in queries:
+            new = engine.execute(PNNQuery(q))
+            with pytest.warns(DeprecationWarning, match="pnn"):
+                legacy = engine.pnn(q)
+            assert new.answer_ids == legacy.answer_ids
+            for oid, p in legacy.probabilities.items():
+                assert new.probabilities[oid] == pytest.approx(p, abs=1e-12)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_execute_without_probabilities(self, engines, dataset, backend):
+        _, _, queries = dataset
+        engine = engines[backend]
+        result = engine.execute(PNNQuery(queries[0], compute_probabilities=False))
+        assert isinstance(result, PNNResult)
+        assert all(a.probability == 0.0 for a in result.answers)
+
+    def test_legacy_knn_and_execute_agree(self, engines, dataset):
+        _, _, queries = dataset
+        engine = engines["ic"]
+        with pytest.warns(DeprecationWarning, match="knn"):
+            legacy = engine.knn(queries[0], 3, worlds=500)
+        new = engine.execute(KNNQuery(queries[0], 3, worlds=500))
+        assert isinstance(new, KNNResult)
+        assert new.answer_ids == legacy.answer_ids
+
+    def test_knn_seed_is_deterministic(self, engines, dataset):
+        _, _, queries = dataset
+        engine = engines["ic"]
+        a = engine.execute(KNNQuery(queries[0], 2, worlds=400, seed=42))
+        b = engine.execute(KNNQuery(queries[0], 2, worlds=400, seed=42))
+        assert [(x.oid, x.probability) for x in a.answers] == (
+            [(x.oid, x.probability) for x in b.answers]
+        )
+
+    def test_knn_rng_override(self, engines, dataset):
+        _, _, queries = dataset
+        engine = engines["ic"]
+        result = engine.execute(
+            KNNQuery(queries[0], 2, worlds=400), rng=np.random.default_rng(7)
+        )
+        assert isinstance(result, KNNResult)
+
+    def test_range_query_matches_legacy_partitions(self, engines):
+        engine = engines["ic"]
+        region = Rect(2000.0, 2000.0, 6000.0, 6000.0)
+        new = engine.execute(RangeQuery(region))
+        with pytest.warns(DeprecationWarning, match="partitions_in"):
+            legacy = engine.partitions_in(region)
+        assert isinstance(new, PartitionQueryResult)
+        assert len(new.partitions) == len(legacy.partitions)
+
+    def test_pnn_rtree_wrapper_matches_rtree_backend(self, engines, dataset):
+        _, _, queries = dataset
+        engine = engines["ic"]
+        for q in queries[:3]:
+            with pytest.warns(DeprecationWarning, match="pnn_rtree"):
+                via_wrapper = engine.pnn_rtree(q)
+            baseline = engines["rtree"].execute(PNNQuery(q))
+            assert sorted(via_wrapper.answer_ids) == sorted(baseline.answer_ids)
+            for oid, p in baseline.probabilities.items():
+                assert via_wrapper.probabilities[oid] == pytest.approx(p, abs=1e-12)
+
+    def test_batch_wrapper_warns_and_matches_stream(self, engines, dataset):
+        _, _, queries = dataset
+        engine = engines["ic"]
+        with pytest.warns(DeprecationWarning, match="batch"):
+            legacy = engine.batch(queries, compute_probabilities=False)
+        stream = engine.execute(
+            BatchQuery.of(queries, compute_probabilities=False)
+        )
+        streamed = [result for _, result, _ in stream]
+        assert [r.answer_ids for r in streamed] == [
+            r.answer_ids for r in legacy.results
+        ]
+
+    def test_unknown_descriptor_rejected(self, engines):
+        with pytest.raises(TypeError, match="descriptor"):
+            engines["ic"].execute("not a query")
+
+
+class TestPlans:
+    def test_pnn_plan_fields(self, engines, dataset):
+        _, _, queries = dataset
+        plan = engines["ic"].planner.plan(PNNQuery(queries[0], threshold=0.2))
+        assert plan.kind == "pnn"
+        assert plan.backend == "ic"
+        assert plan.strategy in ("uv-point-lookup", STRATEGY_RTREE)
+        assert plan.prob_kernel == "vectorized"
+        assert plan.threshold == 0.2
+        assert plan.estimated_page_reads > 0
+        assert plan.estimated_candidates > 0
+        assert plan.notes
+        assert "tau=0.2" in plan.describe()
+
+    def test_rtree_backend_plans_its_own_strategy(self, engines, dataset):
+        _, _, queries = dataset
+        plan = engines["rtree"].planner.plan(PNNQuery(queries[0]))
+        assert plan.strategy == STRATEGY_RTREE
+
+    def test_compute_probabilities_false_plans_no_kernel(self, engines, dataset):
+        _, _, queries = dataset
+        plan = engines["ic"].planner.plan(
+            PNNQuery(queries[0], compute_probabilities=False)
+        )
+        assert plan.prob_kernel == "none"
+
+    def test_batch_plan(self, engines, dataset):
+        _, _, queries = dataset
+        plan = engines["ic"].planner.plan(BatchQuery.of(queries))
+        assert plan.kind == "batch"
+        assert plan.strategy == STRATEGY_BATCH
+        assert plan.estimated_page_reads > 0
+
+    def test_statistics_are_cached_until_structure_changes(self, dataset):
+        objects, domain, _ = dataset
+        engine = QueryEngine.build(objects, domain, CONFIG.replace(backend="grid"))
+        calls = {"n": 0}
+        original = engine.backend.statistics
+
+        def counting():
+            calls["n"] += 1
+            return original()
+
+        engine.backend.statistics = counting
+        q = PNNQuery(Point(5000.0, 5000.0))
+        engine.planner.plan(q)
+        engine.planner.plan(q)
+        assert calls["n"] == 1
+        # a live update bumps the structure version and invalidates the cache
+        engine.delete(objects[0].oid)
+        engine.planner.plan(q)
+        assert calls["n"] == 2
+
+    def test_plan_rejects_unservable_forced_strategy(self, engines, dataset):
+        _, _, queries = dataset
+        with pytest.raises(ValueError, match="cannot serve"):
+            engines["ic"].planner.plan(
+                PNNQuery(queries[0]), force_strategy="no-such-strategy"
+            )
+
+
+class TestExplain:
+    def test_explain_reports_estimates_and_actuals(self, engines, dataset):
+        _, _, queries = dataset
+        report = engines["ic"].explain(PNNQuery(queries[0]))
+        assert report.actual_page_reads > 0
+        assert report.estimated_page_reads > 0
+        # the smoke-level accuracy contract: estimates within 2x of actuals
+        assert 0.5 <= report.estimate_ratio <= 2.0
+        assert isinstance(report.result, PNNResult)
+        assert "actual page reads" in report.describe()
+        assert {"index", "object_retrieval", "probability"} <= set(
+            report.timings.buckets
+        )
+
+    def test_explain_batch_materialises_triples(self, engines, dataset):
+        _, _, queries = dataset
+        report = engines["ic"].explain(BatchQuery.of(queries[:3]))
+        assert isinstance(report.result, list)
+        assert len(report.result) == 3
+        for query, result, plan in report.result:
+            assert isinstance(query, PNNQuery)
+            assert isinstance(result, PNNResult)
+            assert plan.kind == "pnn"
+
+    def test_explain_range_query(self, engines):
+        report = engines["grid"].explain(
+            RangeQuery(Rect(1000.0, 1000.0, 4000.0, 4000.0))
+        )
+        assert isinstance(report.result, PartitionQueryResult)
+        assert report.plan.kind == "range"
+        assert "partitions" in report.timings.buckets
+
+
+class TestBatchStreaming:
+    def test_stream_yields_triples_lazily(self, engines, dataset):
+        _, _, queries = dataset
+        engine = engines["ic"]
+        stream = engine.execute(BatchQuery.of(queries))
+        assert isinstance(stream, BatchStream)
+        first = next(stream)
+        assert first[0].point == queries[0]
+        assert isinstance(first[1], PNNResult)
+        remaining = list(stream)
+        assert len(remaining) == len(queries) - 1
+
+    def test_stream_shares_read_cache(self, engines, dataset):
+        _, _, queries = dataset
+        engine = engines["ic"]
+        # repeat the same point: every re-visit must hit the shared cache
+        repeated = [queries[0]] * 4
+        stream = engine.execute(BatchQuery.of(repeated))
+        results = [r for _, r, _ in stream]
+        assert stream.cache.hits >= 3
+        assert all(
+            r.answer_ids == results[0].answer_ids for r in results
+        )
+
+    def test_stream_answers_match_sequential_execution(self, engines, dataset):
+        _, _, queries = dataset
+        engine = engines["grid"]
+        sequential = [engine.execute(PNNQuery(q)) for q in queries]
+        streamed = [r for _, r, _ in engine.execute(BatchQuery.of(queries))]
+        for a, b in zip(sequential, streamed):
+            assert a.answer_ids == b.answer_ids
+            assert a.probabilities == b.probabilities
+
+    def test_stream_with_mixed_shapes_plans_per_shape(self, engines, dataset):
+        _, _, queries = dataset
+        engine = engines["ic"]
+        batch = BatchQuery(
+            queries=(
+                PNNQuery(queries[0]),
+                PNNQuery(queries[1], threshold=0.3),
+                PNNQuery(queries[2], compute_probabilities=False),
+            )
+        )
+        triples = list(engine.execute(batch))
+        assert triples[0][2].threshold == 0.0
+        assert triples[1][2].threshold == 0.3
+        assert triples[2][2].prob_kernel == "none"
+
+    def test_empty_batch_streams_nothing(self, engines):
+        assert list(engines["ic"].execute(BatchQuery())) == []
+
+    def test_stream_refuses_to_continue_after_live_update(self, dataset):
+        # The shared granule cache cannot see structural changes; a stream
+        # interleaved with insert/delete must fail loudly, never serve
+        # stale leaf lists.
+        objects, domain, queries = dataset
+        engine = QueryEngine.build(objects, domain, CONFIG.replace(backend="ic"))
+        stream = engine.execute(BatchQuery.of(queries))
+        next(stream)
+        engine.delete(objects[0].oid)
+        with pytest.raises(RuntimeError, match="structurally modified"):
+            next(stream)
+
+
+class TestSnapshotPlanning:
+    def test_plans_respect_loaded_config(self, dataset, tmp_path):
+        objects, domain, queries = dataset
+        config = CONFIG.replace(backend="ic", prob_kernel="scalar")
+        engine = QueryEngine.build(objects, domain, config)
+        reference = engine.execute(PNNQuery(queries[0]))
+        path = str(tmp_path / "planner.snap")
+        engine.save(path)
+
+        reopened = QueryEngine.open(path)
+        plan = reopened.planner.plan(PNNQuery(queries[0]))
+        assert plan.backend == "ic"
+        assert plan.prob_kernel == "scalar"
+        report = reopened.explain(PNNQuery(queries[0]))
+        assert report.plan.prob_kernel == "scalar"
+        assert report.result.answer_ids == reference.answer_ids
+        for oid, p in reference.probabilities.items():
+            assert report.result.probabilities[oid] == pytest.approx(p, abs=1e-12)
+
+    def test_threshold_queries_on_reopened_engine(self, dataset, tmp_path):
+        objects, domain, queries = dataset
+        engine = QueryEngine.build(objects, domain, CONFIG.replace(backend="ic"))
+        path = str(tmp_path / "tau.snap")
+        engine.save(path)
+        reopened = QueryEngine.open(path)
+        full = reopened.execute(PNNQuery(queries[0]))
+        filtered = reopened.execute(PNNQuery(queries[0], threshold=0.2))
+        expected = [a for a in full.answers if a.probability >= 0.2]
+        assert [(a.oid, a.probability) for a in filtered.answers] == pytest.approx(
+            [(a.oid, a.probability) for a in expected]
+        )
+
+
+class TestDeprecations:
+    def test_every_legacy_method_warns(self, engines, dataset):
+        _, _, queries = dataset
+        engine = engines["ic"]
+        with pytest.warns(DeprecationWarning):
+            engine.pnn(queries[0])
+        with pytest.warns(DeprecationWarning):
+            engine.pnn_rtree(queries[0])
+        with pytest.warns(DeprecationWarning):
+            engine.knn(queries[0], 2, worlds=200)
+        with pytest.warns(DeprecationWarning):
+            engine.batch(queries[:2])
+        with pytest.warns(DeprecationWarning):
+            engine.partitions_in(Rect(0.0, 0.0, 1000.0, 1000.0))
+
+    def test_execute_and_explain_do_not_warn(self, engines, dataset):
+        _, _, queries = dataset
+        engine = engines["ic"]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine.execute(PNNQuery(queries[0]))
+            engine.explain(PNNQuery(queries[0]))
+            list(engine.execute(BatchQuery.of(queries[:2])))

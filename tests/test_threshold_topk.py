@@ -1,0 +1,249 @@
+"""Threshold (tau) and top-k PNN correctness.
+
+The contract: a tau / top-k query's answers must equal post-filtering the
+full refinement output -- same answer ids, same probabilities -- on every
+backend and with both kernels, while the refinement step provably does less
+full integration whenever the filters actually bite.
+"""
+
+import pytest
+
+from repro import (
+    DiagramConfig,
+    QueryEngine,
+    generate_query_points,
+    generate_uniform_objects,
+)
+from repro.queries.probability import qualification_probabilities
+from repro.queries.probability_kernel import (
+    RefinementStats,
+    RingCache,
+    qualification_probabilities_vectorized,
+)
+from repro.queries.spec import PNNQuery
+
+BACKENDS = ("ic", "icr", "basic", "rtree", "grid")
+KERNELS = ("vectorized", "scalar")
+# A dense dataset so answer sets carry several low-probability candidates.
+CONFIG = DiagramConfig(page_capacity=16, seed_knn=60, rtree_fanout=16,
+                       grid_resolution=16)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    objects, domain = generate_uniform_objects(150, seed=9, diameter=900.0)
+    queries = generate_query_points(5, domain, seed=123)
+    return objects, domain, queries
+
+
+@pytest.fixture(scope="module")
+def engines(dataset):
+    objects, domain, _ = dataset
+    return {
+        name: QueryEngine.build(objects, domain, CONFIG.replace(backend=name))
+        for name in BACKENDS
+    }
+
+
+def post_filter(full, threshold=0.0, top_k=None):
+    """The specification: filter the full result's answers after the fact."""
+    answers = [a for a in full.answers if a.probability >= threshold]
+    if top_k is not None:
+        answers = answers[:top_k]
+    return answers
+
+
+def assert_answers_match(got, expected):
+    assert [a.oid for a in got] == [a.oid for a in expected]
+    for g, e in zip(got, expected):
+        assert g.probability == pytest.approx(e.probability, abs=1e-12)
+
+
+class TestThresholdEqualsPostFilter:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("threshold", [0.0, 0.1, 0.4])
+    def test_threshold_on_all_backends_and_kernels(
+        self, engines, dataset, backend, kernel, threshold
+    ):
+        _, _, queries = dataset
+        engine = engines[backend]
+        engine.config = engine.config.replace(prob_kernel=kernel)
+        try:
+            for q in queries:
+                full = engine.execute(PNNQuery(q))
+                filtered = engine.execute(PNNQuery(q, threshold=threshold))
+                assert_answers_match(
+                    filtered.answers, post_filter(full, threshold=threshold)
+                )
+        finally:
+            engine.config = engine.config.replace(prob_kernel="vectorized")
+
+    def test_tau_zero_is_identical_to_unfiltered(self, engines, dataset):
+        _, _, queries = dataset
+        engine = engines["ic"]
+        for q in queries:
+            full = engine.execute(PNNQuery(q))
+            zero = engine.execute(PNNQuery(q, threshold=0.0))
+            assert [(a.oid, a.probability) for a in zero.answers] == (
+                [(a.oid, a.probability) for a in full.answers]
+            )
+
+    def test_tau_above_max_probability_empties_the_answer(self, engines, dataset):
+        _, _, queries = dataset
+        engine = engines["ic"]
+        for q in queries:
+            full = engine.execute(PNNQuery(q))
+            max_p = max(a.probability for a in full.answers)
+            if max_p >= 1.0:
+                continue  # a certain winner survives every threshold
+            tau = min(1.0, max_p + (1.0 - max_p) / 2.0)
+            filtered = engine.execute(PNNQuery(q, threshold=tau))
+            assert filtered.answers == []
+            assert filtered.answer_ids == []
+
+
+class TestTopKEqualsPostFilter:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("top_k", [1, 2, 3])
+    def test_top_k_on_all_backends_and_kernels(
+        self, engines, dataset, backend, kernel, top_k
+    ):
+        _, _, queries = dataset
+        engine = engines[backend]
+        engine.config = engine.config.replace(prob_kernel=kernel)
+        try:
+            for q in queries:
+                full = engine.execute(PNNQuery(q))
+                cut = engine.execute(PNNQuery(q, top_k=top_k))
+                assert_answers_match(cut.answers, post_filter(full, top_k=top_k))
+                assert len(cut.answers) <= top_k
+        finally:
+            engine.config = engine.config.replace(prob_kernel="vectorized")
+
+    def test_k_larger_than_answer_set_returns_everything(self, engines, dataset):
+        _, _, queries = dataset
+        engine = engines["ic"]
+        for q in queries:
+            full = engine.execute(PNNQuery(q))
+            cut = engine.execute(PNNQuery(q, top_k=len(full.answers) + 50))
+            assert_answers_match(cut.answers, full.answers)
+
+    def test_threshold_and_top_k_combine(self, engines, dataset):
+        _, _, queries = dataset
+        engine = engines["ic"]
+        for q in queries:
+            full = engine.execute(PNNQuery(q))
+            both = engine.execute(PNNQuery(q, threshold=0.1, top_k=2))
+            assert_answers_match(
+                both.answers, post_filter(full, threshold=0.1, top_k=2)
+            )
+
+
+class TestEarlyTermination:
+    """The filters must reduce full-integration work, not just post-filter."""
+
+    def collect_answer_sets(self, engine, queries):
+        sets = []
+        for q in queries:
+            ids = engine.execute(PNNQuery(q, compute_probabilities=False)).answer_ids
+            objects = engine.object_store.fetch_many(ids)
+            if len(objects) >= 3:
+                sets.append((q, objects))
+        return sets
+
+    def test_vectorized_kernel_prunes(self, engines, dataset):
+        _, _, queries = dataset
+        answer_sets = self.collect_answer_sets(engines["ic"], queries)
+        assert answer_sets, "workload produced no multi-candidate refinements"
+        full = RefinementStats()
+        filtered = RefinementStats()
+        cache = RingCache()
+        for q, objects in answer_sets:
+            a = RefinementStats()
+            qualification_probabilities_vectorized(objects, q, ring_cache=cache,
+                                                   stats=a)
+            full.merge(a)
+            b = RefinementStats()
+            qualification_probabilities_vectorized(
+                objects, q, ring_cache=cache, threshold=0.1, top_k=2, stats=b
+            )
+            filtered.merge(b)
+        assert full.integrated + full.trivial == full.candidates
+        assert full.pruned == 0
+        assert filtered.pruned > 0
+        assert filtered.integrated < full.integrated
+        assert filtered.candidates == full.candidates
+        # every candidate lands in exactly one bucket
+        assert (
+            filtered.integrated + filtered.pruned + filtered.trivial
+            == filtered.candidates
+        )
+
+    def test_scalar_kernel_prunes(self, engines, dataset):
+        _, _, queries = dataset
+        answer_sets = self.collect_answer_sets(engines["ic"], queries)
+        full = RefinementStats()
+        filtered = RefinementStats()
+        for q, objects in answer_sets:
+            a = RefinementStats()
+            qualification_probabilities(objects, q, stats=a)
+            full.merge(a)
+            b = RefinementStats()
+            qualification_probabilities(objects, q, threshold=0.1, stats=b)
+            filtered.merge(b)
+        assert filtered.integrated < full.integrated
+        assert filtered.pruned_threshold > 0
+
+    def test_filters_without_probabilities_rejected_everywhere(
+        self, engines, dataset
+    ):
+        """The pipeline guards the processor-level query() APIs too: a
+        threshold over never-computed probabilities would silently empty
+        every answer set."""
+        from repro.core.pnn import UVIndexPNN
+        from repro.rtree.pnn import RTreePNN
+
+        _, _, queries = dataset
+        engine = engines["ic"]
+        processor = UVIndexPNN(engine.index, object_store=engine.object_store)
+        with pytest.raises(ValueError, match="compute_probabilities"):
+            processor.query(queries[0], compute_probabilities=False, threshold=0.1)
+        baseline = RTreePNN(engine.rtree, object_store=engine.object_store)
+        with pytest.raises(ValueError, match="compute_probabilities"):
+            baseline.query(queries[0], compute_probabilities=False, top_k=2)
+
+    def test_result_carries_refinement_stats(self, engines, dataset):
+        _, _, queries = dataset
+        result = engines["ic"].execute(PNNQuery(queries[0], threshold=0.1))
+        assert result.refinement is not None
+        assert result.refinement.candidates >= len(result.answers)
+        assert result.threshold == 0.1
+
+    def test_kernel_parity_under_filters(self, engines, dataset):
+        """Scalar and vectorized kernels agree on filtered probabilities."""
+        _, _, queries = dataset
+        answer_sets = self.collect_answer_sets(engines["ic"], queries)
+        cache = RingCache()
+        for q, objects in answer_sets:
+            scalar = qualification_probabilities(objects, q, threshold=0.15)
+            vectorized = qualification_probabilities_vectorized(
+                objects, q, ring_cache=cache, threshold=0.15
+            )
+            assert scalar.keys() == vectorized.keys()
+            for oid, p in scalar.items():
+                assert vectorized[oid] == pytest.approx(p, abs=1e-9)
+
+    def test_permutation_stability_under_filters(self, engines, dataset):
+        """Filtered probabilities stay independent of candidate order."""
+        _, _, queries = dataset
+        answer_sets = self.collect_answer_sets(engines["ic"], queries)
+        q, objects = answer_sets[0]
+        forward = qualification_probabilities_vectorized(
+            objects, q, threshold=0.1
+        )
+        backward = qualification_probabilities_vectorized(
+            list(reversed(objects)), q, threshold=0.1
+        )
+        assert forward == backward
