@@ -1,0 +1,306 @@
+#!/usr/bin/env python
+"""Serving load benchmark: qps scaling across workers + a fault drill.
+
+Two phases over one saved snapshot:
+
+1. **Scaling** -- closed-loop HTTP load (a pool of keep-alive client
+   threads) against the service at 1 worker and at 4 workers.  A simulated
+   per-page read latency makes each query I/O-bound, the way the paper's
+   disk-resident workload is -- worker processes then overlap their sleeps,
+   so throughput scales with the fleet even on a single-core runner (the
+   same device the PR 3 parallel-construction benchmark uses).  The gate is
+   ``qps(4 workers) >= 2.5x qps(1 worker)``.
+
+2. **Fault drill** -- the same load against 4 workers while one worker is
+   SIGKILLed mid-run.  The router must respawn the worker and re-execute the
+   requests the crash orphaned; the gate is **zero client-visible failures
+   beyond admission control**: every request answers 200 (or 429 when the
+   in-flight budget is momentarily full), never 5xx/504.
+
+Standalone on purpose (no pytest), mirroring ``ci_smoke.py``::
+
+    python benchmarks/bench_serving.py --output-dir bench-out --check
+
+emits ``BENCH_serving.json`` with sustained qps and client-side p50/p99 per
+worker count plus the drill's counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import platform
+import signal
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.datasets.loader import load_dataset  # noqa: E402
+from repro.engine import DiagramConfig, QueryEngine  # noqa: E402
+from repro.serve import LatencyHistogram, QueryService, ServeConfig  # noqa: E402
+
+OBJECTS = 150
+CLIENTS = 8
+DURATION_S = 6.0
+READ_LATENCY_S = 0.02
+TARGET_SPEEDUP = 2.5
+WORKER_COUNTS = (1, 4)
+
+
+class LoadClient(threading.Thread):
+    """One closed-loop client: request, record, repeat until the deadline."""
+
+    def __init__(self, host: str, port: int, bodies, stop_at: float,
+                 histogram: LatencyHistogram):
+        super().__init__(daemon=True)
+        self.host, self.port = host, port
+        self.bodies = bodies
+        self.stop_at = stop_at
+        self.histogram = histogram
+        self.statuses: dict = {}
+        self.transport_errors = 0
+
+    def run(self) -> None:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=30)
+        index = 0
+        while time.monotonic() < self.stop_at:
+            body = self.bodies[index % len(self.bodies)]
+            index += 1
+            start = time.perf_counter()
+            try:
+                connection.request("POST", "/query", body=body,
+                                   headers={"Content-Type": "application/json"})
+                response = connection.getresponse()
+                response.read()
+                status = response.status
+            except (http.client.HTTPException, OSError):
+                # The supervisor owns the listening socket, so a worker crash
+                # never severs connections; count (and retry on) anything
+                # transport-level as a hard failure.
+                self.transport_errors += 1
+                connection.close()
+                connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=30
+                )
+                continue
+            self.histogram.record(time.perf_counter() - start)
+            self.statuses[status] = self.statuses.get(status, 0) + 1
+        connection.close()
+
+
+def run_load(service: QueryService, bodies, duration: float,
+             clients: int = CLIENTS, mid_run=None):
+    """Drive closed-loop load; returns (seconds, histogram, statuses, errors)."""
+    histogram = LatencyHistogram()
+    stop_at = time.monotonic() + duration
+    pool = [
+        LoadClient(service.config.host, service.port, bodies, stop_at, histogram)
+        for _ in range(clients)
+    ]
+    start = time.monotonic()
+    for client in pool:
+        client.start()
+    if mid_run is not None:
+        mid_run()
+    for client in pool:
+        client.join()
+    elapsed = time.monotonic() - start
+    statuses: dict = {}
+    transport_errors = 0
+    for client in pool:
+        transport_errors += client.transport_errors
+        for status, count in client.statuses.items():
+            statuses[status] = statuses.get(status, 0) + count
+    return elapsed, histogram, statuses, transport_errors
+
+
+def build_snapshot(args) -> str:
+    bundle = load_dataset("uniform", args.objects, diameter=300.0,
+                          query_count=32, seed=args.seed)
+    engine = QueryEngine.build(
+        bundle.objects, bundle.domain,
+        DiagramConfig(backend="ic", page_capacity=32, rtree_fanout=16, seed_knn=60),
+    )
+    path = os.path.join(tempfile.mkdtemp(prefix="bench-serving-"), "uv.snap")
+    engine.save(path)
+    return path, bundle
+
+
+def query_bodies(bundle) -> list:
+    return [
+        json.dumps({"type": "pnn", "point": [point.x, point.y],
+                    "threshold": 0.05})
+        for point in bundle.queries
+    ]
+
+
+def measure_scaling(snapshot: str, bodies, args) -> dict:
+    series = {}
+    for workers in WORKER_COUNTS:
+        config = ServeConfig(
+            snapshot_path=snapshot, workers=workers, port=0,
+            read_latency=args.read_latency, queue_depth=max(8, args.clients),
+        )
+        with QueryService(config) as service:
+            # Warm up the fleet (first request per worker pays numpy set-up).
+            run_load(service, bodies, duration=0.5,
+                     clients=min(4, args.clients))
+            elapsed, histogram, statuses, errors = run_load(
+                service, bodies, duration=args.duration, clients=args.clients
+            )
+            stats = service.stats()
+        completed = statuses.get(200, 0)
+        latency = histogram.to_dict()
+        series[str(workers)] = {
+            "workers": workers,
+            "seconds": elapsed,
+            "completed": completed,
+            "qps": completed / elapsed if elapsed else 0.0,
+            "p50_ms": latency["p50_ms"],
+            "p99_ms": latency["p99_ms"],
+            "mean_ms": latency["mean_ms"],
+            "statuses": {str(k): v for k, v in sorted(statuses.items())},
+            "transport_errors": errors,
+            "server_counters": stats["router"]["counters"],
+        }
+        print(f"{workers} worker(s): {series[str(workers)]['qps']:.1f} qps, "
+              f"p50 {latency['p50_ms']:.1f} ms, p99 {latency['p99_ms']:.1f} ms "
+              f"({completed} requests in {elapsed:.1f}s)")
+    return series
+
+
+def fault_drill(snapshot: str, bodies, args) -> dict:
+    """Kill one of four workers under load; the client must never notice."""
+    config = ServeConfig(
+        snapshot_path=snapshot, workers=4, port=0,
+        read_latency=args.read_latency, queue_depth=max(8, args.clients),
+        respawn_delay=0.1,
+    )
+    with QueryService(config) as service:
+        router = service.router
+        victim_box = {}
+
+        def kill_one_worker():
+            time.sleep(args.duration / 3.0)
+            victim = router.worker_pids()[0]
+            victim_box["pid"] = victim
+            os.kill(victim, signal.SIGKILL)
+
+        elapsed, histogram, statuses, errors = run_load(
+            service, bodies, duration=args.duration, clients=args.clients,
+            mid_run=kill_one_worker,
+        )
+        # Give the monitor time to finish the respawn before reading stats.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline and router.workers_alive() < 4:
+            time.sleep(0.05)
+        counters = dict(router.counters)
+        workers_alive = router.workers_alive()
+        pids = router.worker_pids()
+
+    completed = statuses.get(200, 0)
+    rejected = statuses.get(429, 0)
+    hard_failures = errors + sum(
+        count for status, count in statuses.items() if status not in (200, 429)
+    )
+    latency = histogram.to_dict()
+    drill = {
+        "workers": 4,
+        "killed_pid": victim_box.get("pid"),
+        "seconds": elapsed,
+        "completed": completed,
+        "qps": completed / elapsed if elapsed else 0.0,
+        "p50_ms": latency["p50_ms"],
+        "p99_ms": latency["p99_ms"],
+        "rejected_429": rejected,
+        "hard_failures": hard_failures,
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "respawns": counters["respawns"],
+        "retried_after_crash": counters["retried_after_crash"],
+        "workers_alive_after": workers_alive,
+        "respawned_pid": pids[0],
+    }
+    print(f"fault drill: killed pid {drill['killed_pid']}, "
+          f"{drill['respawns']} respawn(s), "
+          f"{drill['retried_after_crash']} request(s) retried, "
+          f"{completed} served, {rejected} x 429, "
+          f"{hard_failures} hard failure(s)")
+    return drill
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--objects", type=int, default=OBJECTS)
+    parser.add_argument("--clients", type=int, default=CLIENTS)
+    parser.add_argument("--duration", type=float, default=DURATION_S,
+                        help="seconds of sustained load per series point")
+    parser.add_argument("--read-latency", type=float, default=READ_LATENCY_S,
+                        help="simulated seconds per counted page read in the "
+                             "workers (makes the workload I/O-bound)")
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--output-dir", default="bench-out", type=Path)
+    parser.add_argument("--target-speedup", type=float, default=TARGET_SPEEDUP)
+    parser.add_argument("--check", action="store_true",
+                        help="fail on speedup < target or drill failures")
+    parser.add_argument("--skip-drill", action="store_true",
+                        help="scaling series only (quick local runs)")
+    args = parser.parse_args(argv)
+
+    snapshot, bundle = build_snapshot(args)
+    bodies = query_bodies(bundle)
+    print(f"snapshot: {snapshot} ({args.objects} objects, "
+          f"read latency {args.read_latency * 1000:.0f} ms/page)")
+
+    series = measure_scaling(snapshot, bodies, args)
+    base = series[str(WORKER_COUNTS[0])]["qps"]
+    peak = series[str(WORKER_COUNTS[-1])]["qps"]
+    speedup = peak / base if base else 0.0
+    print(f"scaling: {speedup:.2f}x qps at {WORKER_COUNTS[-1]} workers "
+          f"(target {args.target_speedup:.1f}x)")
+
+    drill = None if args.skip_drill else fault_drill(snapshot, bodies, args)
+
+    payload = {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "objects": args.objects,
+        "clients": args.clients,
+        "duration_seconds": args.duration,
+        "read_latency_seconds": args.read_latency,
+        "scaling": series,
+        "speedup": speedup,
+        "target_speedup": args.target_speedup,
+        "fault_drill": drill,
+    }
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    out = args.output_dir / "BENCH_serving.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    if args.check:
+        failed = False
+        if speedup < args.target_speedup:
+            print(f"FAIL: speedup {speedup:.2f}x < {args.target_speedup:.1f}x")
+            failed = True
+        if drill is not None:
+            if drill["hard_failures"] > 0:
+                print(f"FAIL: {drill['hard_failures']} client-visible "
+                      f"failure(s) beyond admission control")
+                failed = True
+            if drill["respawns"] < 1:
+                print("FAIL: the killed worker was never respawned")
+                failed = True
+        if failed:
+            return 1
+        print("gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,11 +35,18 @@ from repro.engine import (
     QueryEngine,
     QueryPlan,
     QueryPlanner,
+    ReadOnlyEngineError,
     UnsupportedQueryError,
     available_backends,
     register_backend,
 )
-from repro.queries.spec import BatchQuery, KNNQuery, PNNQuery, RangeQuery
+from repro.queries.spec import (
+    BatchQuery,
+    KNNQuery,
+    PNNQuery,
+    RangeQuery,
+    query_from_dict,
+)
 from repro.core.uv_cell import UVCell, build_all_uv_cells, build_exact_uv_cell
 from repro.core.uv_index import UVIndex
 from repro.core.cr_objects import CRObjectFinder
@@ -86,6 +93,8 @@ __all__ = [
     "KNNQuery",
     "RangeQuery",
     "BatchQuery",
+    "query_from_dict",
+    "ReadOnlyEngineError",
     "UnsupportedQueryError",
     "available_backends",
     "register_backend",

@@ -11,7 +11,9 @@ Six sub-commands cover the everyday interactions with the library:
 * ``explain``   -- plan a query, run it, and print estimated vs. actual page
   reads plus per-stage timings (EXPLAIN ANALYZE),
 * ``compare``   -- run the same query workload across several backends,
-* ``render``    -- build (or ``--load``) a diagram and write an SVG picture.
+* ``render``    -- build (or ``--load``) a diagram and write an SVG picture,
+* ``serve``     -- run the multi-worker HTTP query service over a snapshot
+  (``repro serve --load uv.snap --workers 4``).
 
 The CLI is intentionally thin: every command maps directly onto the public
 Python API (:class:`repro.QueryEngine` + :class:`repro.DiagramConfig` +
@@ -370,6 +372,34 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, serve_forever
+
+    try:
+        config = ServeConfig(
+            snapshot_path=args.load,
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            store=args.load_store,
+            queue_depth=args.queue_depth,
+            request_timeout=args.request_timeout,
+            rate_limit=args.rate_limit,
+            rate_burst=args.rate_burst,
+            drain_timeout=args.drain_timeout,
+            read_latency=args.read_latency,
+            buffer_pages=args.buffer_pages,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        return serve_forever(config)
+    except Exception as exc:  # noqa: BLE001 - a CLI prints, not tracebacks
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _command_render(args: argparse.Namespace) -> int:
     from repro.core.diagram import UVDiagram
     from repro.viz.svg import render_uv_diagram
@@ -434,6 +464,38 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--no-probabilities", action="store_true",
                          help="skip probability computation (answer sets only)")
     compare.set_defaults(handler=_command_compare)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a snapshot over HTTP with a pool of worker processes")
+    serve.add_argument("--load", required=True, metavar="SNAPSHOT",
+                       help="snapshot file every worker opens read-only")
+    serve.add_argument("--load-store", default="mmap",
+                       choices=["mmap", "file", "memory"],
+                       help="page store the workers serve from (default: "
+                            "mmap -- N processes share one set of pages)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes (default: 2)")
+    serve.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="HTTP port (0 picks a free one; default: 8765)")
+    serve.add_argument("--queue-depth", type=int, default=8,
+                       help="per-worker in-flight budget before new requests "
+                            "get HTTP 429 (default: 8)")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       help="seconds before a queued request gets HTTP 504")
+    serve.add_argument("--rate-limit", type=float, default=0.0,
+                       help="per-client requests/second (0 = unlimited)")
+    serve.add_argument("--rate-burst", type=int, default=20,
+                       help="token-bucket burst capacity (default: 20)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="seconds to wait for in-flight work on shutdown")
+    serve.add_argument("--read-latency", type=float, default=0.0,
+                       help="simulated seconds per counted page read "
+                            "(models cold-storage serving)")
+    serve.add_argument("--buffer-pages", type=int, default=None,
+                       help="buffer-pool override for the workers' engines")
+    serve.set_defaults(handler=_command_serve)
 
     render = subparsers.add_parser("render", help="render the UV-diagram to an SVG file")
     _add_dataset_arguments(render)

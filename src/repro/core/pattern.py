@@ -34,6 +34,24 @@ class PartitionInfo:
         """Area of the partition region."""
         return self.region.area()
 
+    def to_dict(self) -> dict:
+        """JSON-compatible state (inverse of :meth:`from_dict`)."""
+        region = self.region
+        return {
+            "region": [region.xmin, region.ymin, region.xmax, region.ymax],
+            "object_count": self.object_count,
+            "density": self.density,
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "PartitionInfo":
+        """Rebuild a partition from :meth:`to_dict` output."""
+        return cls(
+            region=Rect(*(float(value) for value in state["region"])),
+            object_count=int(state["object_count"]),
+            density=float(state["density"]),
+        )
+
 
 @dataclass
 class PartitionQueryResult:
@@ -46,6 +64,27 @@ class PartitionQueryResult:
     def total_objects(self) -> int:
         """Sum of object counts over the returned partitions."""
         return sum(p.object_count for p in self.partitions)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible state (inverse of :meth:`from_dict`)."""
+        return {
+            "type": "range_result",
+            "partitions": [partition.to_dict() for partition in self.partitions],
+            "io": self.io.as_dict(),
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "PartitionQueryResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            partitions=[
+                PartitionInfo.from_dict(entry)
+                for entry in state.get("partitions", [])
+            ],
+            io=IOStats.from_dict(state.get("io", {})),
+            seconds=float(state.get("seconds", 0.0)),
+        )
 
 
 class PatternAnalyzer:

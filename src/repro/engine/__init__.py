@@ -22,7 +22,12 @@ from repro.engine.backend import (
     unregister_backend,
 )
 from repro.engine.config import DiagramConfig
-from repro.engine.engine import BatchResult, BatchStream, QueryEngine
+from repro.engine.engine import (
+    BatchResult,
+    BatchStream,
+    QueryEngine,
+    ReadOnlyEngineError,
+)
 from repro.engine.planner import ExplainReport, QueryPlan, QueryPlanner
 
 # Importing the built-in adapters registers them.
@@ -38,6 +43,7 @@ __all__ = [
     "QueryEngine",
     "QueryPlan",
     "QueryPlanner",
+    "ReadOnlyEngineError",
     "UnsupportedQueryError",
     "available_backends",
     "create_backend",

@@ -68,6 +68,17 @@ from repro.storage.stats import IOStats, TimingBreakdown
 from repro.uncertain.objects import UncertainObject
 
 
+class ReadOnlyEngineError(RuntimeError):
+    """A structural mutation was attempted on a read-only opened engine.
+
+    Snapshots opened with ``QueryEngine.open(path, readonly=True)`` -- which
+    is how :mod:`repro.serve` workers share one mmap snapshot -- must never
+    diverge from the file they serve: an insert/delete would land in the
+    store's volatile in-memory overlay, silently fork that worker's answers
+    away from its siblings', and die with the process anyway.
+    """
+
+
 @dataclass
 class BatchResult:
     """Result of a :meth:`QueryEngine.batch` call.
@@ -202,6 +213,9 @@ class QueryEngine:
         # True when the in-memory state has diverged from the last saved or
         # opened snapshot (a freshly built engine was never saved at all).
         self._dirty = True
+        # Set by open(readonly=True): structural mutations raise instead of
+        # diverging into the store's volatile overlay.
+        self._readonly = False
         # Bumped by every structural change (insert/delete); the planner
         # caches backend statistics against it.
         self._structure_version = 0
@@ -290,6 +304,7 @@ class QueryEngine:
         store: str = "file",
         buffer_pages: Optional[int] = None,
         read_latency: float = 0.0,
+        readonly: bool = False,
     ) -> "QueryEngine":
         """Reopen a saved engine without reconstruction (cold-start serving).
 
@@ -300,11 +315,20 @@ class QueryEngine:
                 read-mostly view) or ``"memory"`` (eager load).
             buffer_pages: buffer-pool override; defaults to the saved config.
             read_latency: simulated seconds per counted page read.
+            readonly: when ``True``, :meth:`insert` / :meth:`delete` raise
+                :class:`ReadOnlyEngineError` instead of applying the change
+                to the store's volatile in-memory overlay.  This is the
+                correctness guard for serving: every process sharing the
+                snapshot keeps answering bit-identically.
         """
         from repro.engine.snapshot import open_engine
 
         return open_engine(
-            path, store=store, buffer_pages=buffer_pages, read_latency=read_latency
+            path,
+            store=store,
+            buffer_pages=buffer_pages,
+            read_latency=read_latency,
+            readonly=readonly,
         )
 
     @property
@@ -315,6 +339,25 @@ class QueryEngine:
         opened engine is clean until the first :meth:`insert` / :meth:`delete`.
         """
         return self._dirty
+
+    @property
+    def readonly(self) -> bool:
+        """``True`` when the engine rejects structural mutations.
+
+        Only :meth:`open` with ``readonly=True`` produces such an engine;
+        queries are unaffected.
+        """
+        return self._readonly
+
+    def _check_writable(self, operation: str) -> None:
+        if self._readonly:
+            raise ReadOnlyEngineError(
+                f"cannot {operation} on a read-only engine: this snapshot was "
+                f"opened with readonly=True (updates would only reach a "
+                f"volatile in-memory overlay and silently diverge from the "
+                f"snapshot file); reopen with readonly=False, or rebuild and "
+                f"save a new snapshot"
+            )
 
     # ------------------------------------------------------------------ #
     # the typed query surface: execute / explain
@@ -601,6 +644,7 @@ class QueryEngine:
         Returns whatever the backend reports (the new object's cr-object ids
         for UV-index backends, ``None`` otherwise).
         """
+        self._check_writable("insert")
         if obj.oid in self.by_id:
             raise ValueError(f"object id {obj.oid} already exists in the engine")
         self._dirty = True
@@ -617,6 +661,7 @@ class QueryEngine:
         Returns whatever the backend reports (the refreshed object ids for
         UV-index backends, ``None`` otherwise).
         """
+        self._check_writable("delete")
         if oid not in self.by_id:
             raise KeyError(f"object {oid} is not in the engine")
         self._dirty = True

@@ -93,6 +93,7 @@ def open_engine(
     store: str = "file",
     buffer_pages: Optional[int] = None,
     read_latency: float = 0.0,
+    readonly: bool = False,
 ):
     """Restore a :class:`QueryEngine` from a snapshot, without reconstruction.
 
@@ -104,6 +105,8 @@ def open_engine(
         buffer_pages: override for the buffer-pool capacity; defaults to the
             value recorded in the snapshot's configuration.
         read_latency: optional simulated seconds per counted page read.
+        readonly: reject ``insert`` / ``delete`` on the reopened engine (the
+            serving-correctness guard -- see :class:`ReadOnlyEngineError`).
     """
     from repro.engine.engine import QueryEngine  # deferred: import cycle
 
@@ -164,4 +167,5 @@ def open_engine(
         construction_stats=stats,
     )
     engine._dirty = False
+    engine._readonly = readonly
     return engine

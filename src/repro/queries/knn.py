@@ -37,6 +37,15 @@ class KNNAnswer:
     oid: int
     probability: float
 
+    def to_dict(self) -> dict:
+        """JSON-compatible state (inverse of :meth:`from_dict`)."""
+        return {"oid": self.oid, "probability": self.probability}
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "KNNAnswer":
+        """Rebuild an answer from :meth:`to_dict` output."""
+        return cls(oid=int(state["oid"]), probability=float(state["probability"]))
+
 
 @dataclass
 class KNNResult:
@@ -58,6 +67,24 @@ class KNNResult:
     def expected_in_top_k(self) -> float:
         """Sum of probabilities (should be close to ``k`` for exact answers)."""
         return sum(a.probability for a in self.answers)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible state (inverse of :meth:`from_dict`)."""
+        return {
+            "type": "knn_result",
+            "query": [self.query.x, self.query.y],
+            "k": self.k,
+            "answers": [answer.to_dict() for answer in self.answers],
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "KNNResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            query=Point(float(state["query"][0]), float(state["query"][1])),
+            k=int(state["k"]),
+            answers=[KNNAnswer.from_dict(entry) for entry in state.get("answers", [])],
+        )
 
 
 def kth_min_max_distance(

@@ -102,6 +102,27 @@ class RefinementStats:
         self.pruned_topk += other.pruned_topk
         self.trivial += other.trivial
 
+    def to_dict(self) -> dict:
+        """JSON-compatible state (inverse of :meth:`from_dict`)."""
+        return {
+            "candidates": self.candidates,
+            "integrated": self.integrated,
+            "pruned_threshold": self.pruned_threshold,
+            "pruned_topk": self.pruned_topk,
+            "trivial": self.trivial,
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "RefinementStats":
+        """Rebuild counters from :meth:`to_dict` output."""
+        return cls(
+            candidates=int(state.get("candidates", 0)),
+            integrated=int(state.get("integrated", 0)),
+            pruned_threshold=int(state.get("pruned_threshold", 0)),
+            pruned_topk=int(state.get("pruned_topk", 0)),
+            trivial=int(state.get("trivial", 0)),
+        )
+
 
 class _PruneBar:
     """The running lower bar a candidate's raw upper bound must clear.

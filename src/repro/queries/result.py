@@ -1,9 +1,14 @@
-"""Result containers for PNN and pattern queries."""
+"""Result containers for PNN and pattern queries.
+
+Results mirror the descriptors' wire behaviour: every container round-trips
+through JSON-compatible dicts (``to_dict`` / ``from_dict``), which is how the
+:mod:`repro.serve` workers ship answers back over HTTP.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.geometry.point import Point
 from repro.queries.probability_kernel import RefinementStats
@@ -20,6 +25,15 @@ class PNNAnswer:
     def __post_init__(self) -> None:
         if not 0.0 <= self.probability <= 1.0 + 1e-9:
             raise ValueError(f"probability out of range: {self.probability}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible state (inverse of :meth:`from_dict`)."""
+        return {"oid": self.oid, "probability": self.probability}
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "PNNAnswer":
+        """Rebuild an answer from :meth:`to_dict` output (re-validated)."""
+        return cls(oid=int(state["oid"]), probability=float(state["probability"]))
 
 
 @dataclass
@@ -79,3 +93,48 @@ class PNNResult:
     def sorted_by_probability(self) -> List[PNNAnswer]:
         """Answers ordered by decreasing probability (ties broken by id)."""
         return sorted(self.answers, key=lambda a: (-a.probability, a.oid))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible state (inverse of :meth:`from_dict`)."""
+        return {
+            "type": "pnn_result",
+            "query": [self.query.x, self.query.y],
+            "answers": [answer.to_dict() for answer in self.answers],
+            "candidates_examined": self.candidates_examined,
+            "io": self.io.as_dict() if self.io is not None else None,
+            "index_io": self.index_io.as_dict() if self.index_io is not None else None,
+            "timing": self.timing.to_dict() if self.timing is not None else None,
+            "threshold": self.threshold,
+            "top_k": self.top_k,
+            "refinement": (
+                self.refinement.to_dict() if self.refinement is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "PNNResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        top_k = state.get("top_k")
+        return cls(
+            query=Point(float(state["query"][0]), float(state["query"][1])),
+            answers=[PNNAnswer.from_dict(entry) for entry in state.get("answers", [])],
+            candidates_examined=int(state.get("candidates_examined", 0)),
+            io=IOStats.from_dict(state["io"]) if state.get("io") is not None else None,
+            index_io=(
+                IOStats.from_dict(state["index_io"])
+                if state.get("index_io") is not None
+                else None
+            ),
+            timing=(
+                TimingBreakdown.from_dict(state["timing"])
+                if state.get("timing") is not None
+                else None
+            ),
+            threshold=float(state.get("threshold", 0.0)),
+            top_k=int(top_k) if top_k is not None else None,
+            refinement=(
+                RefinementStats.from_dict(state["refinement"])
+                if state.get("refinement") is not None
+                else None
+            ),
+        )

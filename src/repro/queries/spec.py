@@ -18,15 +18,32 @@ The four shapes mirror the paper's query taxonomy:
   (Section V-C, query 2),
 * :class:`BatchQuery` -- many PNN queries streamed through one shared read
   cache.
+
+Every descriptor round-trips through plain JSON-compatible dicts
+(:meth:`to_dict` / :meth:`from_dict`, with a ``"type"`` discriminator and
+:func:`query_from_dict` as the dispatching decoder).  This is the wire
+protocol of :mod:`repro.serve` -- a request body *is* a serialized
+descriptor -- but it is equally useful for logging a workload next to the
+plans that served it or replaying a recorded workload file.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
+
+
+def _point_state(point: Point) -> list:
+    return [point.x, point.y]
+
+
+def _point_from_state(state: Any) -> Point:
+    if not isinstance(state, (list, tuple)) or len(state) != 2:
+        raise ValueError(f"a point serializes as [x, y], got {state!r}")
+    return Point(float(state[0]), float(state[1]))
 
 
 @dataclass(frozen=True)
@@ -67,6 +84,27 @@ class PNNQuery:
                 "therefore require compute_probabilities=True"
             )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible state (inverse of :meth:`from_dict`)."""
+        return {
+            "type": "pnn",
+            "point": _point_state(self.point),
+            "threshold": self.threshold,
+            "top_k": self.top_k,
+            "compute_probabilities": self.compute_probabilities,
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "PNNQuery":
+        """Rebuild a descriptor from :meth:`to_dict` output (re-validated)."""
+        top_k = state.get("top_k")
+        return cls(
+            point=_point_from_state(state["point"]),
+            threshold=float(state.get("threshold", 0.0)),
+            top_k=int(top_k) if top_k is not None else None,
+            compute_probabilities=bool(state.get("compute_probabilities", True)),
+        )
+
 
 @dataclass(frozen=True)
 class KNNQuery:
@@ -92,6 +130,27 @@ class KNNQuery:
         if self.worlds < 1:
             raise ValueError(f"worlds must be positive, got {self.worlds}")
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible state (inverse of :meth:`from_dict`)."""
+        return {
+            "type": "knn",
+            "point": _point_state(self.point),
+            "k": self.k,
+            "worlds": self.worlds,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "KNNQuery":
+        """Rebuild a descriptor from :meth:`to_dict` output (re-validated)."""
+        seed = state.get("seed")
+        return cls(
+            point=_point_from_state(state["point"]),
+            k=int(state["k"]),
+            worlds=int(state.get("worlds", 2000)),
+            seed=int(seed) if seed is not None else None,
+        )
+
 
 @dataclass(frozen=True)
 class RangeQuery:
@@ -102,6 +161,24 @@ class RangeQuery:
     def __post_init__(self) -> None:
         if self.region.xmax < self.region.xmin or self.region.ymax < self.region.ymin:
             raise ValueError(f"degenerate query region: {self.region}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible state (inverse of :meth:`from_dict`)."""
+        region = self.region
+        return {
+            "type": "range",
+            "region": [region.xmin, region.ymin, region.xmax, region.ymax],
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "RangeQuery":
+        """Rebuild a descriptor from :meth:`to_dict` output (re-validated)."""
+        region = state["region"]
+        if not isinstance(region, (list, tuple)) or len(region) != 4:
+            raise ValueError(
+                f"a region serializes as [xmin, ymin, xmax, ymax], got {region!r}"
+            )
+        return cls(region=Rect(*(float(value) for value in region)))
 
 
 @dataclass(frozen=True)
@@ -155,6 +232,22 @@ class BatchQuery:
             )
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible state (inverse of :meth:`from_dict`)."""
+        return {
+            "type": "batch",
+            "queries": [query.to_dict() for query in self.queries],
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "BatchQuery":
+        """Rebuild a descriptor from :meth:`to_dict` output (re-validated)."""
+        return cls(
+            queries=tuple(
+                PNNQuery.from_dict(entry) for entry in state.get("queries", [])
+            )
+        )
+
     def __len__(self) -> int:
         return len(self.queries)
 
@@ -164,3 +257,32 @@ class BatchQuery:
 
 #: Every descriptor :meth:`QueryEngine.execute` understands.
 Query = Union[PNNQuery, KNNQuery, RangeQuery, BatchQuery]
+
+#: ``"type"`` discriminator -> descriptor class, for the wire decoder.
+QUERY_TYPES: Dict[str, type] = {
+    "pnn": PNNQuery,
+    "knn": KNNQuery,
+    "range": RangeQuery,
+    "batch": BatchQuery,
+}
+
+
+def query_from_dict(state: Dict[str, Any]) -> Query:
+    """Decode any descriptor dict produced by a ``to_dict`` method.
+
+    The ``"type"`` key selects the descriptor class; everything else is
+    validated by that class's ``from_dict`` (and re-validated by its
+    ``__post_init__``), so a malformed payload raises ``ValueError`` /
+    ``KeyError`` / ``TypeError`` rather than building a broken descriptor.
+    """
+    if not isinstance(state, dict):
+        raise TypeError(f"a query serializes as a dict, got {type(state).__name__}")
+    kind = state.get("type")
+    try:
+        cls = QUERY_TYPES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown query type {kind!r} "
+            f"(known: {', '.join(sorted(QUERY_TYPES))})"
+        ) from None
+    return cls.from_dict(state)

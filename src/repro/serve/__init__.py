@@ -1,0 +1,44 @@
+"""repro.serve -- a concurrent multi-worker query service over mmap snapshots.
+
+A supervisor spawns N worker processes that each open the same snapshot
+read-only (with the mmap store they share one set of physical pages), and
+fronts them with an HTTP/JSON API whose request bodies are exactly the
+serialized query descriptors of :mod:`repro.queries.spec`.
+
+Quick start::
+
+    from repro.serve import ServeConfig, QueryService
+
+    with QueryService(ServeConfig(snapshot_path="uv.snap", workers=4)) as svc:
+        print(svc.url)   # POST /query, POST /explain, GET /health, GET /stats
+"""
+
+from repro.serve.config import ServeConfig
+from repro.serve.router import (
+    LatencyHistogram,
+    QueueFullError,
+    RateLimitedError,
+    RequestTimeoutError,
+    Router,
+    RouterError,
+    ServiceDrainingError,
+    TokenBucket,
+)
+from repro.serve.service import QueryService, serve_forever, wait_for_health
+from repro.serve.worker import WorkerRuntime
+
+__all__ = [
+    "LatencyHistogram",
+    "QueryService",
+    "QueueFullError",
+    "RateLimitedError",
+    "RequestTimeoutError",
+    "Router",
+    "RouterError",
+    "ServeConfig",
+    "ServiceDrainingError",
+    "TokenBucket",
+    "WorkerRuntime",
+    "serve_forever",
+    "wait_for_health",
+]

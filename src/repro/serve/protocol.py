@@ -1,0 +1,102 @@
+"""The wire protocol between HTTP clients, the router, and the workers.
+
+A request body is a serialized query descriptor (see
+:func:`repro.queries.spec.query_from_dict` -- the ``"type"`` key selects
+``pnn`` / ``knn`` / ``range`` / ``batch``).  The router wraps it in a
+:class:`Request` envelope, a worker executes it and answers with a
+:class:`Response` envelope whose payload is the result's ``to_dict`` form.
+
+Everything crossing a process boundary here is a plain dict of JSON-scalar
+values, so the same encoding serves both the HTTP surface and the
+supervisor<->worker queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+#: Operations a worker understands.
+OP_QUERY = "query"
+OP_EXPLAIN = "explain"
+OP_STATS = "stats"
+OP_PING = "ping"
+
+#: Error kinds a response can carry (mapped to HTTP status codes).
+ERROR_BAD_REQUEST = "bad-request"      # -> 400
+ERROR_UNSUPPORTED = "unsupported"      # -> 400 (backend cannot run the query)
+ERROR_INTERNAL = "internal"            # -> 500
+
+
+@dataclass(frozen=True)
+class Request:
+    """One unit of work dispatched to a worker.
+
+    Attributes:
+        request_id: router-assigned id; responses echo it so the pump thread
+            can match them to waiting handlers (and drop late duplicates).
+        op: one of the ``OP_*`` operations.
+        payload: the serialized query descriptor for ``query`` / ``explain``;
+            ignored by ``stats`` / ``ping``.
+    """
+
+    request_id: int
+    op: str
+    payload: Optional[Dict[str, Any]] = None
+
+    def to_tuple(self):
+        return (self.request_id, self.op, self.payload)
+
+    @classmethod
+    def from_tuple(cls, raw) -> "Request":
+        return cls(request_id=raw[0], op=raw[1], payload=raw[2])
+
+
+@dataclass(frozen=True)
+class Response:
+    """A worker's answer to one :class:`Request`.
+
+    Attributes:
+        request_id: echo of the request id.
+        ok: ``False`` when the worker caught an error instead of a result.
+        payload: result dict when ``ok``, else ``{"error": kind,
+            "message": text}``.
+        worker_id: which worker answered (surfaced in ``/stats`` and useful
+            when diagnosing a crash drill).
+        seconds: worker-side execution time (queueing excluded), feeding the
+            per-query-type latency histograms.
+        query_kind: ``"pnn"`` / ``"knn"`` / ``"range"`` / ``"batch"`` /
+            ``"explain"`` / ``"stats"`` -- the histogram bucket.
+    """
+
+    request_id: int
+    ok: bool
+    payload: Dict[str, Any]
+    worker_id: int
+    seconds: float = 0.0
+    query_kind: str = "unknown"
+
+    def to_tuple(self):
+        return (
+            self.request_id, self.ok, self.payload,
+            self.worker_id, self.seconds, self.query_kind,
+        )
+
+    @classmethod
+    def from_tuple(cls, raw) -> "Response":
+        return cls(
+            request_id=raw[0], ok=raw[1], payload=raw[2],
+            worker_id=raw[3], seconds=raw[4], query_kind=raw[5],
+        )
+
+
+def error_payload(kind: str, message: str) -> Dict[str, Any]:
+    """The payload of a failed response."""
+    return {"error": kind, "message": message}
+
+
+def error_status(kind: str) -> int:
+    """HTTP status code for an error kind."""
+    if kind in (ERROR_BAD_REQUEST, ERROR_UNSUPPORTED):
+        return 400
+    return 500

@@ -1,0 +1,551 @@
+"""The request router: bounded dispatch to a fleet of worker processes.
+
+The router owns everything between "an HTTP handler parsed a request" and
+"a worker's response came back":
+
+* **worker lifecycle** -- spawn the fleet, detect crashed workers, respawn
+  them, and resubmit the in-flight requests the crash orphaned (queries are
+  read-only, so re-execution is safe);
+* **admission control** -- each worker has a bounded budget of
+  dispatched-but-unanswered requests (``queue_depth``); when every worker is
+  at its bound, new work is rejected immediately
+  (:class:`QueueFullError` -> HTTP 429) instead of growing an unbounded
+  backlog;
+* **per-client rate limits** -- a token bucket per client id
+  (:class:`RateLimitedError` -> HTTP 429);
+* **per-request timeouts** -- a request that waits longer than its deadline
+  raises :class:`RequestTimeoutError` (-> HTTP 504) and the late worker
+  response is dropped on arrival;
+* **observability** -- per-query-type latency histograms plus counters for
+  every admission decision, feeding the ``/stats`` endpoint.
+
+Workers are spawned (not forked): respawning must be safe while the
+supervisor's HTTP threads hold arbitrary locks, and a forked child would
+inherit those locks mid-flight.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.serve.config import ServeConfig
+from repro.serve.protocol import Request, Response
+from repro.serve.worker import SHUTDOWN, worker_main
+
+
+class RouterError(RuntimeError):
+    """Base error of the routing layer."""
+
+
+class QueueFullError(RouterError):
+    """Every worker is at its in-flight budget (admission control)."""
+
+
+class RateLimitedError(RouterError):
+    """The client exhausted its token bucket."""
+
+
+class RequestTimeoutError(RouterError):
+    """The request missed its deadline; any late response is dropped."""
+
+
+class ServiceDrainingError(RouterError):
+    """The service is draining and admits no new work."""
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: int):
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.last = time.monotonic()
+
+    def allow(self) -> bool:
+        """Take one token if available (refilling lazily)."""
+        now = time.monotonic()
+        self.tokens = min(self.burst, self.tokens + (now - self.last) * self.rate)
+        self.last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram with cheap percentile estimates.
+
+    Buckets span 50 microseconds to about a minute with ~24% resolution,
+    which is plenty for p50/p99 serving dashboards while costing O(1) per
+    record and a fixed few hundred bytes of memory.
+    """
+
+    _BOUNDS: List[float] = [50e-6 * (1.22 ** i) for i in range(64)]
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(self._BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        index = bisect.bisect_left(self._BOUNDS, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total += seconds
+            if seconds > self.max:
+                self.max = seconds
+
+    def percentile(self, fraction: float) -> float:
+        """Upper bound of the bucket holding the ``fraction`` quantile."""
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            target = fraction * self.count
+            seen = 0
+            for index, bucket in enumerate(self._counts):
+                seen += bucket
+                if seen >= target:
+                    if index < len(self._BOUNDS):
+                        return self._BOUNDS[index]
+                    return self.max
+            return self.max
+
+    def to_dict(self) -> Dict[str, float]:
+        with self._lock:
+            count, total, peak = self.count, self.total, self.max
+        return {
+            "count": count,
+            "mean_ms": (total / count * 1000.0) if count else 0.0,
+            "p50_ms": self.percentile(0.50) * 1000.0,
+            "p99_ms": self.percentile(0.99) * 1000.0,
+            "max_ms": peak * 1000.0,
+        }
+
+
+@dataclass
+class _Pending:
+    """Book-keeping of one dispatched request while its answer is pending."""
+
+    request: Request
+    worker_id: int
+    event: threading.Event = field(default_factory=threading.Event)
+    response: Optional[Response] = None
+    retries: int = 0
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+class _WorkerHandle:
+    """One slot of the fleet: the live process plus its routing state."""
+
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+        self.process = None
+        self.request_queue = None
+        self.inflight: set = set()
+        self.ready = False
+        self.failed = False          # startup failed; do not respawn
+        self.startup_error = ""
+        self.respawns = 0
+        self.started_at = 0.0
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+
+class Router:
+    """Dispatches requests over a supervised fleet of worker processes."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        # Spawned children import the library fresh: forking a process whose
+        # HTTP threads may hold arbitrary locks is not respawn-safe.
+        self._ctx = multiprocessing.get_context("spawn")
+        self._workers: List[_WorkerHandle] = [
+            _WorkerHandle(worker_id) for worker_id in range(config.workers)
+        ]
+        self._response_queue = None
+        self._lock = threading.Lock()
+        self._pending: Dict[int, _Pending] = {}
+        self._ids = itertools.count(1)
+        self._accepting = False
+        self._running = False
+        self._pump_thread: Optional[threading.Thread] = None
+        self._monitor_thread: Optional[threading.Thread] = None
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._bucket_lock = threading.Lock()
+        self.histograms: Dict[str, LatencyHistogram] = {}
+        self._histogram_lock = threading.Lock()
+        self.counters = {
+            "accepted": 0,
+            "completed": 0,
+            "errors": 0,
+            "rejected_queue_full": 0,
+            "rejected_rate_limited": 0,
+            "rejected_draining": 0,
+            "timeouts": 0,
+            "retried_after_crash": 0,
+            "late_responses_dropped": 0,
+            "respawns": 0,
+        }
+        self.started_at = 0.0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self, ready_timeout: float = 60.0) -> None:
+        """Spawn the fleet and wait until every worker answered startup."""
+        if self._running:
+            raise RouterError("router already started")
+        self._response_queue = self._ctx.Queue()
+        self._running = True
+        self._accepting = True
+        self.started_at = time.monotonic()
+        for handle in self._workers:
+            self._spawn(handle)
+        self._pump_thread = threading.Thread(
+            target=self._pump, name="serve-response-pump", daemon=True
+        )
+        self._pump_thread.start()
+        deadline = time.monotonic() + ready_timeout
+        for handle in self._workers:
+            while not handle.ready and not handle.failed:
+                if time.monotonic() > deadline:
+                    self.stop(drain=False)
+                    raise RouterError(
+                        f"worker {handle.worker_id} did not become ready "
+                        f"within {ready_timeout:.0f}s"
+                    )
+                time.sleep(0.01)
+            if handle.failed:
+                self.stop(drain=False)
+                raise RouterError(
+                    f"worker {handle.worker_id} failed to start "
+                    f"(see its startup response)"
+                )
+        self._monitor_thread = threading.Thread(
+            target=self._monitor, name="serve-worker-monitor", daemon=True
+        )
+        self._monitor_thread.start()
+
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        """(Re)start one worker slot on a fresh request queue."""
+        handle.request_queue = self._ctx.Queue()
+        handle.ready = False
+        handle.started_at = time.monotonic()
+        handle.process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                handle.worker_id,
+                self.config.to_dict(),
+                handle.request_queue,
+                self._response_queue,
+            ),
+            name=f"repro-serve-worker-{handle.worker_id}",
+            daemon=True,
+        )
+        handle.process.start()
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    def dispatch(
+        self,
+        op: str,
+        payload: Optional[Dict[str, Any]] = None,
+        client_id: str = "anonymous",
+        timeout: Optional[float] = None,
+    ) -> Response:
+        """Route one request to the least-loaded worker and await the answer.
+
+        Raises:
+            ServiceDrainingError: the service no longer admits work.
+            RateLimitedError: the client's token bucket is empty.
+            QueueFullError: every worker is at its in-flight budget.
+            RequestTimeoutError: no response within the deadline.
+        """
+        if not self._accepting:
+            with self._lock:
+                self.counters["rejected_draining"] += 1
+            raise ServiceDrainingError("service is draining; retry elsewhere")
+        if self.config.rate_limit > 0.0 and not self._admit_client(client_id):
+            with self._lock:
+                self.counters["rejected_rate_limited"] += 1
+            raise RateLimitedError(
+                f"client {client_id!r} exceeded "
+                f"{self.config.rate_limit:g} requests/s "
+                f"(burst {self.config.rate_burst})"
+            )
+
+        request_id = next(self._ids)
+        request = Request(request_id=request_id, op=op, payload=payload)
+        with self._lock:
+            handle = self._select_worker()
+            if handle is None:
+                self.counters["rejected_queue_full"] += 1
+                raise QueueFullError(
+                    f"all {len(self._workers)} workers are at their "
+                    f"in-flight budget of {self.config.queue_depth}"
+                )
+            pending = _Pending(request=request, worker_id=handle.worker_id)
+            self._pending[request_id] = pending
+            handle.inflight.add(request_id)
+            self.counters["accepted"] += 1
+            # Enqueue under the lock: the monitor swaps (and closes) a dead
+            # worker's queue under the same lock, so a dispatch can never
+            # race a respawn onto a closed queue.  Queues are unbounded --
+            # the put cannot block; the bound is the in-flight budget above.
+            handle.request_queue.put(request.to_tuple())
+
+        wait = timeout if timeout is not None else self.config.request_timeout
+        if pending.event.wait(wait):
+            return pending.response
+        with self._lock:
+            # The pump may have answered between the wait expiring and this
+            # lock: honour the response if it won the race.
+            if pending.response is not None:
+                return pending.response
+            self._pending.pop(request_id, None)
+            self._forget_inflight(request_id)
+            self.counters["timeouts"] += 1
+        raise RequestTimeoutError(
+            f"request {request_id} timed out after {wait:g}s"
+        )
+
+    def _admit_client(self, client_id: str) -> bool:
+        with self._bucket_lock:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                if len(self._buckets) > 10_000:
+                    # Defensive cap: a client-id flood must not grow memory
+                    # without bound.  Dropping all buckets briefly refills
+                    # everyone -- acceptable for a limiter, not a quota.
+                    self._buckets.clear()
+                bucket = TokenBucket(self.config.rate_limit, self.config.rate_burst)
+                self._buckets[client_id] = bucket
+            return bucket.allow()
+
+    def _select_worker(self) -> Optional[_WorkerHandle]:
+        """Least-loaded live worker under its budget (caller holds the lock)."""
+        best = None
+        for handle in self._workers:
+            if handle.failed or handle.process is None:
+                continue
+            if len(handle.inflight) >= self.config.queue_depth:
+                continue
+            if best is None or len(handle.inflight) < len(best.inflight):
+                best = handle
+        return best
+
+    def _forget_inflight(self, request_id: int) -> None:
+        for handle in self._workers:
+            handle.inflight.discard(request_id)
+
+    # ------------------------------------------------------------------ #
+    # response pump
+    # ------------------------------------------------------------------ #
+    def _pump(self) -> None:
+        import queue as queue_module
+
+        while self._running:
+            try:
+                raw = self._response_queue.get(timeout=0.1)
+            except queue_module.Empty:
+                continue
+            except (EOFError, OSError):
+                break
+            response = Response.from_tuple(raw)
+            if response.request_id == -1:
+                self._handle_startup(response)
+                continue
+            with self._lock:
+                pending = self._pending.pop(response.request_id, None)
+                self._forget_inflight(response.request_id)
+                if pending is None:
+                    self.counters["late_responses_dropped"] += 1
+                    continue
+                self.counters["completed"] += 1
+                if not response.ok:
+                    self.counters["errors"] += 1
+            self._histogram(response.query_kind).record(response.seconds)
+            pending.response = response
+            pending.event.set()
+
+    def _handle_startup(self, response: Response) -> None:
+        for handle in self._workers:
+            if handle.worker_id == response.worker_id:
+                if response.ok:
+                    handle.ready = True
+                else:
+                    handle.failed = True
+                    handle.startup_error = response.payload.get("message", "")
+                return
+
+    def _histogram(self, kind: str) -> LatencyHistogram:
+        with self._histogram_lock:
+            histogram = self.histograms.get(kind)
+            if histogram is None:
+                histogram = self.histograms[kind] = LatencyHistogram()
+            return histogram
+
+    # ------------------------------------------------------------------ #
+    # crash detection / respawn
+    # ------------------------------------------------------------------ #
+    def _monitor(self) -> None:
+        interval = max(0.05, self.config.respawn_delay / 2.0)
+        while self._running:
+            time.sleep(interval)
+            if not self._running:
+                break
+            for handle in self._workers:
+                if handle.failed or handle.process is None:
+                    continue
+                if handle.process.is_alive():
+                    continue
+                if not self._accepting and not handle.inflight:
+                    continue  # draining; dead workers stay down
+                self._respawn(handle)
+
+    def _respawn(self, handle: _WorkerHandle) -> None:
+        """Restart a crashed worker and resubmit its orphaned requests.
+
+        The old request queue dies with the crash (requests it still held
+        are exactly the orphaned in-flight set); the replacement worker gets
+        a fresh queue, so every orphan is re-executed exactly once --
+        queries are read-only, which is what makes the retry sound.
+        """
+        with self._lock:
+            # One lock hold covers orphan collection, the queue swap, and
+            # the resubmits: every concurrent dispatch either lands before
+            # (and is collected here as an orphan) or after (and goes to the
+            # replacement's fresh queue).  Nothing can fall in between.
+            orphaned = sorted(handle.inflight)
+            handle.inflight.clear()
+            self.counters["respawns"] += 1
+            handle.respawns += 1
+            old_queue = handle.request_queue
+            self._spawn(handle)
+            for request_id in orphaned:
+                pending = self._pending.get(request_id)
+                if pending is None:
+                    continue
+                target = self._select_worker() or handle
+                pending.worker_id = target.worker_id
+                pending.retries += 1
+                target.inflight.add(request_id)
+                target.request_queue.put(pending.request.to_tuple())
+                self.counters["retried_after_crash"] += 1
+        if old_queue is not None:
+            old_queue.cancel_join_thread()
+            old_queue.close()
+
+    # ------------------------------------------------------------------ #
+    # drain / stop
+    # ------------------------------------------------------------------ #
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting work and wait for in-flight requests to finish.
+
+        Returns ``True`` when the backlog fully drained within the timeout.
+        """
+        self._accepting = False
+        deadline = time.monotonic() + (
+            timeout if timeout is not None else self.config.drain_timeout
+        )
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._pending:
+                    return True
+            time.sleep(0.02)
+        with self._lock:
+            return not self._pending
+
+    def stop(self, drain: bool = True) -> bool:
+        """Drain (optionally), shut workers down, stop the service threads."""
+        drained = self.drain() if drain else False
+        self._accepting = False
+        for handle in self._workers:
+            if handle.alive and handle.request_queue is not None:
+                try:
+                    handle.request_queue.put(SHUTDOWN)
+                except (ValueError, OSError):
+                    pass
+        for handle in self._workers:
+            if handle.process is not None:
+                handle.process.join(timeout=5.0)
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                    handle.process.join(timeout=1.0)
+        self._running = False
+        if self._pump_thread is not None:
+            self._pump_thread.join(timeout=2.0)
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout=2.0)
+        if self._response_queue is not None:
+            self._response_queue.cancel_join_thread()
+            self._response_queue.close()
+        for handle in self._workers:
+            if handle.request_queue is not None:
+                handle.request_queue.cancel_join_thread()
+                handle.request_queue.close()
+        return drained
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def accepting(self) -> bool:
+        return self._accepting
+
+    def workers_alive(self) -> int:
+        return sum(1 for handle in self._workers if handle.alive)
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """Live pids by worker slot (the fault-drill hook of the benchmark)."""
+        return [handle.pid for handle in self._workers]
+
+    def stats(self) -> Dict[str, Any]:
+        """Router-side statistics for the ``/stats`` endpoint."""
+        with self._lock:
+            counters = dict(self.counters)
+            pending = len(self._pending)
+            workers = [
+                {
+                    "worker_id": handle.worker_id,
+                    "pid": handle.pid,
+                    "alive": handle.alive,
+                    "ready": handle.ready,
+                    "inflight": len(handle.inflight),
+                    "respawns": handle.respawns,
+                }
+                for handle in self._workers
+            ]
+        with self._histogram_lock:
+            histograms = {
+                kind: histogram.to_dict()
+                for kind, histogram in self.histograms.items()
+            }
+        uptime = time.monotonic() - self.started_at if self.started_at else 0.0
+        return {
+            "accepting": self._accepting,
+            "uptime_seconds": uptime,
+            "workers": workers,
+            "pending_requests": pending,
+            "queue_depth": self.config.queue_depth,
+            "rate_limit": self.config.rate_limit,
+            "counters": counters,
+            "latency": histograms,
+        }

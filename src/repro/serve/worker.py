@@ -1,0 +1,219 @@
+"""The worker process: one read-only engine, one request loop.
+
+Each worker ``QueryEngine.open()``-s the shared snapshot with
+``readonly=True`` (mmap store by default, so N workers share one set of
+physical pages) and then loops: take a :class:`~repro.serve.protocol.Request`
+from its queue, execute it, put a :class:`~repro.serve.protocol.Response` on
+the shared response queue.  Workers hold no routing state -- crash recovery
+is entirely the router's job, which is what makes kill -9 on a worker a
+recoverable event.
+
+The module is imported fresh in each spawned process, so everything the
+worker needs arrives through :func:`worker_main`'s picklable arguments.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Any, Dict
+
+from repro.serve.protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_INTERNAL,
+    ERROR_UNSUPPORTED,
+    OP_EXPLAIN,
+    OP_PING,
+    OP_QUERY,
+    OP_STATS,
+    Request,
+    Response,
+    error_payload,
+)
+
+#: Queue sentinel that asks a worker to exit its loop (graceful drain).
+SHUTDOWN = None
+
+
+def _encode_result(result) -> Dict[str, Any]:
+    """Serialize whatever ``QueryEngine.execute`` returned."""
+    from repro.engine.engine import BatchStream
+
+    if isinstance(result, BatchStream):
+        # Materialise the stream worker-side: the shared read cache only
+        # lives for the stream's duration anyway, and the wire carries the
+        # per-query results plus the cache counters the stream accumulated.
+        results = [item.to_dict() for _, item, _ in result]
+        return {
+            "type": "batch_result",
+            "results": results,
+            "cache_hits": result.cache.hits,
+            "cache_misses": result.cache.misses,
+        }
+    return result.to_dict()
+
+
+def _encode_plan(plan) -> Dict[str, Any]:
+    return {
+        "kind": plan.kind,
+        "backend": plan.backend,
+        "strategy": plan.strategy,
+        "prob_kernel": plan.prob_kernel,
+        "threshold": plan.threshold,
+        "top_k": plan.top_k,
+        "estimated_page_reads": plan.estimated_page_reads,
+        "estimated_candidates": plan.estimated_candidates,
+        "estimated_cost": plan.estimated_cost,
+        "buffer_pool": plan.buffer_pool,
+        "notes": list(plan.notes),
+        "describe": plan.describe(),
+    }
+
+
+def _encode_explain(report) -> Dict[str, Any]:
+    result = report.result
+    if isinstance(result, list):  # a materialised BatchQuery stream
+        encoded = {
+            "type": "batch_result",
+            "results": [item.to_dict() for _, item, _ in result],
+        }
+    else:
+        encoded = result.to_dict()
+    return {
+        "type": "explain",
+        "plan": _encode_plan(report.plan),
+        "estimated_page_reads": report.estimated_page_reads,
+        "actual_page_reads": report.actual_page_reads,
+        "io": report.io.as_dict(),
+        "seconds": report.seconds,
+        "timings": report.timings.to_dict(),
+        "describe": report.describe(),
+        "result": encoded,
+    }
+
+
+class WorkerRuntime:
+    """The worker side of the protocol, separated from process plumbing.
+
+    Owning the op dispatch in a class makes the full request/response cycle
+    testable in-process (no forked children) -- the serving tests and the
+    router share exactly the code real workers run.
+    """
+
+    def __init__(self, worker_id: int, config):
+        from repro.engine.engine import QueryEngine
+
+        self.worker_id = worker_id
+        self.config = config
+        self.engine = QueryEngine.open(
+            config.snapshot_path,
+            store=config.store,
+            buffer_pages=config.buffer_pages,
+            read_latency=config.read_latency,
+            readonly=True,
+        )
+        self.requests_handled = 0
+
+    def handle(self, request: Request) -> Response:
+        """Execute one request, never letting an exception escape."""
+        from repro.engine.backend import UnsupportedQueryError
+        from repro.queries.spec import query_from_dict
+
+        start = time.perf_counter()
+        kind = "unknown"
+        try:
+            if request.op == OP_PING:
+                kind = "ping"
+                payload: Dict[str, Any] = {"pid": os.getpid(), "ok": True}
+            elif request.op == OP_STATS:
+                kind = "stats"
+                payload = self.stats()
+            elif request.op in (OP_QUERY, OP_EXPLAIN):
+                query = query_from_dict(request.payload)
+                kind = request.payload.get("type", "unknown")
+                if request.op == OP_EXPLAIN:
+                    kind = "explain"
+                    payload = _encode_explain(self.engine.explain(query))
+                else:
+                    payload = _encode_result(self.engine.execute(query))
+            else:
+                raise ValueError(f"unknown worker op {request.op!r}")
+            ok = True
+        except (ValueError, TypeError, KeyError) as exc:
+            ok, payload = False, error_payload(ERROR_BAD_REQUEST, str(exc))
+        except UnsupportedQueryError as exc:
+            ok, payload = False, error_payload(ERROR_UNSUPPORTED, str(exc))
+        except Exception as exc:  # noqa: BLE001 - the loop must survive
+            ok, payload = False, error_payload(
+                ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        self.requests_handled += 1
+        return Response(
+            request_id=request.request_id,
+            ok=ok,
+            payload=payload,
+            worker_id=self.worker_id,
+            seconds=time.perf_counter() - start,
+            query_kind=kind,
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """Engine-side statistics surfaced by the ``/stats`` endpoint."""
+        engine = self.engine
+        io = engine.io_stats()
+        return {
+            "worker_id": self.worker_id,
+            "pid": os.getpid(),
+            "backend": engine.backend.name,
+            "objects": len(engine),
+            "readonly": engine.readonly,
+            "requests_handled": self.requests_handled,
+            "io": io.as_dict(),
+            "buffer_pool_hit_ratio": io.cache_hit_ratio,
+            "planner_statistics": dict(engine.planner.backend_statistics()),
+            "index_statistics": dict(engine.statistics()),
+        }
+
+
+def worker_main(worker_id: int, config_state: Dict[str, Any],
+                request_queue, response_queue) -> None:
+    """Process entry point: open the snapshot, serve requests until sentinel.
+
+    Startup failures (bad snapshot path, corrupt file) are reported as one
+    response with request id -1 so the supervisor can fail fast instead of
+    hanging on a silent child exit.
+    """
+    from repro.serve.config import ServeConfig
+
+    # The supervisor owns Ctrl-C/termination policy; workers only ever exit
+    # through the queue sentinel or a crash.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    try:
+        runtime = WorkerRuntime(worker_id, ServeConfig.from_dict(config_state))
+    except Exception as exc:  # noqa: BLE001 - must be reported, not raised
+        response_queue.put(Response(
+            request_id=-1,
+            ok=False,
+            payload=error_payload(
+                ERROR_INTERNAL, f"worker startup failed: {exc}"
+            ),
+            worker_id=worker_id,
+            query_kind="startup",
+        ).to_tuple())
+        return
+
+    response_queue.put(Response(
+        request_id=-1,
+        ok=True,
+        payload={"started": True, "pid": os.getpid()},
+        worker_id=worker_id,
+        query_kind="startup",
+    ).to_tuple())
+
+    while True:
+        raw = request_queue.get()
+        if raw is SHUTDOWN:
+            break
+        response_queue.put(runtime.handle(Request.from_tuple(raw)).to_tuple())

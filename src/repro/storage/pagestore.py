@@ -84,6 +84,15 @@ class PageStore(abc.ABC):
     #: not be able to corrupt it).
     writable: bool = True
 
+    #: ``True`` when :meth:`load_page` keeps no per-call mutable state (no
+    #: shared file position), so concurrent reader *threads* on one store
+    #: object cannot interleave into corrupted pages.  Independent of this
+    #: flag, any number of *processes* may each open their own store on the
+    #: same snapshot path: read-only opens never write the file, and every
+    #: ``load_page`` decodes a fresh :class:`Page` from immutable bytes --
+    #: the multi-process serving guarantee :mod:`repro.serve` relies on.
+    thread_safe_reads: bool = False
+
     @abc.abstractmethod
     def store_page(self, page: Page) -> None:
         """Persist ``page`` (replacing any previous content for its id)."""
@@ -144,6 +153,7 @@ class MemoryPageStore(PageStore):
     """
 
     kind = "memory"
+    thread_safe_reads = True  # dict lookups; no shared cursor
 
     def __init__(self) -> None:
         self._pages: Dict[int, Page] = {}
@@ -192,6 +202,13 @@ class FilePageStore(PageStore):
     On a writable store, page contents are authoritative on disk after
     :meth:`flush` / :meth:`close` (the disk manager flushes its working set
     through here when a diagram is saved).
+
+    Reads go through the handle's shared file cursor (seek + read), so one
+    store object must not be shared between reader threads
+    (``thread_safe_reads`` stays ``False``); multiple *processes* each
+    opening the same snapshot read-only remain safe -- every process owns
+    its handle and the file is never written.  Use the mmap store for
+    cursor-free reads.
     """
 
     kind = "file"
@@ -401,10 +418,23 @@ class MmapPageStore(PageStore):
     for a full deserialisation pass.  Live updates after opening go to an
     in-memory overlay; the snapshot file itself is never modified, which is
     what makes one snapshot safely shareable between serving processes.
+
+    Concurrent-access guarantees (what :mod:`repro.serve` builds on):
+
+    * **across processes** -- the file is mapped ``ACCESS_READ`` and never
+      written through, so N processes mapping the same snapshot share one
+      set of physical pages (the page cache) and cannot corrupt each other;
+      opening is also O(header) per process, so worker fleets start cheap.
+    * **within a process** -- :meth:`load_page` is stateless: it addresses
+      the map with absolute offsets (``unpack_from`` / slicing, no shared
+      file cursor) and decodes a *fresh* :class:`Page` from an immutable
+      bytes copy, so concurrent reader threads are safe too
+      (``thread_safe_reads``).
     """
 
     kind = "mmap"
     writable = False
+    thread_safe_reads = True  # absolute-offset reads; no shared cursor
 
     def __init__(self, path: str):
         self.path = path

@@ -75,6 +75,20 @@ class IOStats:
             "cache_misses": self.cache_misses,
         }
 
+    #: JSON-compatible state (alias of :meth:`as_dict`, wire-protocol naming).
+    to_dict = as_dict
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, int]) -> "IOStats":
+        """Rebuild counters from :meth:`as_dict` output."""
+        return cls(
+            page_reads=int(state.get("page_reads", 0)),
+            page_writes=int(state.get("page_writes", 0)),
+            pages_allocated=int(state.get("pages_allocated", 0)),
+            cache_hits=int(state.get("cache_hits", 0)),
+            cache_misses=int(state.get("cache_misses", 0)),
+        )
+
 
 @dataclass
 class TimingBreakdown:
@@ -105,3 +119,12 @@ class TimingBreakdown:
         """Add all buckets of ``other`` into this breakdown."""
         for name, value in other.buckets.items():
             self.add(name, value)
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-compatible state: a copy of the bucket mapping."""
+        return dict(self.buckets)
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, float]) -> "TimingBreakdown":
+        """Rebuild a breakdown from :meth:`to_dict` output."""
+        return cls(buckets={name: float(value) for name, value in state.items()})

@@ -1,0 +1,135 @@
+"""Concurrent readers over one mmap snapshot answer bit-identically.
+
+The serving layer's scaling story rests on a storage-level guarantee: any
+number of processes may ``QueryEngine.open(path, store="mmap")`` the same
+snapshot simultaneously, and every one of them answers exactly like a
+single-process engine -- same answer sets, same probabilities (bit-for-bit),
+same counted page reads -- while the snapshot file itself stays untouched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro import DiagramConfig, QueryEngine
+from repro.queries.spec import PNNQuery
+from repro.storage.pagestore import FilePageStore, MemoryPageStore, MmapPageStore
+
+QUERY_POINTS = [
+    (120.0, 140.0), (480.0, 520.0), (910.0, 130.0),
+    (333.0, 777.0), (505.0, 505.0), (60.0, 940.0),
+]
+
+# Each reader process opens the snapshot read-only over mmap, runs the fixed
+# workload, and prints the serialized results (timings stripped: wall-clock
+# is the one legitimately nondeterministic field).
+READER_SCRIPT = """
+import json, sys
+from repro import QueryEngine
+from repro.queries.spec import PNNQuery
+from repro.geometry.point import Point
+
+engine = QueryEngine.open(sys.argv[1], store="mmap", readonly=True)
+results = []
+for x, y in json.loads(sys.argv[2]):
+    result = engine.execute(PNNQuery(Point(x, y), threshold=0.05)).to_dict()
+    result["timing"] = None
+    results.append(result)
+print(json.dumps(results))
+"""
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory, medium_dataset):
+    objects, domain = medium_dataset
+    engine = QueryEngine.build(
+        objects, domain, DiagramConfig(backend="ic", buffer_pages=16)
+    )
+    path = str(tmp_path_factory.mktemp("concurrent") / "engine.snap")
+    engine.save(path)
+    return path
+
+
+def _reference_results(snapshot):
+    engine = QueryEngine.open(snapshot, store="mmap", readonly=True)
+    results = []
+    for x, y in QUERY_POINTS:
+        from repro.geometry.point import Point
+
+        result = engine.execute(PNNQuery(Point(x, y), threshold=0.05)).to_dict()
+        result["timing"] = None
+        results.append(result)
+    return results
+
+
+def test_four_processes_answer_bit_identically(snapshot):
+    expected = _reference_results(snapshot)
+    workload = json.dumps(QUERY_POINTS)
+    readers = [
+        subprocess.Popen(
+            [sys.executable, "-c", READER_SCRIPT, snapshot, workload],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        for _ in range(4)
+    ]
+    outputs = []
+    for reader in readers:
+        stdout, stderr = reader.communicate(timeout=120)
+        assert reader.returncode == 0, stderr
+        outputs.append(json.loads(stdout))
+    for output in outputs:
+        # Bit-identical: probabilities, answer order, and page-read counts
+        # all match the single-process engine exactly.
+        assert output == expected
+
+
+def test_concurrent_reads_leave_the_snapshot_untouched(snapshot):
+    def digest():
+        with open(snapshot, "rb") as handle:
+            return hashlib.sha256(handle.read()).hexdigest()
+
+    before = digest()
+    workload = json.dumps(QUERY_POINTS)
+    readers = [
+        subprocess.Popen(
+            [sys.executable, "-c", READER_SCRIPT, snapshot, workload],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        for _ in range(2)
+    ]
+    for reader in readers:
+        _, stderr = reader.communicate(timeout=120)
+        assert reader.returncode == 0, stderr
+    assert digest() == before
+
+
+def test_many_engines_in_one_process_agree(snapshot):
+    from repro.geometry.point import Point
+
+    engines = [
+        QueryEngine.open(snapshot, store="mmap", readonly=True) for _ in range(4)
+    ]
+    for x, y in QUERY_POINTS:
+        results = [
+            engine.execute(PNNQuery(Point(x, y), threshold=0.05))
+            for engine in engines
+        ]
+        reference = results[0]
+        for result in results[1:]:
+            assert result.answers == reference.answers
+            assert result.io == reference.io
+
+
+def test_store_thread_safety_flags():
+    # The router relies on these declarations: mmap and memory stores do
+    # stateless reads, the file store moves a shared cursor (seek + read).
+    assert MmapPageStore.thread_safe_reads is True
+    assert MemoryPageStore.thread_safe_reads is True
+    assert FilePageStore.thread_safe_reads is False

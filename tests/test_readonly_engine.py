@@ -1,0 +1,98 @@
+"""``QueryEngine.open(..., readonly=True)``: the serving-mode write guard.
+
+A readonly engine answers every query exactly like a writable one but
+rejects structural mutation (insert / delete) with a clear error.  This is
+the correctness contract of :mod:`repro.serve`: N worker processes share one
+snapshot and must keep answering bit-identically, which only holds while
+none of them mutates its in-memory overlay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DiagramConfig, Point, QueryEngine, ReadOnlyEngineError, UncertainObject
+from repro.queries.spec import BatchQuery, KNNQuery, PNNQuery, RangeQuery
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory, medium_dataset):
+    objects, domain = medium_dataset
+    engine = QueryEngine.build(
+        objects, domain, DiagramConfig(backend="ic", buffer_pages=16)
+    )
+    path = str(tmp_path_factory.mktemp("readonly") / "engine.snap")
+    engine.save(path)
+    return path
+
+
+class TestReadOnlyMode:
+    def test_open_defaults_to_writable(self, snapshot):
+        engine = QueryEngine.open(snapshot)
+        assert engine.readonly is False
+        # The regression half of the contract: a default open still accepts
+        # live updates exactly as before the readonly flag existed.
+        new_object = UncertainObject.gaussian(
+            99991, Point(engine.domain.xmin + 1.0, engine.domain.ymin + 1.0), 5.0
+        )
+        engine.insert(new_object)
+        assert 99991 in {obj.oid for obj in engine.objects}
+        engine.delete(99991)
+        assert 99991 not in {obj.oid for obj in engine.objects}
+
+    def test_built_engine_is_writable(self, medium_dataset):
+        objects, domain = medium_dataset
+        engine = QueryEngine.build(objects[:20], domain, DiagramConfig(backend="ic"))
+        assert engine.readonly is False
+
+    def test_readonly_rejects_insert(self, snapshot):
+        engine = QueryEngine.open(snapshot, readonly=True)
+        assert engine.readonly is True
+        new_object = UncertainObject.gaussian(99992, Point(10.0, 10.0), 5.0)
+        with pytest.raises(ReadOnlyEngineError, match="read-only"):
+            engine.insert(new_object)
+        assert 99992 not in {obj.oid for obj in engine.objects}
+
+    def test_readonly_rejects_delete(self, snapshot):
+        engine = QueryEngine.open(snapshot, readonly=True)
+        victim = engine.objects[0].oid
+        with pytest.raises(ReadOnlyEngineError, match="read-only"):
+            engine.delete(victim)
+        assert victim in {obj.oid for obj in engine.objects}
+
+    def test_error_names_the_operation(self, snapshot):
+        engine = QueryEngine.open(snapshot, readonly=True)
+        with pytest.raises(ReadOnlyEngineError, match="insert"):
+            engine.insert(UncertainObject.gaussian(5, Point(1.0, 1.0), 2.0))
+        with pytest.raises(ReadOnlyEngineError, match="delete"):
+            engine.delete(0)
+
+    def test_readonly_error_is_a_runtime_error(self):
+        assert issubclass(ReadOnlyEngineError, RuntimeError)
+
+    @pytest.mark.parametrize("store", ["file", "mmap", "memory"])
+    def test_readonly_answers_match_writable(self, snapshot, medium_queries, store):
+        writable = QueryEngine.open(snapshot, store=store)
+        readonly = QueryEngine.open(snapshot, store=store, readonly=True)
+        for point in medium_queries[:5]:
+            expected = writable.execute(PNNQuery(point, threshold=0.1))
+            actual = readonly.execute(PNNQuery(point, threshold=0.1))
+            assert actual.answers == expected.answers
+            assert actual.io == expected.io
+
+    def test_readonly_supports_every_query_family(self, snapshot, medium_queries):
+        engine = QueryEngine.open(snapshot, store="mmap", readonly=True)
+        domain = engine.domain
+        engine.execute(PNNQuery(medium_queries[0]))
+        engine.execute(KNNQuery(medium_queries[0], k=2, worlds=20, seed=3))
+        engine.execute(RangeQuery(domain))
+        list(engine.execute(BatchQuery.of(medium_queries[:3])))
+
+    def test_readonly_survives_wire_round_trip_queries(self, snapshot):
+        from repro.queries.spec import query_from_dict
+
+        engine = QueryEngine.open(snapshot, store="mmap", readonly=True)
+        result = engine.execute(query_from_dict(
+            {"type": "pnn", "point": [500.0, 500.0], "threshold": 0.05}
+        ))
+        assert result.to_dict()["type"] == "pnn_result"

@@ -1,0 +1,515 @@
+"""The serving layer: config, router policies, workers, and the HTTP surface.
+
+Fast policy tests drive the :class:`~repro.serve.router.Router` and
+:class:`~repro.serve.worker.WorkerRuntime` directly (no processes); the
+end-to-end tests spawn a real worker fleet behind a real HTTP server and
+exercise the full path including crash recovery and graceful drain.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import DiagramConfig, QueryEngine
+from repro.serve import (
+    LatencyHistogram,
+    QueryService,
+    Router,
+    ServeConfig,
+    ServiceDrainingError,
+    TokenBucket,
+    WorkerRuntime,
+    wait_for_health,
+)
+from repro.serve.protocol import OP_EXPLAIN, OP_PING, OP_QUERY, OP_STATS, Request
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory, medium_dataset):
+    objects, domain = medium_dataset
+    engine = QueryEngine.build(
+        objects, domain, DiagramConfig(backend="ic", buffer_pages=16)
+    )
+    path = str(tmp_path_factory.mktemp("serve") / "engine.snap")
+    engine.save(path)
+    return path
+
+
+def _post(url, path, body, headers=None, timeout=30.0):
+    """POST JSON, returning (status, decoded body) without raising on 4xx/5xx."""
+    request = urllib.request.Request(
+        url + path,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(url, path, timeout=30.0):
+    try:
+        with urllib.request.urlopen(url + path, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestServeConfig:
+    def test_round_trip(self, snapshot):
+        config = ServeConfig(snapshot_path=snapshot, workers=3, rate_limit=5.0)
+        assert ServeConfig.from_dict(config.to_dict()) == config
+
+    def test_replace_validates(self, snapshot):
+        config = ServeConfig(snapshot_path=snapshot)
+        assert config.replace(workers=4).workers == 4
+        with pytest.raises(ValueError, match="unknown ServeConfig field"):
+            config.replace(wrkers=4)
+        with pytest.raises(ValueError):
+            config.replace(workers=0)
+
+    def test_rejects_bad_values(self, snapshot):
+        with pytest.raises(ValueError):
+            ServeConfig(snapshot_path="")
+        with pytest.raises(ValueError):
+            ServeConfig(snapshot_path=snapshot, store="papyrus")
+        with pytest.raises(ValueError):
+            ServeConfig(snapshot_path=snapshot, queue_depth=0)
+        with pytest.raises(ValueError):
+            ServeConfig(snapshot_path=snapshot, request_timeout=0.0)
+        with pytest.raises(ValueError):
+            ServeConfig(snapshot_path=snapshot, rate_limit=-1.0)
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        assert [bucket.allow() for _ in range(3)] == [True, True, True]
+        assert bucket.allow() is False
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket(rate=1000.0, burst=1)
+        assert bucket.allow() is True
+        assert bucket.allow() is False
+        time.sleep(0.01)
+        assert bucket.allow() is True
+
+
+class TestLatencyHistogram:
+    def test_percentiles_bracket_the_data(self):
+        histogram = LatencyHistogram()
+        for _ in range(98):
+            histogram.record(0.001)
+        histogram.record(1.0)
+        histogram.record(1.0)
+        state = histogram.to_dict()
+        assert state["count"] == 100
+        assert 0.5 <= state["p50_ms"] <= 2.5
+        assert state["p99_ms"] >= 500.0
+        assert state["max_ms"] == pytest.approx(1000.0)
+
+    def test_empty(self):
+        assert LatencyHistogram().to_dict() == {
+            "count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p99_ms": 0.0,
+            "max_ms": 0.0,
+        }
+
+
+class TestWorkerRuntime:
+    """The full request/response cycle, in-process (no fleet)."""
+
+    @pytest.fixture(scope="class")
+    def runtime(self, snapshot):
+        return WorkerRuntime(0, ServeConfig(snapshot_path=snapshot, workers=1))
+
+    def test_opens_readonly(self, runtime):
+        assert runtime.engine.readonly is True
+
+    def test_query_matches_direct_execution(self, runtime, medium_queries):
+        from repro.queries.spec import PNNQuery
+
+        point = medium_queries[0]
+        body = {"type": "pnn", "point": [point.x, point.y], "threshold": 0.1}
+        response = runtime.handle(Request(1, OP_QUERY, body))
+        assert response.ok, response.payload
+        direct = runtime.engine.execute(PNNQuery(point, threshold=0.1))
+        assert response.payload["answers"] == [
+            answer.to_dict() for answer in direct.answers
+        ]
+        assert response.query_kind == "pnn"
+        assert response.seconds >= 0.0
+
+    def test_explain_carries_plan_and_actuals(self, runtime, medium_queries):
+        point = medium_queries[1]
+        body = {"type": "pnn", "point": [point.x, point.y]}
+        response = runtime.handle(Request(2, OP_EXPLAIN, body))
+        assert response.ok
+        payload = response.payload
+        assert payload["type"] == "explain"
+        assert payload["plan"]["kind"] == "pnn"
+        assert payload["actual_page_reads"] >= 0
+        assert "UV-PNN" in payload["describe"] or "plan" in payload["describe"].lower()
+        assert payload["result"]["type"] == "pnn_result"
+
+    def test_batch_is_materialised(self, runtime, medium_queries):
+        body = {"type": "batch", "queries": [
+            {"type": "pnn", "point": [q.x, q.y]} for q in medium_queries[:3]
+        ]}
+        response = runtime.handle(Request(3, OP_QUERY, body))
+        assert response.ok
+        assert response.payload["type"] == "batch_result"
+        assert len(response.payload["results"]) == 3
+        assert response.payload["cache_misses"] >= 0
+
+    def test_bad_request(self, runtime):
+        response = runtime.handle(Request(4, OP_QUERY, {"type": "nope"}))
+        assert not response.ok
+        assert response.payload["error"] == "bad-request"
+        response = runtime.handle(Request(5, OP_QUERY, {"type": "pnn"}))
+        assert not response.ok
+        assert response.payload["error"] == "bad-request"
+
+    def test_ping_and_stats(self, runtime):
+        assert runtime.handle(Request(6, OP_PING, None)).ok
+        response = runtime.handle(Request(7, OP_STATS, None))
+        assert response.ok
+        assert response.payload["readonly"] is True
+        assert response.payload["backend"] == "ic"
+        assert "buffer_pool_hit_ratio" in response.payload
+        assert "planner_statistics" in response.payload
+
+
+@pytest.fixture(scope="module")
+def service(snapshot):
+    """A live 2-worker service shared by the read-only endpoint tests."""
+    config = ServeConfig(snapshot_path=snapshot, workers=2, port=0)
+    with QueryService(config) as live:
+        assert wait_for_health(live.url, timeout=30)
+        yield live
+
+
+class TestHTTPEndpoints:
+    def test_query_pnn(self, service, medium_queries):
+        point = medium_queries[0]
+        status, body = _post(service.url, "/query",
+                             {"type": "pnn", "point": [point.x, point.y]})
+        assert status == 200
+        assert body["type"] == "pnn_result"
+        assert body["answers"]
+
+    def test_parity_with_local_engine(self, service, snapshot, medium_queries):
+        engine = QueryEngine.open(snapshot, store="mmap", readonly=True)
+        from repro.queries.spec import PNNQuery
+
+        for point in medium_queries[:4]:
+            status, body = _post(service.url, "/query",
+                                 {"type": "pnn", "point": [point.x, point.y],
+                                  "threshold": 0.05})
+            assert status == 200
+            direct = engine.execute(PNNQuery(point, threshold=0.05))
+            # Answer sets and probabilities are bit-identical; per-query I/O
+            # counters depend on cache warm-up history, which differs (the
+            # service already served earlier requests this session).
+            assert body["answers"] == [a.to_dict() for a in direct.answers]
+
+    def test_explain(self, service, medium_queries):
+        point = medium_queries[1]
+        status, body = _post(service.url, "/explain",
+                             {"type": "pnn", "point": [point.x, point.y]})
+        assert status == 200
+        assert body["type"] == "explain"
+        assert body["plan"]["backend"] == "ic"
+        assert body["estimated_page_reads"] >= 0.0
+
+    def test_knn_range_batch(self, service, medium_queries):
+        point = medium_queries[2]
+        status, body = _post(service.url, "/query",
+                             {"type": "knn", "point": [point.x, point.y],
+                              "k": 2, "worlds": 30, "seed": 5})
+        assert status == 200 and body["type"] == "knn_result"
+        status, body = _post(service.url, "/query",
+                             {"type": "range", "region": [0, 0, 500, 500]})
+        assert status == 200 and body["type"] == "range_result"
+        status, body = _post(service.url, "/query", {"type": "batch", "queries": [
+            {"type": "pnn", "point": [point.x, point.y]}]})
+        assert status == 200 and body["type"] == "batch_result"
+
+    def test_bad_json_is_400(self, service):
+        request = urllib.request.Request(
+            service.url + "/query", data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_unknown_query_type_is_400(self, service):
+        status, body = _post(service.url, "/query", {"type": "voronoi"})
+        assert status == 400
+        assert body["error"] == "bad-request"
+        assert "voronoi" in body["message"]
+
+    def test_unknown_endpoint_is_404(self, service):
+        status, _ = _post(service.url, "/frobnicate", {})
+        assert status == 404
+        status, _ = _get(service.url, "/frobnicate")
+        assert status == 404
+
+    def test_health(self, service):
+        status, body = _get(service.url, "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["workers_alive"] == 2
+
+    def test_stats_surface(self, service, medium_queries):
+        point = medium_queries[0]
+        _post(service.url, "/query", {"type": "pnn", "point": [point.x, point.y]})
+        status, body = _get(service.url, "/stats")
+        assert status == 200
+        router = body["router"]
+        assert router["accepting"] is True
+        assert router["counters"]["accepted"] >= 1
+        assert router["counters"]["completed"] >= 1
+        assert len(router["workers"]) == 2
+        assert "pnn" in router["latency"]
+        histogram = router["latency"]["pnn"]
+        assert histogram["count"] >= 1
+        assert histogram["p99_ms"] >= histogram["p50_ms"] >= 0.0
+        engine_view = body["engine"]
+        assert engine_view["readonly"] is True
+        assert "buffer_pool_hit_ratio" in engine_view
+        assert "planner_statistics" in engine_view
+
+
+class TestAdmissionControl:
+    def test_queue_full_yields_429(self, snapshot):
+        # One worker, budget 1, slow reads: the second concurrent request
+        # must be rejected, not queued behind the first.
+        config = ServeConfig(
+            snapshot_path=snapshot, workers=1, queue_depth=1,
+            read_latency=0.2, port=0,
+        )
+        with QueryService(config) as service:
+            assert wait_for_health(service.url, timeout=30)
+            results = []
+
+            def slow_query():
+                results.append(_post(
+                    service.url, "/query",
+                    {"type": "pnn", "point": [500.0, 500.0]},
+                ))
+
+            worker = threading.Thread(target=slow_query)
+            worker.start()
+            time.sleep(0.05)  # let the slow query win admission first
+            deadline = time.monotonic() + 5.0
+            rejected = None
+            while time.monotonic() < deadline:
+                status, body = _post(service.url, "/query",
+                                     {"type": "pnn", "point": [100.0, 100.0]})
+                if status == 429:
+                    rejected = (status, body)
+                    break
+                time.sleep(0.01)
+            worker.join()
+            assert rejected is not None, "never saw admission control kick in"
+            assert rejected[1]["error"] == "busy"
+            assert results[0][0] == 200  # the in-flight request was served
+            _, stats = _get(service.url, "/stats")
+            assert stats["router"]["counters"]["rejected_queue_full"] >= 1
+
+    def test_rate_limit_yields_429(self, snapshot):
+        config = ServeConfig(
+            snapshot_path=snapshot, workers=1, rate_limit=1.0, rate_burst=2,
+            port=0,
+        )
+        with QueryService(config) as service:
+            assert wait_for_health(service.url, timeout=30)
+            statuses = [
+                _post(service.url, "/query",
+                      {"type": "pnn", "point": [500.0, 500.0]},
+                      headers={"X-Client-Id": "hog"})[0]
+                for _ in range(4)
+            ]
+            assert statuses.count(429) >= 1
+            # A different client has its own bucket.
+            status, _ = _post(service.url, "/query",
+                              {"type": "pnn", "point": [500.0, 500.0]},
+                              headers={"X-Client-Id": "polite"})
+            assert status == 200
+            _, stats = _get(service.url, "/stats")
+            assert stats["router"]["counters"]["rejected_rate_limited"] >= 1
+
+    def test_request_timeout_yields_504(self, snapshot):
+        config = ServeConfig(
+            snapshot_path=snapshot, workers=1, read_latency=0.3, port=0,
+        )
+        with QueryService(config) as service:
+            assert wait_for_health(service.url, timeout=30)
+            status, body = _post(
+                service.url, "/query", {"type": "pnn", "point": [500.0, 500.0]},
+                headers={"X-Request-Timeout": "0.01"},
+            )
+            assert status == 504
+            assert body["error"] == "timeout"
+            _, stats = _get(service.url, "/stats")
+            assert stats["router"]["counters"]["timeouts"] >= 1
+
+
+class TestCrashRecovery:
+    def test_killed_worker_respawns_and_request_is_retried(self, snapshot):
+        import os
+        import signal
+
+        config = ServeConfig(
+            snapshot_path=snapshot, workers=1, read_latency=0.1,
+            respawn_delay=0.05, port=0,
+        )
+        with QueryService(config) as service:
+            assert wait_for_health(service.url, timeout=30)
+            router = service.router
+            victim = router.worker_pids()[0]
+            assert victim is not None
+
+            outcome = []
+
+            def in_flight_query():
+                outcome.append(_post(
+                    service.url, "/query",
+                    {"type": "pnn", "point": [500.0, 500.0]}, timeout=60.0,
+                ))
+
+            thread = threading.Thread(target=in_flight_query)
+            thread.start()
+            time.sleep(0.05)  # let the request reach the worker
+            os.kill(victim, signal.SIGKILL)
+            thread.join(timeout=60.0)
+            assert not thread.is_alive(), "in-flight request never completed"
+
+            # The orphaned request was re-executed, not failed to the client.
+            status, body = outcome[0]
+            assert status == 200, body
+            assert body["type"] == "pnn_result"
+
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                pids = router.worker_pids()
+                if pids[0] is not None and pids[0] != victim and \
+                        router.workers_alive() == 1:
+                    break
+                time.sleep(0.05)
+            assert router.worker_pids()[0] != victim
+            _, stats = _get(service.url, "/stats")
+            counters = stats["router"]["counters"]
+            assert counters["respawns"] >= 1
+            assert counters["retried_after_crash"] >= 1
+            # And the fleet still answers.
+            status, _ = _post(service.url, "/query",
+                              {"type": "pnn", "point": [100.0, 100.0]})
+            assert status == 200
+
+
+class TestDrainAndShutdown:
+    def test_drain_rejects_new_work_and_finishes_old(self, snapshot):
+        config = ServeConfig(
+            snapshot_path=snapshot, workers=1, read_latency=0.15, port=0,
+        )
+        service = QueryService(config)
+        service.start()
+        try:
+            assert wait_for_health(service.url, timeout=30)
+            outcome = []
+
+            def slow_query():
+                outcome.append(_post(
+                    service.url, "/query",
+                    {"type": "pnn", "point": [500.0, 500.0]}, timeout=60.0,
+                ))
+
+            thread = threading.Thread(target=slow_query)
+            thread.start()
+            time.sleep(0.05)
+            url = service.url  # the port dies with the server
+            drained = service.stop(drain=True)
+            thread.join(timeout=30.0)
+            assert drained is True
+            assert outcome and outcome[0][0] == 200  # in-flight work finished
+            with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+                urllib.request.urlopen(url + "/health", timeout=2)
+        finally:
+            service.stop(drain=False)
+
+    def test_dispatch_after_drain_raises(self, snapshot):
+        config = ServeConfig(snapshot_path=snapshot, workers=1, port=0)
+        router = Router(config)
+        router.start()
+        try:
+            assert router.dispatch(OP_PING).ok
+            router.drain(timeout=5.0)
+            with pytest.raises(ServiceDrainingError):
+                router.dispatch(OP_PING)
+            assert router.counters["rejected_draining"] == 1
+        finally:
+            router.stop(drain=False)
+
+
+class TestRouterDirect:
+    """Router policies without HTTP in the way."""
+
+    def test_worker_startup_failure_is_loud(self, tmp_path):
+        config = ServeConfig(
+            snapshot_path=str(tmp_path / "missing.snap"), workers=1, port=0,
+        )
+        router = Router(config)
+        with pytest.raises(Exception, match="worker 0"):
+            router.start(ready_timeout=60.0)
+
+    def test_errors_map_to_router_exceptions(self, snapshot):
+        config = ServeConfig(snapshot_path=snapshot, workers=1, port=0)
+        router = Router(config)
+        router.start()
+        try:
+            response = router.dispatch(OP_QUERY, {"type": "nope"})
+            assert not response.ok
+            assert response.payload["error"] == "bad-request"
+            assert router.counters["errors"] == 1
+        finally:
+            router.stop(drain=False)
+
+    def test_load_balances_across_workers(self, snapshot):
+        config = ServeConfig(snapshot_path=snapshot, workers=2, port=0)
+        router = Router(config)
+        router.start()
+        try:
+            seen = {router.dispatch(OP_PING).worker_id for _ in range(10)}
+            # Sequential pings all land on worker 0 (always least-loaded at
+            # dispatch time); concurrency is what spreads the fleet.
+            threads = []
+            results = []
+
+            def ping():
+                # Long enough (Monte-Carlo k-NN) that the dispatches overlap
+                # and the least-loaded choice spreads across the fleet.
+                results.append(router.dispatch(
+                    OP_QUERY, {"type": "knn", "point": [500.0, 500.0],
+                               "k": 2, "worlds": 3000, "seed": 1}
+                ).worker_id)
+
+            for _ in range(8):
+                threads.append(threading.Thread(target=ping))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            seen.update(results)
+            assert seen == {0, 1}
+        finally:
+            router.stop(drain=False)

@@ -122,3 +122,26 @@ class TestCli:
         ])
         assert code == 0
         assert output.exists()
+
+
+class TestServeCli:
+    def test_parser_accepts_serve(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "serve", "--load", "uv.snap", "--workers", "4", "--port", "0",
+            "--rate-limit", "10", "--read-latency", "0.01",
+        ])
+        assert args.command == "serve"
+        assert args.workers == 4
+        assert args.load == "uv.snap"
+        assert args.load_store == "mmap"
+        assert args.rate_limit == 10.0
+
+    def test_serve_requires_load(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_rejects_bad_config(self, capsys):
+        code = main(["serve", "--load", "uv.snap", "--workers", "0"])
+        assert code == 2
+        assert "workers" in capsys.readouterr().err
