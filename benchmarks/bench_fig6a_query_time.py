@@ -67,7 +67,7 @@ def test_fig6a_query_time_sweep(benchmark, uniform_query_sweep, largest_uv_pnn, 
     emit(capsys, table)
 
     # Shape assertion: the UV-index should not lose to the R-tree.
-    for size, results in uniform_query_sweep.items():
+    for _size, results in uniform_query_sweep.items():
         assert results["uv-index"].avg_time_ms <= results["r-tree"].avg_time_ms * 1.25
 
     bundle, pnn = largest_uv_pnn

@@ -72,7 +72,7 @@ def test_fig6b_query_io_sweep(benchmark, uniform_query_sweep, point_query_setup,
     )
     emit(capsys, table)
 
-    for size, results in uniform_query_sweep.items():
+    for _size, results in uniform_query_sweep.items():
         assert results["uv-index"].avg_index_io <= results["r-tree"].avg_index_io
     uv_series = [results["uv-index"].avg_index_io for results in uniform_query_sweep.values()]
     assert max(uv_series) <= min(uv_series) + 2.0

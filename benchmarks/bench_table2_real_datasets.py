@@ -82,7 +82,7 @@ def test_table2_real_datasets(benchmark, real_like_results, capsys):
     )
     emit(capsys, table)
 
-    for name, (query_results, construction) in real_like_results.items():
+    for _name, (query_results, construction) in real_like_results.items():
         assert (
             query_results["uv-index"].avg_time_ms
             <= query_results["r-tree"].avg_time_ms * 1.25

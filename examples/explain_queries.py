@@ -87,7 +87,7 @@ def main() -> None:
     workload = generate_query_points(25, domain, seed=99)
     stream = engine.execute(BatchQuery.of(workload, threshold=0.05))
     top_answers = []
-    for query, result, plan in stream:
+    for _query, result, _plan in stream:
         best = result.top()
         if best is not None:
             top_answers.append(best.oid)

@@ -17,6 +17,7 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.9",
     install_requires=["numpy", "scipy"],
     extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},

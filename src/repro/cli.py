@@ -13,7 +13,9 @@ Six sub-commands cover the everyday interactions with the library:
 * ``compare``   -- run the same query workload across several backends,
 * ``render``    -- build (or ``--load``) a diagram and write an SVG picture,
 * ``serve``     -- run the multi-worker HTTP query service over a snapshot
-  (``repro serve --load uv.snap --workers 4``).
+  (``repro serve --load uv.snap --workers 4``),
+* ``lint``      -- run the project-invariant static analyzer
+  (``repro lint``, also available as ``python -m repro.lint``).
 
 The CLI is intentionally thin: every command maps directly onto the public
 Python API (:class:`repro.QueryEngine` + :class:`repro.DiagramConfig` +
@@ -143,7 +145,7 @@ def _open_snapshot(args: argparse.Namespace) -> QueryEngine:
                                 buffer_pages=args.buffer_pages)
     except (OSError, PageStoreError, ValueError) as exc:
         print(f"error: cannot open snapshot {args.load}: {exc}", file=sys.stderr)
-        raise SystemExit(2)
+        raise SystemExit(2) from exc
 
 
 def _obtain_engine(args: argparse.Namespace) -> QueryEngine:
@@ -222,7 +224,7 @@ def _pnn_descriptor(args: argparse.Namespace, point: Point) -> PNNQuery:
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        raise SystemExit(2)
+        raise SystemExit(2) from exc
 
 
 def _command_query(args: argparse.Namespace) -> int:
@@ -497,6 +499,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="buffer-pool override for the workers' engines")
     serve.set_defaults(handler=_command_serve)
 
+    subparsers.add_parser(
+        "lint",
+        help="run the project-invariant static analyzer",
+        add_help=False,
+    )
+
     render = subparsers.add_parser("render", help="render the UV-diagram to an SVG file")
     _add_dataset_arguments(render)
     _add_load_arguments(render)
@@ -511,8 +519,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        # Forwarded verbatim: the lint CLI owns its own flags (argparse's
+        # REMAINDER cannot pass through leading `--options`).
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     if not getattr(args, "handler", None):
         parser.print_help()
         return 1

@@ -108,7 +108,7 @@ def generate_roads_like(
         per_road[i % roads] += 1
 
     centers: List[Point] = []
-    for road_index, road_count in enumerate(per_road):
+    for road_count in per_road:
         if road_count == 0:
             continue
         polyline = _random_polyline(rng, domain, vertices=24, wobble=0.45)

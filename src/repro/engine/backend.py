@@ -107,13 +107,13 @@ class IndexBackend(abc.ABC):
     # live updates
     # ------------------------------------------------------------------ #
     @abc.abstractmethod
-    def insert(self, obj: UncertainObject):
+    def insert(self, obj: UncertainObject) -> Any:
         """Add one object (called by :meth:`QueryEngine.insert`).  Unless
         ``handles_engine_state`` is set, the engine has already registered the
         object in the shared object store / R-tree."""
 
     @abc.abstractmethod
-    def delete(self, oid: int):
+    def delete(self, oid: int) -> Any:
         """Remove one object (called by :meth:`QueryEngine.delete`)."""
 
     # ------------------------------------------------------------------ #
@@ -171,10 +171,9 @@ class IndexBackend(abc.ABC):
 #: ``scheduler`` is a :class:`repro.parallel.ConstructionScheduler` (or
 #: ``None``) that backends with a parallelisable construction phase should
 #: forward to their builders -- backends whose construction is trivially
-#: cheap may ignore it.
-BackendFactory = Callable[
-    [Sequence[UncertainObject], Rect, "DiagramConfig", Any, Any, Any], IndexBackend
-]
+#: cheap may ignore it.  The parameter list stays ``...`` because legacy
+#: five-arg factories remain callable (see :func:`_scheduler_call_style`).
+BackendFactory = Callable[..., IndexBackend]
 
 #: called as ``restorer(state, objects, domain, config, disk, rtree, stats)``
 #: with the :meth:`IndexBackend.snapshot_state` payload; must return an
@@ -223,9 +222,9 @@ def create_backend(
     objects: Sequence[UncertainObject],
     domain: Rect,
     config: "DiagramConfig",
-    disk,
-    rtree,
-    scheduler=None,
+    disk: Any,
+    rtree: Any,
+    scheduler: Any = None,
 ) -> IndexBackend:
     """Instantiate the backend registered under ``name``.
 
@@ -279,9 +278,9 @@ def restore_backend(
     objects: Sequence[UncertainObject],
     domain: Rect,
     config: "DiagramConfig",
-    disk,
-    rtree,
-    stats,
+    disk: Any,
+    rtree: Any,
+    stats: Any,
 ) -> IndexBackend:
     """Rebuild the backend registered under ``name`` from snapshot state."""
     restorer = _RESTORERS.get(name.lower())

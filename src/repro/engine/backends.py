@@ -12,7 +12,7 @@ are identical whichever entry point a caller picks.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.construction import (
     ConstructionStats,
@@ -25,6 +25,7 @@ from repro.core.pnn import uv_index_candidates
 from repro.core.updates import UVDiagramUpdater
 from repro.core.uv_index import UVIndex
 from repro.engine.backend import (
+    BackendFactory,
     BatchReadCache,
     IndexBackend,
     register_backend,
@@ -51,7 +52,7 @@ class UVIndexBackend(IndexBackend):
 
     handles_engine_state = True
 
-    def __init__(self, index: UVIndex, construction_stats: ConstructionStats):
+    def __init__(self, index: UVIndex, construction_stats: ConstructionStats) -> None:
         super().__init__()
         self.index = index
         self.construction_stats = construction_stats
@@ -110,7 +111,7 @@ class RTreeBackend(IndexBackend):
 
     handles_engine_state = False
 
-    def __init__(self, construction_stats: ConstructionStats):
+    def __init__(self, construction_stats: ConstructionStats) -> None:
         super().__init__()
         self.construction_stats = construction_stats
 
@@ -167,7 +168,7 @@ class UniformGridBackend(IndexBackend):
 
     handles_engine_state = False
 
-    def __init__(self, grid: UniformGridIndex, construction_stats: ConstructionStats):
+    def __init__(self, grid: UniformGridIndex, construction_stats: ConstructionStats) -> None:
         super().__init__()
         self.grid = grid
         self.construction_stats = construction_stats
@@ -241,14 +242,14 @@ class UniformGridBackend(IndexBackend):
 # ---------------------------------------------------------------------- #
 # factories
 # ---------------------------------------------------------------------- #
-def _uv_factory(method: str):
+def _uv_factory(method: str) -> BackendFactory:
     def factory(
         objects: Sequence[UncertainObject],
         domain: Rect,
         config: DiagramConfig,
         disk: DiskManager,
         rtree: RTree,
-        scheduler=None,
+        scheduler: Any = None,
     ) -> UVIndexBackend:
         if method == "basic":
             index, stats = build_uv_index_basic(
@@ -285,7 +286,7 @@ def _rtree_factory(
     config: DiagramConfig,
     disk: DiskManager,
     rtree: RTree,
-    scheduler=None,
+    scheduler: Any = None,
 ) -> RTreeBackend:
     # The R-tree is bulk-loaded by the engine before backends exist; there is
     # no per-object cell computation for a scheduler to shard.
@@ -304,7 +305,7 @@ def _grid_factory(
     config: DiagramConfig,
     disk: DiskManager,
     rtree: RTree,
-    scheduler=None,
+    scheduler: Any = None,
 ) -> UniformGridBackend:
     start = time.perf_counter()
     grid = UniformGridIndex(domain, resolution=config.grid_resolution, disk=disk)

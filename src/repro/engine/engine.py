@@ -33,7 +33,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -52,6 +52,7 @@ from repro.engine.planner import (
     QueryPlan,
     QueryPlanner,
 )
+from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.queries.knn import KNNResult, ProbabilisticKNN
@@ -103,7 +104,7 @@ class BatchResult:
     def __len__(self) -> int:
         return len(self.results)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[PNNResult]:
         return iter(self.results)
 
     @property
@@ -135,7 +136,7 @@ class BatchStream:
         query: BatchQuery,
         plan: QueryPlan,
         force_strategy: Optional[str] = None,
-    ):
+    ) -> None:
         self.query = query
         self.plan = plan
         self.cache = BatchReadCache()
@@ -189,8 +190,8 @@ class QueryEngine:
         object_store: ObjectStore,
         disk: DiskManager,
         config: Optional[DiagramConfig] = None,
-        construction_stats=None,
-    ):
+        construction_stats: Any = None,
+    ) -> None:
         self.objects = list(objects)
         self.domain = domain
         self.backend = backend
@@ -232,8 +233,8 @@ class QueryEngine:
         domain: Rect,
         config: Optional[DiagramConfig] = None,
         disk: Optional[DiskManager] = None,
-        scheduler=None,
-        **overrides,
+        scheduler: Any = None,
+        **overrides: Any,
     ) -> "QueryEngine":
         """Build an engine over ``objects`` with the configured backend.
 
@@ -438,7 +439,7 @@ class QueryEngine:
         plan: QueryPlan,
         rng: Optional[np.random.Generator] = None,
         force_strategy: Optional[str] = None,
-    ):
+    ) -> Any:
         if isinstance(query, PNNQuery):
             return self._execute_pnn(query, plan, cache=None)
         if isinstance(query, BatchQuery):
@@ -462,10 +463,10 @@ class QueryEngine:
         if plan.strategy == STRATEGY_RTREE and self.backend.name != "rtree":
             # The planner routed the query to the shared R-tree baseline
             # (cost-based takeover, or the deprecated pnn_rtree wrapper).
-            def retrieve(point: Point):
+            def retrieve(point: Point) -> List[Tuple[int, Circle]]:
                 return branch_and_prune_candidates(self.rtree, point, cache=cache)
         else:
-            def retrieve(point: Point):
+            def retrieve(point: Point) -> List[Tuple[int, Circle]]:
                 return self.backend.candidates(point, cache=cache)
 
         return evaluate_pnn(
@@ -638,7 +639,7 @@ class QueryEngine:
     # ------------------------------------------------------------------ #
     # live updates
     # ------------------------------------------------------------------ #
-    def insert(self, obj: UncertainObject):
+    def insert(self, obj: UncertainObject) -> Any:
         """Insert a new object; the diagram stays queryable afterwards.
 
         Returns whatever the backend reports (the new object's cr-object ids
@@ -655,7 +656,7 @@ class QueryEngine:
         self._register_object(obj)
         return self.backend.insert(obj)
 
-    def delete(self, oid: int):
+    def delete(self, oid: int) -> Any:
         """Remove an object by id; the diagram stays queryable afterwards.
 
         Returns whatever the backend reports (the refreshed object ids for
@@ -683,7 +684,7 @@ class QueryEngine:
     # introspection
     # ------------------------------------------------------------------ #
     @property
-    def index(self):
+    def index(self) -> Any:
         """The underlying UV-index, or ``None`` for non-UV backends."""
         return getattr(self.backend, "index", None)
 

@@ -196,7 +196,7 @@ class QueryPlanner:
     structure version), disk / buffer-pool counters, and configuration.
     """
 
-    def __init__(self, engine: "QueryEngine"):
+    def __init__(self, engine: "QueryEngine") -> None:
         self._engine = engine
         self._stats_cache: Optional[Dict[str, float]] = None
         self._stats_version: int = -1

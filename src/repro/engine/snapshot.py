@@ -18,7 +18,7 @@ and counted page reads as the engine that was saved.
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, TYPE_CHECKING
 
 from repro.core.construction import ConstructionStats
 from repro.engine.backend import restore_backend
@@ -30,10 +30,13 @@ from repro.storage.pagestore import FilePageStore, open_page_store, write_snapsh
 from repro.storage.stats import TimingBreakdown
 from repro.rtree.tree import RTree
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.engine import QueryEngine
+
 SNAPSHOT_FORMAT = 1
 
 
-def build_meta(engine) -> Dict[str, Any]:
+def build_meta(engine: "QueryEngine") -> Dict[str, Any]:
     """The JSON metadata blob describing ``engine``'s non-page state."""
     stats = engine.construction_stats
     return {
@@ -53,7 +56,7 @@ def build_meta(engine) -> Dict[str, Any]:
     }
 
 
-def save_engine(engine, path: str) -> str:
+def save_engine(engine: "QueryEngine", path: str) -> str:
     """Serialize the engine's full state (pages + metadata) to ``path``.
 
     When the engine already lives on a :class:`FilePageStore` at the same
@@ -94,7 +97,7 @@ def open_engine(
     buffer_pages: Optional[int] = None,
     read_latency: float = 0.0,
     readonly: bool = False,
-):
+) -> "QueryEngine":
     """Restore a :class:`QueryEngine` from a snapshot, without reconstruction.
 
     Args:

@@ -66,7 +66,10 @@ class Hyperbola:
         focal_distance = center_i.distance_to(center_j)
         a = (radius_i + radius_j) / 2.0
         c = focal_distance / 2.0
-        if focal_distance == 0.0 or c <= a:
+        # c <= a also covers coincident centres (focal_distance == 0 gives
+        # c == 0 <= a), so no separate zero test -- and no division below
+        # can see a zero focal_distance.
+        if c <= a:
             return None
         b = math.sqrt(c * c - a * a)
         center = center_i.midpoint(center_j)

@@ -95,6 +95,7 @@ class Point:
             ValueError: if this is the zero vector.
         """
         length = self.norm()
+        # repro-lint: ignore[float-eq] -- exact zero (the only non-normalizable length) guards the division
         if length == 0.0:
             raise ValueError("cannot normalize the zero vector")
         return Point(self.x / length, self.y / length)

@@ -49,6 +49,7 @@ class Segment:
         """The point of the segment closest to ``p``."""
         d = self.end - self.start
         denom = d.squared_norm()
+        # repro-lint: ignore[float-eq] -- exact zero (a degenerate point segment) guards the division
         if denom == 0.0:
             return self.start
         t = ((p.x - self.start.x) * d.x + (p.y - self.start.y) * d.y) / denom
@@ -80,6 +81,7 @@ class Segment:
                 return None
             # Collinear: check for overlap along the common line.
             rr = r.squared_norm()
+            # repro-lint: ignore[float-eq] -- exact zero (a degenerate point segment) guards the division
             if rr == 0.0:
                 return self.start if other.distance_to_point(self.start) < 1e-12 else None
             t0 = (qp.x * r.x + qp.y * r.y) / rr
@@ -115,6 +117,7 @@ def sample_polyline(points: List[Point], count: int) -> List[Point]:
     if count < 1:
         raise ValueError("count must be positive")
     total = polyline_length(points)
+    # repro-lint: ignore[float-eq] -- exact zero (all vertices coincide) guards the arc-length division
     if total == 0.0:
         return [points[0]] * count
     targets = [total * i / max(count - 1, 1) for i in range(count)]

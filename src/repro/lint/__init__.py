@@ -1,0 +1,34 @@
+"""``repro.lint``: the project-invariant static analyzer.
+
+The repo's load-bearing invariants -- bit-identical parallel replay,
+counted I/O through :class:`~repro.storage.disk.DiskManager`, frozen
+descriptor/config records, wire-format completeness, the readonly serving
+guard, and lock discipline on shared router state -- are enforced here as
+AST-level rules instead of review-time convention.  Run it as::
+
+    repro lint                     # or: python -m repro.lint
+    repro lint --list-rules        # the catalogue with rationales
+    repro lint --select float-eq   # one rule
+    repro lint --format json -o lint-report.json   # the CI artifact
+
+Intentional violations are suppressed inline with a rationale::
+
+    if radius == 0.0:  # repro-lint: ignore[float-eq] -- exact zero guards division
+
+See :mod:`repro.lint.rules` for the catalogue and
+:mod:`repro.lint.baseline` for bulk-adoption baselines.
+"""
+
+from repro.lint.driver import LintReport, lint_path
+from repro.lint.findings import Finding
+from repro.lint.registry import RULES, Rule, all_rules, register
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "all_rules",
+    "lint_path",
+    "register",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` entry point."""
+
+import sys
+
+from repro.lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,57 @@
+"""Baseline files: accept today's known findings, block new ones.
+
+A baseline is a JSON list of finding fingerprints (rule id + file +
+normalized source line -- see :attr:`repro.lint.findings.Finding.fingerprint`),
+so it survives line-number churn but expires the moment the offending line
+itself changes.  The intended workflow mirrors mypy/ruff baselines:
+
+* ``repro lint --write-baseline lint-baseline.json`` records the current
+  findings;
+* ``repro lint --baseline lint-baseline.json`` reports only findings that
+  are *not* in the file (and exits non-zero only for those).
+
+Prefer inline ``# repro-lint: ignore[rule] -- why`` suppressions for
+intentional violations: they keep the rationale next to the code.  The
+baseline exists for bulk adoption, not as a dumping ground.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Set
+
+from repro.lint.findings import Finding, sort_findings
+
+#: Schema marker of the baseline file.
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """The set of baselined fingerprints recorded in ``path``."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path} is not a repro-lint baseline "
+            f"(expected a dict with version={BASELINE_VERSION})"
+        )
+    entries = data.get("findings", [])
+    return {entry["fingerprint"] for entry in entries}
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    """Record ``findings`` as the accepted baseline at ``path``."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "source_line": finding.source_line,
+            }
+            for finding in sort_findings(findings)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")

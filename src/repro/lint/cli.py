@@ -1,0 +1,117 @@
+"""Command-line front end of the analyzer (``repro lint`` / ``python -m repro.lint``)."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.driver import lint_path
+from repro.lint.findings import render_json_report
+from repro.lint.registry import all_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="project-invariant static analysis for the repro codebase",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="directories or files to scan (default: the installed repro package)")
+    parser.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="run only these rule ids (repeatable)")
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format on stdout (default: text)")
+    parser.add_argument(
+        "-o", "--output", metavar="FILE", default=None,
+        help="also write the JSON report to FILE (the CI artifact)")
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="drop findings recorded in this baseline file")
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help="record the current findings as the accepted baseline and exit 0")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue with rationales and exit")
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print findings only, no summary line")
+    return parser
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        scope = ", ".join(rule.scope) if rule.scope else "(whole tree)"
+        print(f"{rule.id}")
+        print(f"  {rule.title}")
+        print(f"  why   : {rule.rationale}")
+        print(f"  scope : {scope}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    targets = [Path(path) for path in args.paths] or [None]
+    reports = []
+    try:
+        for target in targets:
+            reports.append(lint_path(target, select=args.select, baseline=baseline))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    findings = [finding for report in reports for finding in report.all_findings()]
+    summary = {
+        "files_scanned": sum(r.files_scanned for r in reports),
+        "rules_run": max((r.rules_run for r in reports), default=0),
+        "findings": len(findings),
+        "suppressed": sum(r.suppressed for r in reports),
+        "baselined": sum(r.baselined for r in reports),
+    }
+
+    if args.write_baseline:
+        write_baseline(Path(args.write_baseline), findings)
+        print(f"wrote baseline with {len(findings)} finding(s) to "
+              f"{args.write_baseline}")
+        return 0
+
+    if args.output:
+        Path(args.output).write_text(
+            render_json_report(findings, summary) + "\n", encoding="utf-8")
+
+    if args.format == "json":
+        print(render_json_report(findings, summary))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if not args.quiet:
+            status = "clean" if not findings else f"{len(findings)} finding(s)"
+            print(
+                f"repro lint: {status} -- {summary['files_scanned']} files, "
+                f"{summary['rules_run']} rules, "
+                f"{summary['suppressed']} suppressed, "
+                f"{summary['baselined']} baselined"
+            )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,197 @@
+"""The lint driver: collect files, run every rule, filter, report.
+
+The driver owns the mechanics shared by all rules: walking the tree,
+parsing each file exactly once into a :class:`~repro.lint.project.SourceFile`,
+building the cross-module :class:`~repro.lint.project.ProjectModel`, running
+per-file and project-wide passes, and then filtering the raw findings
+through inline suppressions and the optional baseline.  Rules stay pure
+functions from ASTs to findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.lint.findings import Finding, sort_findings
+from repro.lint.project import ProjectModel, SourceFile
+from repro.lint.registry import Rule, all_rules
+
+#: Directories never scanned.
+_SKIPPED_DIRS = {"__pycache__"}
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (the default scan target)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def resolve_root(path: Path) -> Path:
+    """Normalize a CLI path to the package root the relpaths hang off.
+
+    Passing ``src`` or the repository root finds the ``repro`` package
+    inside it, so ``repro lint src`` and ``repro lint`` agree on scopes
+    like ``core/construction.py``.
+    """
+    path = path.resolve()
+    if path.is_dir():
+        for candidate in (path / "repro", path / "src" / "repro"):
+            if candidate.is_dir() and (candidate / "__init__.py").exists():
+                return candidate
+    return path
+
+
+def collect_files(root: Path) -> List[Path]:
+    """Every ``.py`` file under ``root``, in deterministic order."""
+    if root.is_file():
+        return [root]
+    return sorted(
+        path
+        for path in root.rglob("*.py")
+        if not any(part in _SKIPPED_DIRS for part in path.parts)
+    )
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    parse_failures: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """Non-zero when anything (including a parse failure) survived."""
+        return 1 if (self.findings or self.parse_failures) else 0
+
+    def all_findings(self) -> List[Finding]:
+        """Parse failures first, then rule findings, in report order."""
+        return sort_findings(self.parse_failures) + sort_findings(self.findings)
+
+    def summary(self) -> dict:
+        """The JSON-report summary block."""
+        return {
+            "files_scanned": self.files_scanned,
+            "rules_run": self.rules_run,
+            "findings": len(self.findings) + len(self.parse_failures),
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+
+
+def load_project(root: Path) -> "tuple[ProjectModel, List[Finding]]":
+    """Parse every file under ``root``; syntax errors become findings."""
+    sources: List[SourceFile] = []
+    failures: List[Finding] = []
+    for path in collect_files(root):
+        relpath = (
+            path.relative_to(root).as_posix() if root.is_dir() else path.name
+        )
+        try:
+            sources.append(SourceFile.load(path, relpath))
+        except SyntaxError as exc:
+            failures.append(
+                Finding(
+                    rule_id="parse-error",
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                    hint="repro lint analyses ASTs; fix the syntax error first",
+                )
+            )
+    return ProjectModel(sources), failures
+
+
+def run_rules(
+    project: ProjectModel, rules: Sequence[Rule]
+) -> "tuple[List[Finding], int]":
+    """Run every rule over the project, applying inline suppressions."""
+    raw: List[Finding] = []
+    for rule in rules:
+        for source in project.files:
+            if rule.applies_to(source):
+                raw.extend(rule.check_file(source, project))
+        raw.extend(rule.check_project(project))
+
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        source = project.find(finding.path)
+        if source is not None and source.is_suppressed(finding.rule_id, finding.line):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def lint_path(
+    target: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Iterable[str]] = None,
+    baseline: Optional[Set[str]] = None,
+) -> LintReport:
+    """Lint one tree and return the filtered report.
+
+    Args:
+        target: directory (or file) to scan; defaults to the installed
+            ``repro`` package.
+        rules: explicit rule instances (tests inject single rules here).
+        select: restrict the registered rules to these ids.
+        baseline: fingerprints to drop from the report (see
+            :mod:`repro.lint.baseline`).
+    """
+    root = resolve_root(target) if target is not None else default_root()
+    chosen: Sequence[Rule] = list(rules) if rules is not None else all_rules()
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {rule.id for rule in chosen}
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        chosen = [rule for rule in chosen if rule.id in wanted]
+
+    project, parse_failures = load_project(root)
+    findings, suppressed = run_rules(project, chosen)
+
+    baselined = 0
+    if baseline:
+        surviving = []
+        for finding in findings:
+            if finding.fingerprint in baseline:
+                baselined += 1
+            else:
+                surviving.append(finding)
+        findings = surviving
+
+    return LintReport(
+        findings=sort_findings(findings),
+        parse_failures=sort_findings(parse_failures),
+        files_scanned=len(project.files) + len(parse_failures),
+        rules_run=len(chosen),
+        suppressed=suppressed,
+        baselined=baselined,
+    )
+
+
+def parse_snippet(code: str, relpath: str = "snippet.py") -> SourceFile:
+    """A :class:`SourceFile` for inline code (the fixture-test helper)."""
+    import textwrap
+
+    text = textwrap.dedent(code)
+    lines = text.splitlines()
+    from repro.lint.project import parse_suppressions
+
+    return SourceFile(
+        path=Path(relpath),
+        relpath=relpath,
+        text=text,
+        tree=ast.parse(text),
+        lines=lines,
+        suppressions=parse_suppressions(lines),
+    )

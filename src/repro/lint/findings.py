@@ -1,0 +1,83 @@
+"""Structured findings: what a rule reports and how it is rendered.
+
+A :class:`Finding` pins one defect to a ``file:line:col``, names the rule
+that raised it, and carries a human message plus an optional fix hint.  The
+*fingerprint* identifies the finding across unrelated line-number churn --
+it hashes the rule id, the file, and the normalized source line -- which is
+what makes baseline files (see :mod:`repro.lint.baseline`) stable while the
+file above a known finding is edited.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect reported by one rule.
+
+    Attributes:
+        rule_id: registry id of the rule that raised the finding.
+        path: file path relative to the scan root (posix separators).
+        line: 1-based line of the offending construct.
+        col: 0-based column of the offending construct.
+        message: what is wrong, in one sentence.
+        hint: how to fix it (or how to suppress it when intentional).
+        source_line: the stripped text of the offending line, for reports
+            and for the baseline fingerprint.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int = 0
+    message: str = ""
+    hint: str = ""
+    source_line: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """A line-number-independent identity for baselining."""
+        basis = f"{self.rule_id}:{self.path}:{' '.join(self.source_line.split())}"
+        return hashlib.sha1(basis.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        """The one-line ``path:line:col: id message`` form of the finding."""
+        text = f"{self.path}:{self.line}:{self.col + 1}: {self.rule_id}: {self.message}"
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible state (the report artifact format)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "source_line": self.source_line,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Deterministic report order: by file, then position, then rule id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule_id))
+
+
+def render_json_report(findings: List[Finding], summary: Dict[str, Any]) -> str:
+    """The machine-readable report (uploaded as a CI artifact)."""
+    return json.dumps(
+        {
+            "summary": summary,
+            "findings": [finding.to_dict() for finding in sort_findings(findings)],
+        },
+        indent=2,
+        sort_keys=True,
+    )

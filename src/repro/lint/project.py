@@ -1,0 +1,117 @@
+"""The project model: parsed source files plus cross-module lookups.
+
+Per-file rules see one :class:`SourceFile` (text, AST, suppression map);
+project rules see the whole :class:`ProjectModel`, which is how invariants
+*between* modules -- "every descriptor registered for the wire decoder has a
+``to_dict``/``from_dict`` pair" -- become checkable without importing any
+project code.  Everything here is pure ``ast``: linting never executes the
+target modules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+#: ``# repro-lint: ignore[rule-a,rule-b]`` or ``# repro-lint: ignore`` (all
+#: rules).  Anything after the bracket (e.g. ``-- why it is fine``) is the
+#: author's rationale and is ignored by the parser but expected by reviewers.
+#: A trailing comment suppresses its own line; a standalone comment line
+#: suppresses the line that follows it.
+_SUPPRESSION = re.compile(r"#\s*repro-lint:\s*ignore(?:\[([^\]]*)\])?")
+
+#: The marker meaning "every rule" in a suppression set.
+ALL_RULES = "*"
+
+
+def parse_suppressions(lines: List[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on that line."""
+    suppressions: Dict[int, Set[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        if "repro-lint" not in line:
+            continue
+        match = _SUPPRESSION.search(line)
+        if match is None:
+            continue
+        listed = match.group(1)
+        if listed is None:
+            rules = {ALL_RULES}
+        else:
+            rules = {rule.strip() for rule in listed.split(",") if rule.strip()}
+        # A comment-only line shields the next line (the code it annotates);
+        # a trailing comment shields its own.
+        target = number + 1 if line.lstrip().startswith("#") else number
+        suppressions.setdefault(target, set()).update(rules)
+    return suppressions
+
+
+@dataclass
+class SourceFile:
+    """One parsed module of the scanned tree."""
+
+    path: Path
+    relpath: str
+    text: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path, relpath: str) -> "SourceFile":
+        """Read and parse one file (raises ``SyntaxError`` on broken code)."""
+        text = path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        return cls(
+            path=path,
+            relpath=relpath,
+            text=text,
+            tree=ast.parse(text, filename=str(path)),
+            lines=lines,
+            suppressions=parse_suppressions(lines),
+        )
+
+    def line_text(self, line: int) -> str:
+        """The stripped source text of a 1-based line (for fingerprints)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is suppressed on ``line``."""
+        listed = self.suppressions.get(line)
+        if listed is None:
+            return False
+        return ALL_RULES in listed or rule_id in listed
+
+    def classes(self) -> Dict[str, ast.ClassDef]:
+        """Top-level class definitions by name."""
+        return {
+            node.name: node
+            for node in self.tree.body
+            if isinstance(node, ast.ClassDef)
+        }
+
+
+class ProjectModel:
+    """Every scanned file, addressable by its root-relative path."""
+
+    def __init__(self, files: List[SourceFile]) -> None:
+        self.files = files
+        self.by_relpath: Dict[str, SourceFile] = {
+            source.relpath: source for source in files
+        }
+
+    def find(self, relpath: str) -> Optional[SourceFile]:
+        """The file at ``relpath``, or ``None`` when it is outside the scan."""
+        return self.by_relpath.get(relpath)
+
+    def matching(self, prefix: str) -> List[SourceFile]:
+        """Files whose relpath equals ``prefix`` or lives under it."""
+        return [
+            source
+            for source in self.files
+            if source.relpath == prefix or source.relpath.startswith(prefix)
+        ]

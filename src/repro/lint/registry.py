@@ -1,0 +1,98 @@
+"""The rule registry: every check is one named, documented, scoped rule.
+
+A rule declares *where* it applies (``scope`` -- root-relative path
+prefixes) and *what* it checks (``check_file`` for single-module invariants,
+``check_project`` for cross-module ones).  Registration happens at import
+time via the :func:`register` decorator; :mod:`repro.lint.rules` imports
+every rule module, so ``all_rules()`` is complete as soon as the package is
+imported.  The ids are part of the tool's interface: suppression comments
+(``# repro-lint: ignore[rule-id]``), baselines, and the CLI's
+``--select`` all speak rule ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Type
+
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectModel, SourceFile
+
+
+class Rule:
+    """Base class of every lint rule.
+
+    Class attributes:
+        id: stable kebab-case identifier (suppressions and baselines use it).
+        title: one-line name of the invariant.
+        rationale: why the project enforces it (shown by ``--list-rules``).
+        hint: default fix hint attached to findings.
+        scope: root-relative path prefixes the rule applies to; empty means
+            every scanned file.
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+    hint: str = ""
+    scope: tuple = ()
+
+    def applies_to(self, source: SourceFile) -> bool:
+        """Whether ``source`` is inside the rule's scope."""
+        if not self.scope:
+            return True
+        return any(
+            source.relpath == prefix or source.relpath.startswith(prefix)
+            for prefix in self.scope
+        )
+
+    def check_file(self, source: SourceFile, project: ProjectModel) -> Iterable[Finding]:
+        """Per-file pass; yield findings for ``source``."""
+        return ()
+
+    def check_project(self, project: ProjectModel) -> Iterable[Finding]:
+        """Cross-module pass; runs once after every file is parsed."""
+        return ()
+
+    # ------------------------------------------------------------------ #
+    # finding helper
+    # ------------------------------------------------------------------ #
+    def finding(
+        self,
+        source: SourceFile,
+        line: int,
+        col: int,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        """Build a finding anchored in ``source`` with the rule's identity."""
+        return Finding(
+            rule_id=self.id,
+            path=source.relpath,
+            line=line,
+            col=col,
+            message=message,
+            hint=hint or self.hint,
+            source_line=source.line_text(line),
+        )
+
+
+#: id -> rule instance, populated by :func:`register`.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate the rule and add it to the registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id: {rule.id}")
+    RULES[rule.id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in id order (importing the rules package)."""
+    import repro.lint.rules  # noqa: F401 - importing registers the rules
+
+    return [RULES[rule_id] for rule_id in sorted(RULES)]

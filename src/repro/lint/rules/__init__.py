@@ -1,0 +1,18 @@
+"""The rule catalogue: importing this package registers every rule.
+
+One module per rule keeps each invariant's motivation, scope, and
+implementation in one reviewable place; :func:`repro.lint.registry.all_rules`
+imports this package so the registry is always complete.
+"""
+
+from repro.lint.rules import (  # noqa: F401 - imported for registration
+    counted_io,
+    determinism,
+    float_eq,
+    frozen_spec,
+    lock_discipline,
+    picklable_work,
+    readonly_guard,
+    validated_replace,
+    wire_complete,
+)

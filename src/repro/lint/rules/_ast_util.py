@@ -1,0 +1,71 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for nested Name/Attribute chains, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        if base is not None:
+            return f"{base}.{node.attr}"
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call target (``pool.map`` for ``pool.map(...)``)."""
+    return dotted_name(node.func)
+
+
+def is_constant(node: ast.AST, *values: object) -> bool:
+    """Whether ``node`` is a literal equal (by identity) to one of ``values``."""
+    return isinstance(node, ast.Constant) and any(
+        node.value is value for value in values
+    )
+
+
+def is_float_literal(node: ast.AST) -> bool:
+    """Whether ``node`` is a ``float`` constant (or unary minus of one)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and type(node.value) is float
+
+
+def walk_functions(tree: ast.AST) -> Iterator[ast.AST]:
+    """Every function / async-function / lambda definition in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            yield node
+
+
+def decorator_dataclass_frozen(node: ast.ClassDef) -> Optional[bool]:
+    """``True``/``False`` when ``node`` is a dataclass (frozen or not),
+    ``None`` when it is not a dataclass at all."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name in ("dataclass", "dataclasses.dataclass"):
+            if isinstance(decorator, ast.Call):
+                for keyword in decorator.keywords:
+                    if keyword.arg == "frozen":
+                        return is_constant(keyword.value, True)
+            return False
+    return None
+
+
+def class_methods(node: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+    """Direct method definitions of a class body."""
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield item
+
+
+def has_method(node: ast.ClassDef, *names: str) -> bool:
+    """Whether the class body directly defines any of ``names``."""
+    defined = {method.name for method in class_methods(node)}
+    return any(name in defined for name in names)

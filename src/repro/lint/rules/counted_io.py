@@ -1,0 +1,64 @@
+"""Rule ``counted-io``: page content flows through ``DiskManager`` only.
+
+The paper's headline metric is the *number of counted page accesses* per
+query and per construction.  ``DiskManager.read_page`` / ``write_page`` /
+``free_page`` are the counted path (and the buffer-pool integration point);
+the :class:`~repro.storage.pagestore.PageStore` protocol methods
+(``load_page`` / ``store_page`` / ``delete_page``) move raw page content and
+count nothing.  A query or index module calling the store directly silently
+deflates every reported I/O number and bypasses buffer-pool coherence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectModel, SourceFile
+from repro.lint.registry import Rule, register
+
+#: PageStore content methods (uncounted); DiskManager's counted equivalents.
+_STORE_METHODS = {
+    "load_page": "DiskManager.read_page",
+    "store_page": "DiskManager.write_page",
+    "delete_page": "DiskManager.free_page",
+}
+
+#: The persistence layer itself implements and fronts the store protocol.
+_EXEMPT_PREFIXES = ("storage/", "lint/")
+
+
+@register
+class CountedIORule(Rule):
+    id = "counted-io"
+    title = "query/backend code must not bypass DiskManager page accounting"
+    rationale = (
+        "the paper's reported metric is counted page accesses; PageStore "
+        "methods move content without counting (or buffer-pool coherence)"
+    )
+    hint = (
+        "call DiskManager.read_page/write_page/free_page (counted, "
+        "pool-coherent) instead of the PageStore protocol methods"
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return not source.relpath.startswith(_EXEMPT_PREFIXES)
+
+    def check_file(self, source: SourceFile, project: ProjectModel) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _STORE_METHODS
+            ):
+                counted = _STORE_METHODS[node.func.attr]
+                findings.append(self.finding(
+                    source, node.lineno, node.col_offset,
+                    f"direct PageStore.{node.func.attr}() call bypasses the "
+                    f"counted I/O path",
+                    hint=f"use {counted} so the access is counted and the "
+                         f"buffer pool stays coherent",
+                ))
+        return findings

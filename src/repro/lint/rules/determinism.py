@@ -1,0 +1,137 @@
+"""Rule ``determinism``: no iteration-order or RNG nondeterminism in
+construction, parallel scheduling, or snapshot replay code.
+
+Parallel builds are bit-identical to serial builds *because* every loop that
+feeds the index runs in a canonical order (PR 3), and snapshot replay
+re-creates structures in recorded order (PR 2).  A single ``for x in
+some_set`` or ``sorted(..., key=id)`` silently breaks that contract on a
+different Python process (hash randomization, allocation addresses), which
+the parity tests only catch for the code paths they happen to cover.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectModel, SourceFile
+from repro.lint.registry import Rule, register
+from repro.lint.rules._ast_util import dotted_name
+
+#: ``random``-module functions that consume the unseeded global generator.
+_GLOBAL_RANDOM_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+}
+
+#: Set-returning method names whose iteration order is undefined.
+_SET_METHODS = {"intersection", "union", "difference", "symmetric_difference"}
+
+#: ``numpy.random`` entry points that build explicitly seeded generators --
+#: these are the *fix* for global-state randomness, not an instance of it.
+_SEEDED_NP_FACTORIES = {"default_rng", "Generator", "SeedSequence"}
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """Whether ``node`` evaluates to a set (literal, comprehension, call)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_METHODS
+        ):
+            return True
+    return False
+
+
+def _iteration_targets(tree: ast.AST) -> Iterable[ast.AST]:
+    """Every expression some loop or comprehension iterates over."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                yield generator.iter
+
+
+@register
+class DeterminismRule(Rule):
+    id = "determinism"
+    title = "no unordered iteration / unseeded randomness on replayed paths"
+    rationale = (
+        "parallel construction and snapshot replay promise bit-identical "
+        "results; set iteration order and the global random generator vary "
+        "between processes"
+    )
+    hint = (
+        "iterate in a canonical order (sorted(...) or the recorded object "
+        "order) and seed randomness explicitly (random.Random(seed))"
+    )
+    scope = (
+        "core/construction.py",
+        "core/updates.py",
+        "parallel/",
+        "engine/snapshot.py",
+    )
+
+    def check_file(self, source: SourceFile, project: ProjectModel) -> List[Finding]:
+        findings: List[Finding] = []
+
+        for target in _iteration_targets(source.tree):
+            if _is_set_expression(target):
+                findings.append(self.finding(
+                    source, target.lineno, target.col_offset,
+                    "iteration over a set has no deterministic order",
+                ))
+
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            # Unseeded module-level random: random.shuffle(...), np.random.rand(...)
+            if name is not None and "." in name:
+                head, _, fn = name.rpartition(".")
+                if head == "random" and fn in _GLOBAL_RANDOM_FNS:
+                    findings.append(self.finding(
+                        source, node.lineno, node.col_offset,
+                        f"random.{fn}() uses the unseeded global generator",
+                        hint="use a random.Random(seed) instance owned by the caller",
+                    ))
+                elif (
+                    (head.endswith("np.random") or head.endswith("numpy.random"))
+                    and fn not in _SEEDED_NP_FACTORIES
+                ):
+                    findings.append(self.finding(
+                        source, node.lineno, node.col_offset,
+                        f"{name}() uses numpy's global random state",
+                        hint="use numpy.random.default_rng(seed) owned by the caller",
+                    ))
+            # id()-based ordering: sorted(xs, key=id), xs.sort(key=lambda o: id(o))
+            is_sort = name in ("sorted", "min", "max") or (
+                isinstance(node.func, ast.Attribute) and node.func.attr == "sort"
+            )
+            if is_sort:
+                for child in ast.walk(node):
+                    if (
+                        isinstance(child, ast.Call)
+                        and isinstance(child.func, ast.Name)
+                        and child.func.id == "id"
+                    ) or (
+                        isinstance(child, ast.keyword)
+                        and child.arg == "key"
+                        and isinstance(child.value, ast.Name)
+                        and child.value.id == "id"
+                    ):
+                        findings.append(self.finding(
+                            source, node.lineno, node.col_offset,
+                            "ordering by id() depends on allocation addresses",
+                            hint="order by a stable key (oid, coordinates)",
+                        ))
+                        break
+        return findings

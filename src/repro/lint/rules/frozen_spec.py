@@ -1,0 +1,76 @@
+"""Rule ``frozen-spec``: config/descriptor dataclasses stay immutable.
+
+Query descriptors (:mod:`repro.queries.spec`), build configuration
+(:mod:`repro.engine.config`), serve configuration and wire envelopes
+(:mod:`repro.serve.config` / :mod:`repro.serve.protocol`) are shared across
+threads, hashed into planner caches, and logged next to the plans that
+served them -- all of which assumes ``frozen=True``.  The rule also flags
+``object.__setattr__`` outside ``__post_init__``: that is the only blessed
+use of the frozen-dataclass escape hatch (normalising a field during
+construction), anywhere else it is a mutation in disguise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectModel, SourceFile
+from repro.lint.registry import Rule, register
+from repro.lint.rules._ast_util import decorator_dataclass_frozen, dotted_name
+
+
+@register
+class FrozenSpecRule(Rule):
+    id = "frozen-spec"
+    title = "descriptor/config dataclasses must be frozen (and stay frozen)"
+    rationale = (
+        "descriptors and configs are shared across threads and processes, "
+        "cached by value, and logged; silent mutation would corrupt all three"
+    )
+    hint = "declare @dataclass(frozen=True) and build changed copies via .replace()"
+    scope = (
+        "queries/spec.py",
+        "engine/config.py",
+        "serve/config.py",
+        "serve/protocol.py",
+    )
+
+    def check_file(self, source: SourceFile, project: ProjectModel) -> List[Finding]:
+        findings: List[Finding] = []
+        for name, node in source.classes().items():
+            frozen = decorator_dataclass_frozen(node)
+            if frozen is False:
+                findings.append(self.finding(
+                    source, node.lineno, node.col_offset,
+                    f"dataclass {name} is not frozen=True",
+                ))
+
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Call)
+                and dotted_name(node.func) == "object.__setattr__"
+                and not self._inside_post_init(source.tree, node)
+            ):
+                findings.append(self.finding(
+                    source, node.lineno, node.col_offset,
+                    "object.__setattr__ outside __post_init__ mutates a "
+                    "frozen instance",
+                    hint="frozen instances change only via .replace(); the "
+                         "escape hatch is for __post_init__ normalisation",
+                ))
+        return findings
+
+    @staticmethod
+    def _inside_post_init(tree: ast.AST, target: ast.AST) -> bool:
+        """Whether ``target`` sits lexically inside some ``__post_init__``."""
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name == "__post_init__"
+            ):
+                for child in ast.walk(node):
+                    if child is target:
+                        return True
+        return False

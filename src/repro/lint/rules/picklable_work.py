@@ -1,0 +1,100 @@
+"""Rule ``picklable-work``: nothing unpicklable crosses a process boundary.
+
+The construction pool and the serve fleet both ship work to *spawned*
+processes, so every callable submitted must be importable by the child:
+module-level functions pickle, lambdas and nested functions do not.  The
+failure is especially nasty on Linux, where ``fork`` makes an unpicklable
+target appear to work until the code first runs on spawn (macOS, Windows,
+or the serve router, which spawns deliberately -- see
+:mod:`repro.serve.router`).  The rule flags lambdas and locally-defined
+functions passed to pool submission methods or as a ``Process`` target.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectModel, SourceFile
+from repro.lint.registry import Rule, register
+
+#: Methods that ship their first argument to a worker process.
+_SUBMIT_METHODS = {
+    "map", "imap", "imap_unordered", "starmap", "starmap_async",
+    "apply", "apply_async", "submit",
+}
+
+#: Keywords of process/pool constructors whose value must pickle.
+_TARGET_KEYWORDS = {"target", "initializer", "func"}
+
+#: Constructor names whose keyword arguments are checked.
+_PROCESS_CTORS = {"Process", "Pool"}
+
+
+def _locally_defined(tree: ast.AST) -> Set[str]:
+    """Names of functions defined *inside* another function."""
+    nested: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in ast.walk(node):
+                if (
+                    child is not node
+                    and isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                ):
+                    nested.add(child.name)
+    return nested
+
+
+@register
+class PicklableWorkRule(Rule):
+    id = "picklable-work"
+    title = "no lambdas/nested functions submitted to worker processes"
+    rationale = (
+        "spawned children re-import the callable by qualified name; a "
+        "lambda or closure fails to pickle (or silently works under fork "
+        "and breaks under spawn)"
+    )
+    hint = "hoist the callable to module level and pass data explicitly"
+    scope = ("parallel/", "serve/", "engine/", "core/construction.py")
+
+    def check_file(self, source: SourceFile, project: ProjectModel) -> List[Finding]:
+        findings: List[Finding] = []
+        nested = _locally_defined(source.tree)
+
+        def unpicklable(arg: ast.AST) -> str:
+            if isinstance(arg, ast.Lambda):
+                return "a lambda"
+            if isinstance(arg, ast.Name) and arg.id in nested:
+                return f"nested function {arg.id}()"
+            return ""
+
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            suspects: List[ast.AST] = []
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SUBMIT_METHODS
+                and node.args
+            ):
+                suspects.append(node.args[0])
+            ctor = (
+                node.func.attr if isinstance(node.func, ast.Attribute)
+                else node.func.id if isinstance(node.func, ast.Name) else ""
+            )
+            if ctor in _PROCESS_CTORS:
+                suspects.extend(
+                    keyword.value
+                    for keyword in node.keywords
+                    if keyword.arg in _TARGET_KEYWORDS
+                )
+            for arg in suspects:
+                what = unpicklable(arg)
+                if what:
+                    findings.append(self.finding(
+                        source, arg.lineno, arg.col_offset,
+                        f"{what} is submitted to a worker process and will "
+                        f"not pickle under spawn",
+                    ))
+        return findings

@@ -1,0 +1,85 @@
+"""Rule ``readonly-guard``: public mutators check the readonly guard first.
+
+``QueryEngine.open(path, readonly=True)`` is the serving-correctness
+contract: N worker processes share one snapshot, so structural mutation
+must raise :class:`~repro.engine.engine.ReadOnlyEngineError` instead of
+diverging into a volatile overlay (PR 6).  The engine centralises that in
+``_check_writable``; this rule makes "every public mutating method calls
+it" a checked property instead of a convention, by flagging any public
+method that shows a structural-mutation signal (setting ``self._dirty =
+True``, registering/unregistering objects, or calling the backend's
+``insert``/``delete``) without calling ``self._check_writable(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectModel, SourceFile
+from repro.lint.registry import Rule, register
+from repro.lint.rules._ast_util import class_methods, dotted_name, has_method, is_constant
+
+#: Calls that mutate engine structure.
+_MUTATING_CALLS = {
+    "self._register_object",
+    "self._unregister_object",
+    "self.backend.insert",
+    "self.backend.delete",
+}
+
+
+def _mutation_signal(method: ast.FunctionDef) -> "ast.AST | None":
+    """The first structural-mutation node in ``method``, if any."""
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    dotted_name(target) == "self._dirty"
+                    and is_constant(node.value, True)
+                ):
+                    return node
+        elif isinstance(node, ast.Call):
+            if dotted_name(node.func) in _MUTATING_CALLS:
+                return node
+    return None
+
+
+def _calls_guard(method: ast.FunctionDef) -> bool:
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Call)
+            and dotted_name(node.func) == "self._check_writable"
+        ):
+            return True
+    return False
+
+
+@register
+class ReadonlyGuardRule(Rule):
+    id = "readonly-guard"
+    title = "public mutating engine methods must call _check_writable"
+    rationale = (
+        "readonly=True is how concurrent serving stays sound; a mutator "
+        "that skips the guard corrupts every worker sharing the snapshot"
+    )
+    hint = "call self._check_writable(\"<operation>\") before mutating"
+    scope = ("engine/",)
+
+    def check_file(self, source: SourceFile, project: ProjectModel) -> List[Finding]:
+        findings: List[Finding] = []
+        for cls in source.classes().values():
+            if not has_method(cls, "_check_writable"):
+                continue
+            for method in class_methods(cls):
+                if method.name.startswith("_"):
+                    continue  # internals run under an already-checked public entry
+                signal = _mutation_signal(method)
+                if signal is not None and not _calls_guard(method):
+                    findings.append(self.finding(
+                        source, method.lineno, method.col_offset,
+                        f"public method {cls.name}.{method.name}() mutates "
+                        f"engine structure without checking the readonly guard",
+                    ))
+        return findings

@@ -1,0 +1,59 @@
+"""Rule ``validated-replace``: config copies go through the validated path.
+
+``DiagramConfig.replace`` and ``ServeConfig.replace`` re-run
+``__post_init__`` validation and reject unknown field names with a clear
+error; raw ``dataclasses.replace(...)`` does neither, so a typo'd field
+name or an out-of-range value sails through and detonates later (PR 5
+added the validated path for exactly this reason).  Outside the config
+modules themselves -- which implement ``.replace()`` in terms of the raw
+helper -- every call site must use the method.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectModel, SourceFile
+from repro.lint.registry import Rule, register
+from repro.lint.rules._ast_util import dotted_name
+
+#: The modules implementing the validated wrappers.
+_EXEMPT = ("engine/config.py", "serve/config.py", "lint/")
+
+
+@register
+class ValidatedReplaceRule(Rule):
+    id = "validated-replace"
+    title = "use the validated .replace() instead of dataclasses.replace"
+    rationale = (
+        "dataclasses.replace skips __post_init__ re-validation and raises "
+        "an opaque TypeError on typo'd fields; the config types provide a "
+        "validated .replace() for exactly this"
+    )
+    hint = "call the instance's own .replace(**changes)"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return not source.relpath.startswith(_EXEMPT)
+
+    def check_file(self, source: SourceFile, project: ProjectModel) -> List[Finding]:
+        replace_names = {"dataclasses.replace"}
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "dataclasses":
+                for alias in node.names:
+                    if alias.name == "replace":
+                        replace_names.add(alias.asname or alias.name)
+
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Call)
+                and dotted_name(node.func) in replace_names
+            ):
+                findings.append(self.finding(
+                    source, node.lineno, node.col_offset,
+                    "raw dataclasses.replace() bypasses __post_init__ "
+                    "re-validation",
+                ))
+        return findings

@@ -1,0 +1,173 @@
+"""Rule ``wire-complete``: every wire-reachable type round-trips.
+
+The serve layer's protocol is "a request body is a serialized descriptor,
+a response payload is a serialized result" (PR 6).  That only holds while
+(a) the ``Query`` union, the ``QUERY_TYPES`` decoder table, and the
+descriptor classes agree, and (b) every descriptor/result type reachable
+from :func:`repro.queries.spec.query_from_dict` carries both halves of the
+``to_dict`` / ``from_dict`` pair.  This is a cross-module invariant -- the
+decoder lives in ``queries/spec.py`` while result types span four other
+modules -- so the rule runs as a project pass over the parsed ASTs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectModel, SourceFile
+from repro.lint.registry import Rule, register
+from repro.lint.rules._ast_util import has_method
+
+#: Where the wire-reachable descriptor machinery lives.
+_SPEC_MODULE = "queries/spec.py"
+
+#: Modules holding result types that cross the serve wire (directly or
+#: nested inside another result's payload).
+_RESULT_MODULES = (
+    "queries/result.py",
+    "queries/knn.py",
+    "core/pattern.py",
+    "queries/probability_kernel.py",
+    "storage/stats.py",
+)
+
+#: Class-name suffixes that mark a type as part of a wire payload.
+_RESULT_SUFFIXES = ("Result", "Answer", "Stats", "Breakdown", "Info")
+
+
+def _assigned_names(module: ast.Module, target_name: str) -> Optional[ast.AST]:
+    """The value node of a top-level ``target_name = ...`` assignment."""
+    for node in module.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == target_name:
+                return node.value
+    return None
+
+
+def _name_of(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value  # a forward reference inside Union[...]
+    return None
+
+
+def _union_members(node: ast.AST) -> Set[str]:
+    """Class names of a ``Union[A, B]`` / ``A | B`` expression."""
+    if isinstance(node, ast.Subscript):
+        inner = node.slice
+        elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        return {name for el in elements if (name := _name_of(el)) is not None}
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _union_members(node.left) | _union_members(node.right)
+    name = _name_of(node)
+    return {name} if name is not None else set()
+
+
+@register
+class WireCompleteRule(Rule):
+    id = "wire-complete"
+    title = "wire-reachable types need matching to_dict/from_dict pairs"
+    rationale = (
+        "a serve request body is a serialized descriptor and a response is "
+        "a serialized result; one missing decoder half turns into a runtime "
+        "KeyError on the other side of the wire"
+    )
+    hint = "add the missing to_dict/from_dict half (and a round-trip test)"
+
+    def check_project(self, project: ProjectModel) -> List[Finding]:
+        findings: List[Finding] = []
+        spec = project.find(_SPEC_MODULE)
+        if spec is not None:
+            findings.extend(self._check_spec(spec))
+        for relpath in _RESULT_MODULES:
+            source = project.find(relpath)
+            if source is not None:
+                findings.extend(self._check_results(source))
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # descriptors: union <-> decoder table <-> class methods
+    # ------------------------------------------------------------------ #
+    def _check_spec(self, spec: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        classes = spec.classes()
+
+        table = _assigned_names(spec.tree, "QUERY_TYPES")
+        registered: Dict[str, ast.AST] = {}
+        if isinstance(table, ast.Dict):
+            for value in table.values:
+                name = _name_of(value)
+                if name is not None:
+                    registered[name] = value
+        else:
+            findings.append(self.finding(
+                spec, 1, 0,
+                "QUERY_TYPES decoder table is missing (or not a dict literal)",
+                hint="query_from_dict dispatches on QUERY_TYPES; keep it a "
+                     "literal so the wire surface stays statically checkable",
+            ))
+
+        union = _assigned_names(spec.tree, "Query")
+        if union is not None and registered:
+            union_names = _union_members(union)
+            for missing in sorted(union_names - set(registered)):
+                findings.append(self.finding(
+                    spec, union.lineno, union.col_offset,
+                    f"descriptor {missing} is in the Query union but not "
+                    f"registered in QUERY_TYPES",
+                    hint="register it so query_from_dict can decode it",
+                ))
+            for extra in sorted(set(registered) - union_names):
+                node = registered[extra]
+                findings.append(self.finding(
+                    spec, node.lineno, node.col_offset,
+                    f"QUERY_TYPES registers {extra} which is not in the "
+                    f"Query union",
+                    hint="add it to the union (or drop the registration)",
+                ))
+
+        for name in registered:
+            cls = classes.get(name)
+            if cls is None:
+                continue  # imported descriptors are checked in their module
+            for method in ("to_dict", "from_dict"):
+                if not has_method(cls, method):
+                    findings.append(self.finding(
+                        spec, cls.lineno, cls.col_offset,
+                        f"descriptor {name} is wire-reachable via "
+                        f"query_from_dict but has no {method}()",
+                    ))
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # results: every payload type must round-trip
+    # ------------------------------------------------------------------ #
+    def _check_results(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for name, node in source.classes().items():
+            if name.startswith("_") or not name.endswith(_RESULT_SUFFIXES):
+                continue
+            serializer = has_method(node, "to_dict", "as_dict")
+            deserializer = has_method(node, "from_dict")
+            if serializer and deserializer:
+                continue
+            if serializer:
+                message = (f"result type {name} serializes (to_dict) but "
+                           f"cannot be decoded (no from_dict)")
+            elif deserializer:
+                message = (f"result type {name} decodes (from_dict) but "
+                           f"cannot be serialized (no to_dict)")
+            else:
+                message = f"result type {name} has no to_dict/from_dict pair"
+            findings.append(self.finding(
+                source, node.lineno, node.col_offset, message,
+            ))
+        return findings

@@ -30,7 +30,7 @@ plans that served it or replaying a recorded workload file.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple, Union
 
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
@@ -251,7 +251,7 @@ class BatchQuery:
     def __len__(self) -> int:
         return len(self.queries)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator["PNNQuery"]:
         return iter(self.queries)
 
 

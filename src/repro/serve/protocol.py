@@ -14,7 +14,7 @@ supervisor<->worker queues.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 #: Operations a worker understands.
 OP_QUERY = "query"
@@ -44,11 +44,11 @@ class Request:
     op: str
     payload: Optional[Dict[str, Any]] = None
 
-    def to_tuple(self):
+    def to_tuple(self) -> Tuple[Any, ...]:
         return (self.request_id, self.op, self.payload)
 
     @classmethod
-    def from_tuple(cls, raw) -> "Request":
+    def from_tuple(cls, raw: Tuple[Any, ...]) -> "Request":
         return cls(request_id=raw[0], op=raw[1], payload=raw[2])
 
 
@@ -76,14 +76,14 @@ class Response:
     seconds: float = 0.0
     query_kind: str = "unknown"
 
-    def to_tuple(self):
+    def to_tuple(self) -> Tuple[Any, ...]:
         return (
             self.request_id, self.ok, self.payload,
             self.worker_id, self.seconds, self.query_kind,
         )
 
     @classmethod
-    def from_tuple(cls, raw) -> "Response":
+    def from_tuple(cls, raw: Tuple[Any, ...]) -> "Response":
         return cls(
             request_id=raw[0], ok=raw[1], payload=raw[2],
             worker_id=raw[3], seconds=raw[4], query_kind=raw[5],

@@ -170,6 +170,18 @@ class _WorkerHandle:
 class Router:
     """Dispatches requests over a supervised fleet of worker processes."""
 
+    #: Shared-state lock discipline, enforced by ``repro lint``
+    #: (rule ``lock-discipline``): every access to these attributes must sit
+    #: inside ``with self.<lock>`` -- or in a helper documented with
+    #: "caller holds the lock".  ``_accepting``/``_running`` are deliberately
+    #: absent: they are single-writer booleans read racily by design.
+    _GUARDED_BY = {
+        "_pending": "_lock",
+        "counters": "_lock",
+        "_buckets": "_bucket_lock",
+        "histograms": "_histogram_lock",
+    }
+
     def __init__(self, config: ServeConfig):
         self.config = config
         # Spawned children import the library fresh: forking a process whose

@@ -33,7 +33,7 @@ import json
 import mmap
 import os
 import struct
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, BinaryIO, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.storage.codec import decode_page, encode_page
 from repro.storage.page import Page
@@ -213,8 +213,9 @@ class FilePageStore(PageStore):
 
     kind = "file"
 
-    def __init__(self, path: str, handle, slot_bytes: int, slot_count: int,
-                 next_id: int, capacities: Dict[int, int], writable: bool = True):
+    def __init__(self, path: str, handle: BinaryIO, slot_bytes: int,
+                 slot_count: int, next_id: int, capacities: Dict[int, int],
+                 writable: bool = True) -> None:
         self.path = path
         self._file = handle
         self.slot_bytes = slot_bytes
@@ -391,7 +392,7 @@ class FilePageStore(PageStore):
         self._write_header(meta_offset=meta_offset, meta_len=meta_len)
 
 
-def _read_header(handle) -> Tuple[int, int, int, int, int]:
+def _read_header(handle: BinaryIO) -> Tuple[int, int, int, int, int]:
     """Parse a page-file header: (slot_bytes, slot_count, next_id, meta_offset, meta_len)."""
     handle.seek(0)
     raw = handle.read(HEADER_SIZE)
@@ -436,7 +437,7 @@ class MmapPageStore(PageStore):
     writable = False
     thread_safe_reads = True  # absolute-offset reads; no shared cursor
 
-    def __init__(self, path: str):
+    def __init__(self, path: str) -> None:
         self.path = path
         self._file = open(path, "rb")
         self.slot_bytes, self._slot_count, self._next_id, self._meta_offset, \

@@ -34,8 +34,10 @@ def _ring_coverage(ring_radius: float, center_distance: float, query_radius: flo
     """
     if query_radius <= 0:
         return 0.0
+    # repro-lint: ignore[float-eq] -- exact zero (a point ring) guards the acos argument division
     if ring_radius == 0.0:
         return 1.0 if center_distance <= query_radius else 0.0
+    # repro-lint: ignore[float-eq] -- exact zero (query at the centre) guards the same division
     if center_distance == 0.0:
         return 1.0 if ring_radius <= query_radius else 0.0
     # Whole ring inside / outside the query disk.
@@ -66,7 +68,11 @@ def coverage_array(ring_radii, center_distances, query_radii) -> np.ndarray:
         cos_angle = (s * s + d * d - r * r) / (2.0 * s * d)
         partial = np.arccos(np.clip(cos_angle, -1.0, 1.0)) / math.pi
     result = np.where((d + s) <= r, 1.0, np.where(np.abs(d - s) >= r, 0.0, partial))
+    # The masks mirror the scalar degenerate guards: exactly-zero entries are
+    # the ones whose division above produced nan/inf.
+    # repro-lint: ignore[float-eq] -- exact-zero mask replaces the divide-by-zero rows
     result = np.where(s == 0.0, (d <= r).astype(float), result)
+    # repro-lint: ignore[float-eq] -- exact-zero mask replaces the divide-by-zero rows
     result = np.where(d == 0.0, (s <= r).astype(float), result)
     return np.where(r <= 0.0, 0.0, result)
 
@@ -90,6 +96,7 @@ def ring_profile(obj: "UncertainObject", rings: int) -> Tuple[np.ndarray, np.nda
     if rings < 1:
         raise ValueError("rings must be positive")
     radius = obj.radius
+    # repro-lint: ignore[float-eq] -- exact zero (a point object) guards the ring-edge division
     if radius == 0.0:
         masses = np.zeros(rings)
         masses[0] = 1.0
@@ -153,6 +160,7 @@ class DistanceDistribution:
         # minimum distance, so the sum is exact there too).
         total = 0.0
         for mass, mid in zip(self._ring_masses, self._ring_midpoints):
+            # repro-lint: ignore[float-eq] -- exact zero skips padding rings; any nonzero mass must count
             if mass == 0.0:
                 continue
             total += mass * _ring_coverage(mid, self.center_distance, r)

@@ -1,0 +1,33 @@
+"""Known-bad construction module: order- and RNG-nondeterminism."""
+
+import random
+
+import numpy as np
+
+
+def build_order(cells, active, seed):
+    # BAD (seeded): set-literal iteration has no deterministic order.
+    for oid in {3, 1, 2}:
+        yield oid
+    # BAD (seeded): set-method result iterated directly.
+    for cell in cells.intersection(active):
+        yield cell.oid
+    # BAD (seeded): comprehension over a freshly built set.
+    yield from [cell.oid for cell in set(cells)]
+
+
+def shuffled_insertion(objects):
+    order = list(objects)
+    # BAD (seeded): global random generator, unseeded across processes.
+    random.shuffle(order)
+    return order
+
+
+def jitter(count):
+    # BAD (seeded): numpy's global random state.
+    return np.random.rand(count)
+
+
+def tie_break(objects):
+    # BAD (seeded): allocation addresses are not a stable order.
+    return sorted(objects, key=id)

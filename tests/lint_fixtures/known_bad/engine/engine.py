@@ -1,0 +1,25 @@
+"""Known-bad engine module: unguarded mutators and uncounted page I/O."""
+
+
+class UVEngine:
+    def __init__(self, backend, readonly=False):
+        self.backend = backend
+        self.readonly = readonly
+        self._dirty = False
+
+    def _check_writable(self, operation):
+        if self.readonly:
+            raise RuntimeError(f"read-only engine: {operation}")
+
+    def insert(self, obj):
+        # BAD (seeded): public mutator never checks the guard -- readonly-guard.
+        self.backend.insert(obj)
+        self._dirty = True
+
+    def fetch(self, store, page_id):
+        # BAD (seeded): uncounted PageStore read -- counted-io.
+        return store.load_page(page_id)
+
+    def flush(self, store, page_id, payload):
+        # BAD (seeded): uncounted PageStore write -- counted-io.
+        store.store_page(page_id, payload)

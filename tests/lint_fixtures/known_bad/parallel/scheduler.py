@@ -1,0 +1,26 @@
+"""Known-bad scheduler module: unpicklable callables shipped to workers."""
+
+from multiprocessing import Pool, Process
+
+
+def build_partitions(cells, workers):
+    def partition_worker(cell):
+        return cell.build()
+
+    with Pool(workers) as pool:
+        # BAD (seeded): a lambda cannot pickle under spawn -- picklable-work.
+        areas = pool.map(lambda cell: cell.area(), cells)
+        # BAD (seeded): neither can a nested function -- picklable-work.
+        built = pool.map(partition_worker, cells)
+    return areas, built
+
+
+def launch_monitor(queue):
+    def monitor_loop():
+        while True:
+            queue.get()
+
+    # BAD (seeded): nested function as a Process target -- picklable-work.
+    worker = Process(target=monitor_loop)
+    worker.start()
+    return worker

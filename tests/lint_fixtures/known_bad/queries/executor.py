@@ -1,0 +1,24 @@
+"""Known-bad executor module: raw config copies and uncounted page reads."""
+
+import dataclasses
+from dataclasses import replace
+
+
+def widen_rings(config):
+    # BAD (seeded): skips __post_init__ re-validation -- validated-replace.
+    return dataclasses.replace(config, rings=config.rings * 2)
+
+
+def retarget(config, x, y):
+    # BAD (seeded): the aliased import is still the raw helper -- validated-replace.
+    return replace(config, x=x, y=y)
+
+
+def prefetch(store, page_ids):
+    # BAD (seeded): uncounted reads deflate the paper's I/O metric -- counted-io.
+    return [store.load_page(page_id) for page_id in page_ids]
+
+
+def drop(store, page_id):
+    # BAD (seeded): uncounted free -- counted-io.
+    store.delete_page(page_id)

@@ -1,0 +1,19 @@
+"""Seeded known-bad fixture: the PR 4 degenerate-dominance oid bug.
+
+This reintroduces, verbatim in shape, the defect that shipped in the
+original ``probability.py``: comparing object ids with ``is`` instead of
+``==``.  CPython interns small ints, so the buggy form passes every test
+whose oids stay below 257 and silently zeroes the winner's probability for
+real datasets.  ``repro lint`` must flag the ``is`` comparison (rule
+``float-eq``); the true-negative twin lives in the known_good tree.
+"""
+
+
+def degenerate_dominance(objects, winner):
+    # BUG (seeded): identity comparison of int oids.
+    return {obj.oid: (1.0 if obj.oid is winner.oid else 0.0) for obj in objects}
+
+
+def near_threshold(probability):
+    # BUG (seeded): computed probability compared against a float literal.
+    return probability == 1.0

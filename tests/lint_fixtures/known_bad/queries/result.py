@@ -1,0 +1,30 @@
+"""Known-bad result module: wire payload types that cannot round-trip."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    # BAD (seeded): serializes but has no from_dict -- wire-complete.
+    oid: int
+    probability: float
+
+    def to_dict(self):
+        return {"oid": self.oid, "probability": self.probability}
+
+
+@dataclass(frozen=True)
+class AccessStats:
+    # BAD (seeded): neither half of the pair -- wire-complete.
+    reads: int
+    writes: int
+
+
+@dataclass(frozen=True)
+class DecodeAnswer:
+    # BAD (seeded): decodes but cannot be serialized -- wire-complete.
+    payload: dict
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(payload=dict(payload))

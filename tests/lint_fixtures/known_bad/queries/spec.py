@@ -1,0 +1,67 @@
+"""Known-bad descriptor module: wire surface out of sync, mutable specs."""
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass
+class ThresholdQuery:
+    # BAD (seeded): not frozen=True -- frozen-spec must fire.
+    x: float
+    y: float
+    threshold: float
+
+    def to_dict(self):
+        return {
+            "type": "threshold",
+            "x": self.x,
+            "y": self.y,
+            "threshold": self.threshold,
+        }
+
+    # BAD (seeded): wire-reachable but no from_dict -- wire-complete.
+
+
+@dataclass(frozen=True)
+class TopKQuery:
+    x: float
+    y: float
+    k: int
+
+    def to_dict(self):
+        return {"type": "topk", "x": self.x, "y": self.y, "k": self.k}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(x=payload["x"], y=payload["y"], k=payload["k"])
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    x: float
+    y: float
+    radius: float
+
+    def to_dict(self):
+        return {"type": "range", "x": self.x, "y": self.y, "radius": self.radius}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(x=payload["x"], y=payload["y"], radius=payload["radius"])
+
+
+# BAD (seeded): TopKQuery is in the union but never registered, and
+# RangeQuery is registered but missing from the union -- wire-complete
+# must flag both directions.
+Query = Union[ThresholdQuery, TopKQuery]
+
+QUERY_TYPES = {
+    "threshold": ThresholdQuery,
+    "range": RangeQuery,
+}
+
+
+def rescale(query, factor):
+    # BAD (seeded): frozen escape hatch outside __post_init__ -- frozen-spec.
+    object.__setattr__(query, "threshold", query.threshold * factor)
+    return query

@@ -1,0 +1,31 @@
+"""Known-bad router module: declared-guarded state touched without its lock."""
+
+import threading
+
+
+class Router:
+    _GUARDED_BY = {
+        "_pending": "_lock",
+        "counters": "_lock",
+    }
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = {}
+        self.counters = {}
+
+    def submit(self, request_id, payload):
+        # BAD (seeded): guarded write outside the lock -- lock-discipline.
+        self._pending[request_id] = payload
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._pending)
+
+    def pending_count(self):
+        # BAD (seeded): guarded read outside the lock -- lock-discipline.
+        return len(self._pending)
+
+    def bump(self, name):
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + 1

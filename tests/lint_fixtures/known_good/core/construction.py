@@ -1,0 +1,29 @@
+"""True-negative construction module: canonical orders, owned generators."""
+
+import random
+
+import numpy as np
+
+
+def build_order(cells, active):
+    # Sets are fine as long as iteration happens in a canonical order.
+    for oid in sorted({3, 1, 2}):
+        yield oid
+    for cell in sorted(cells.intersection(active), key=lambda c: c.oid):
+        yield cell.oid
+
+
+def shuffled_insertion(objects, seed):
+    order = list(objects)
+    # A caller-owned, explicitly seeded generator is deterministic.
+    random.Random(seed).shuffle(order)
+    return order
+
+
+def jitter(count, seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(count)
+
+
+def tie_break(objects):
+    return sorted(objects, key=lambda obj: obj.oid)

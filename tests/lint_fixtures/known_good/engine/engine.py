@@ -1,0 +1,39 @@
+"""True-negative engine module: guarded mutators, counted page I/O."""
+
+
+class UVEngine:
+    def __init__(self, backend, readonly=False):
+        self.backend = backend
+        self.readonly = readonly
+        self._dirty = False
+
+    def _check_writable(self, operation):
+        if self.readonly:
+            raise RuntimeError(f"read-only engine: {operation}")
+
+    def insert(self, obj):
+        self._check_writable("insert")
+        self.backend.insert(obj)
+        self._dirty = True
+
+    def _rebuild_cell(self, obj):
+        # Private helper: runs under an already-checked public entry.
+        self.backend.insert(obj)
+
+    def fetch(self, manager, page_id):
+        # The counted path: DiskManager, not the raw PageStore.
+        return manager.read_page(page_id)
+
+    def flush(self, manager, page_id, payload):
+        self._check_writable("flush")
+        manager.write_page(page_id, payload)
+        self._dirty = True
+
+
+class ScratchBuffer:
+    # No _check_writable: the readonly contract does not apply here.
+    def __init__(self, backend):
+        self.backend = backend
+
+    def insert(self, obj):
+        self.backend.insert(obj)

@@ -1,0 +1,26 @@
+"""True-negative scheduler module: module-level callables cross the boundary."""
+
+from multiprocessing import Pool, Process
+
+
+def _build_cell(cell):
+    return cell.build()
+
+
+def _monitor_loop(queue):
+    while True:
+        item = queue.get()
+        if item is None:
+            return
+
+
+def build_partitions(cells, workers):
+    with Pool(workers) as pool:
+        built = pool.map(_build_cell, cells)
+    return built
+
+
+def launch_monitor(queue):
+    worker = Process(target=_monitor_loop, args=(queue,))
+    worker.start()
+    return worker

@@ -1,0 +1,14 @@
+"""True-negative executor module: validated copies, counted page access."""
+
+
+def widen_rings(config):
+    # The instance's own .replace() re-runs __post_init__ validation.
+    return config.replace(rings=config.rings * 2)
+
+
+def prefetch(manager, page_ids):
+    return [manager.read_page(page_id) for page_id in page_ids]
+
+
+def drop(manager, page_id):
+    manager.free_page(page_id)

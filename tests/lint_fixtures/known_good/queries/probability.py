@@ -1,0 +1,14 @@
+"""True-negative twin of the seeded PR 4 fixture: value comparison is fine."""
+
+
+def degenerate_dominance(objects, winner):
+    return {obj.oid: (1.0 if obj.oid == winner.oid else 0.0) for obj in objects}
+
+
+def near_threshold(probability, tolerance=1e-9):
+    return abs(probability - 1.0) <= tolerance
+
+
+def sentinel_check(page):
+    # Identity against the None singleton is legitimate.
+    return page is None

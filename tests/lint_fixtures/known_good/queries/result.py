@@ -1,0 +1,29 @@
+"""True-negative result module: wire payloads round-trip; helpers are exempt."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    oid: int
+    probability: float
+
+    def to_dict(self):
+        return {"oid": self.oid, "probability": self.probability}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(oid=payload["oid"], probability=payload["probability"])
+
+
+@dataclass(frozen=True)
+class _ScratchStats:
+    # Private: never crosses the wire, so no pair is required.
+    probes: int
+
+
+class RingBuffer:
+    # Name does not mark it as a wire payload; no pair required.
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.items = []

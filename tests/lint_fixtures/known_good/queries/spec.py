@@ -1,0 +1,52 @@
+"""True-negative descriptor module: frozen specs, a closed wire surface."""
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class ThresholdQuery:
+    x: float
+    y: float
+    threshold: float
+
+    def __post_init__(self):
+        # The one blessed use of the escape hatch: construction-time
+        # normalisation inside __post_init__.
+        object.__setattr__(self, "threshold", max(0.0, min(1.0, self.threshold)))
+
+    def to_dict(self):
+        return {
+            "type": "threshold",
+            "x": self.x,
+            "y": self.y,
+            "threshold": self.threshold,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(
+            x=payload["x"], y=payload["y"], threshold=payload["threshold"]
+        )
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    x: float
+    y: float
+    radius: float
+
+    def to_dict(self):
+        return {"type": "range", "x": self.x, "y": self.y, "radius": self.radius}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(x=payload["x"], y=payload["y"], radius=payload["radius"])
+
+
+Query = Union[ThresholdQuery, RangeQuery]
+
+QUERY_TYPES = {
+    "threshold": ThresholdQuery,
+    "range": RangeQuery,
+}

@@ -1,0 +1,36 @@
+"""True-negative router module: every guarded access runs under its lock."""
+
+import threading
+
+
+class Router:
+    _GUARDED_BY = {
+        "_pending": "_lock",
+        "counters": "_lock",
+    }
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = {}
+        self.counters = {}
+
+    def submit(self, request_id, payload):
+        with self._lock:
+            self._pending[request_id] = payload
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._pending)
+
+    def pending_count(self):
+        with self._lock:
+            return len(self._pending)
+
+    def bump(self, name):
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + 1
+            self._drain_locked()
+
+    def _drain_locked(self):
+        """Drop completed entries. Caller holds the lock."""
+        self._pending.clear()

@@ -8,8 +8,13 @@ from repro.geometry.hyperbola import Hyperbola
 from repro.geometry.point import Point
 
 
-def make_edge(ci=Point(0, 0), ri=1.0, cj=Point(10, 0), rj=2.0):
-    edge = Hyperbola.uv_edge(ci, ri, cj, rj)
+def make_edge(ci=None, ri=1.0, cj=None, rj=2.0):
+    edge = Hyperbola.uv_edge(
+        ci if ci is not None else Point(0, 0),
+        ri,
+        cj if cj is not None else Point(10, 0),
+        rj,
+    )
     assert edge is not None
     return edge
 
@@ -21,6 +26,15 @@ class TestConstruction:
 
     def test_exists_when_regions_disjoint(self):
         assert Hyperbola.uv_edge(Point(0, 0), 1.0, Point(10, 0), 2.0) is not None
+
+    def test_coincident_centres_never_exist(self):
+        # Regression for the guard simplification: `c <= a` alone must keep
+        # covering focal_distance == 0, including the zero-radius corner
+        # where both a and c are exactly 0 (the old code had a separate
+        # `focal_distance == 0.0` test).
+        assert Hyperbola.uv_edge(Point(3, 4), 0.0, Point(3, 4), 0.0) is None
+        assert Hyperbola.uv_edge(Point(3, 4), 0.0, Point(3, 4), 2.0) is None
+        assert Hyperbola.uv_edge(Point(-1, 2), 1.5, Point(-1, 2), 0.0) is None
 
     def test_parameters(self):
         edge = make_edge()

@@ -1,0 +1,141 @@
+"""Edge-case tests for the router's admission/observability primitives.
+
+:class:`~repro.serve.router.TokenBucket` and
+:class:`~repro.serve.router.LatencyHistogram` are exercised here in
+isolation (no worker fleet): degenerate capacities, long-idle refills, and
+histogram boundary values that the end-to-end serve tests never hit.
+"""
+
+import math
+
+import pytest
+
+import repro.serve.router as router_module
+from repro.serve.router import LatencyHistogram, TokenBucket
+
+
+class FakeClock:
+    """A controllable stand-in for ``time.monotonic``."""
+
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock(monkeypatch):
+    fake = FakeClock()
+    monkeypatch.setattr(router_module.time, "monotonic", fake)
+    return fake
+
+
+class TestTokenBucket:
+    def test_burst_is_immediately_available(self, clock):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        assert [bucket.allow() for _ in range(4)] == [True, True, True, False]
+
+    def test_zero_capacity_bucket_never_allows(self, clock):
+        bucket = TokenBucket(rate=10.0, burst=0)
+        assert not bucket.allow()
+        # Even arbitrarily long idle periods cannot refill past the burst
+        # capacity, and a zero-burst bucket therefore never holds a token.
+        clock.advance(3600.0)
+        assert not bucket.allow()
+
+    def test_refill_after_long_idle_caps_at_burst(self, clock):
+        bucket = TokenBucket(rate=1.0, burst=5)
+        for _ in range(5):
+            assert bucket.allow()
+        assert not bucket.allow()
+        # A week of idle time refills to exactly `burst`, not rate * idle.
+        clock.advance(7 * 24 * 3600.0)
+        assert [bucket.allow() for _ in range(6)] == [True] * 5 + [False]
+
+    def test_partial_refill_grants_one_token(self, clock):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        assert bucket.allow()
+        assert not bucket.allow()
+        # 0.25 s at 2 tokens/s is half a token: still not admitted.
+        clock.advance(0.25)
+        assert not bucket.allow()
+        # Another 0.25 s completes the token.
+        clock.advance(0.25)
+        assert bucket.allow()
+
+    def test_zero_rate_bucket_never_refills(self, clock):
+        bucket = TokenBucket(rate=0.0, burst=1)
+        assert bucket.allow()
+        clock.advance(3600.0)
+        assert not bucket.allow()
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram_percentiles_are_zero(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(0.50) == 0.0
+        assert hist.percentile(0.99) == 0.0
+        stats = hist.to_dict()
+        assert stats["count"] == 0
+        assert stats["mean_ms"] == 0.0
+        assert stats["p50_ms"] == 0.0
+        assert stats["max_ms"] == 0.0
+
+    def test_single_sample_lands_in_its_log_bucket(self):
+        hist = LatencyHistogram()
+        hist.record(0.010)  # 10 ms
+        p50 = hist.percentile(0.50)
+        # The estimate is the upper bound of the 10 ms bucket: at most one
+        # resolution step (22%) above the true value, and never below it.
+        assert 0.010 <= p50 <= 0.010 * 1.22
+        assert hist.max == 0.010
+        assert hist.count == 1
+
+    def test_boundary_value_maps_to_its_own_bucket(self):
+        # A sample exactly on a bucket bound must report that bound, not the
+        # next bucket up (bisect_left semantics).
+        bound = LatencyHistogram._BOUNDS[7]
+        hist = LatencyHistogram()
+        hist.record(bound)
+        assert hist.percentile(0.50) == pytest.approx(bound)
+
+    def test_below_smallest_bound_clamps_to_first_bucket(self):
+        hist = LatencyHistogram()
+        hist.record(0.0)
+        assert hist.percentile(0.50) == pytest.approx(LatencyHistogram._BOUNDS[0])
+
+    def test_above_largest_bound_reports_observed_max(self):
+        hist = LatencyHistogram()
+        beyond = LatencyHistogram._BOUNDS[-1] * 10.0
+        hist.record(beyond)
+        assert hist.percentile(0.50) == pytest.approx(beyond)
+        assert hist.max == pytest.approx(beyond)
+
+    def test_percentiles_are_monotone_and_bounded_by_max(self):
+        hist = LatencyHistogram()
+        for ms in (1, 2, 4, 8, 16, 32, 64, 128):
+            hist.record(ms / 1000.0)
+        p50, p90, p99 = (hist.percentile(f) for f in (0.50, 0.90, 0.99))
+        assert p50 <= p90 <= p99
+        assert p99 <= max(hist.max, LatencyHistogram._BOUNDS[-1])
+
+    def test_mean_and_count_track_all_samples(self):
+        hist = LatencyHistogram()
+        samples = [0.001, 0.002, 0.003, 0.004]
+        for value in samples:
+            hist.record(value)
+        stats = hist.to_dict()
+        assert stats["count"] == len(samples)
+        assert stats["mean_ms"] == pytest.approx(
+            sum(samples) / len(samples) * 1000.0
+        )
+        assert stats["max_ms"] == pytest.approx(0.004 * 1000.0)
+
+    def test_bounds_are_strictly_increasing(self):
+        bounds = LatencyHistogram._BOUNDS
+        assert all(a < b for a, b in zip(bounds, bounds[1:]))
+        assert math.isclose(bounds[0], 50e-6)
