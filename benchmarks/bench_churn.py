@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Churn benchmark: a sustained update stream under background checkpoints.
+
+Opens a live deployment, runs a seeded insert/delete stream with interleaved
+PNN queries while the background :class:`~repro.wal.checkpoint.Checkpointer`
+folds the WAL into new snapshot generations, and gates three properties:
+
+* **progress** -- at least two checkpoints completed during the stream
+  (the generation advanced to >= 3) and the WAL was truncated each time;
+* **steady state** -- the deployment does not balloon: the object population
+  stays inside a band around its starting size and consecutive snapshot
+  generations stay within 2x of each other on disk;
+* **bounded latency** -- with ``--check``, query p99 must stay within
+  ``--max-regression`` times the checked-in baseline
+  (``benchmarks/baseline/BENCH_churn.json``).
+
+Standalone on purpose (no pytest), mirroring ``ci_smoke.py``::
+
+    python benchmarks/bench_churn.py --output-dir bench-out \
+        --baseline benchmarks/baseline/BENCH_churn.json --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.datasets.synthetic import (  # noqa: E402
+    generate_query_points,
+    generate_uniform_objects,
+)
+from repro.engine import DiagramConfig, QueryEngine  # noqa: E402
+from repro.queries.spec import PNNQuery  # noqa: E402
+from repro.engine.snapshot import list_generations, wal_path  # noqa: E402
+from repro.wal.checkpoint import Checkpointer  # noqa: E402
+from repro.wal.drill import synthesize_object  # noqa: E402
+
+OBJECTS = 120
+UPDATES = 400
+QUERY_EVERY = 4  # one PNN query per this many updates
+CHECKPOINT_INTERVAL = 0.2  # seconds between background checkpoint attempts
+BACKEND = "grid"
+SEED = 97
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def run_churn(directory: str) -> dict:
+    """The measured section: stream updates + queries under the checkpointer."""
+    engine = QueryEngine.open_live(directory)
+    checkpointer = Checkpointer(engine, interval=CHECKPOINT_INTERVAL)
+    rng = random.Random(SEED)
+    queries = generate_query_points(32, engine.domain, seed=SEED + 1)
+    target = len(engine)
+    next_oid = max(engine.by_id) + 1000
+    latencies: list[float] = []
+    generations_seen = {engine.generation}
+    start = time.perf_counter()
+    checkpointer.start()
+    try:
+        for step in range(UPDATES):
+            live = sorted(engine.by_id)
+            # Hold the population near its starting size: delete whenever we
+            # are above target, insert whenever we are below.
+            if len(live) > target or (len(live) > 1 and rng.random() < 0.5):
+                engine.delete(live[rng.randrange(len(live))])
+            else:
+                engine.insert(synthesize_object(next_oid, rng, engine.domain))
+                next_oid += 1
+            if step % QUERY_EVERY == 0:
+                query = queries[(step // QUERY_EVERY) % len(queries)]
+                t0 = time.perf_counter()
+                engine.execute(PNNQuery(query))
+                latencies.append(time.perf_counter() - t0)
+            generations_seen.add(engine.generation)
+        # Let the checkpointer fold the tail before measuring the end state.
+        deadline = time.monotonic() + 30.0
+        while engine.pending_wal_records > 0 and time.monotonic() < deadline:
+            time.sleep(0.05)
+            generations_seen.add(engine.generation)
+    finally:
+        checkpointer.stop()
+        if checkpointer.last_error is not None:
+            raise SystemExit(f"background checkpoint failed: "
+                             f"{checkpointer.last_error!r}")
+    elapsed = time.perf_counter() - start
+
+    generations = list_generations(directory)
+    sizes = {
+        gen: (Path(directory) / name).stat().st_size
+        for gen, name in generations.items()
+    }
+    payload = {
+        "benchmark": "churn",
+        "backend": BACKEND,
+        "objects_start": target,
+        "objects_end": len(engine),
+        "updates": UPDATES,
+        "queries": len(latencies),
+        "elapsed_seconds": elapsed,
+        "updates_per_second": UPDATES / elapsed if elapsed else 0.0,
+        "query_p50_ms": percentile(latencies, 0.50) * 1000.0,
+        "query_p99_ms": percentile(latencies, 0.99) * 1000.0,
+        "checkpoints": engine.generation - 1,
+        "final_generation": engine.generation,
+        "generations_on_disk": sorted(generations),
+        "snapshot_bytes": {str(g): s for g, s in sorted(sizes.items())},
+        "wal_pending_records": engine.pending_wal_records,
+        "wal_bytes": Path(wal_path(directory)).stat().st_size,
+    }
+    engine.close_wal()
+    return payload
+
+
+def hard_gates(payload: dict) -> list[str]:
+    """Invariant gates that apply with or without ``--check``."""
+    failures = []
+    if payload["final_generation"] < 3:
+        failures.append(
+            f"fewer than two checkpoints completed during the stream "
+            f"(final generation {payload['final_generation']})"
+        )
+    if payload["wal_pending_records"] != 0:
+        failures.append(
+            f"WAL not folded at end of run: "
+            f"{payload['wal_pending_records']} pending records"
+        )
+    drift = abs(payload["objects_end"] - payload["objects_start"])
+    if drift > payload["objects_start"] * 0.5:
+        failures.append(
+            f"population drifted from {payload['objects_start']} to "
+            f"{payload['objects_end']} (not steady)"
+        )
+    sizes = [s for _, s in sorted(payload["snapshot_bytes"].items())]
+    for earlier, later in zip(sizes, sizes[1:]):
+        ratio = later / earlier if earlier else float("inf")
+        if not 0.5 <= ratio <= 2.0:
+            failures.append(
+                f"snapshot size not steady across generations: {sizes} "
+                f"(ratio {ratio:.2f} outside 0.5-2.0)"
+            )
+            break
+    return failures
+
+
+def check_regression(payload: dict, baseline_path: Path,
+                     max_regression: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    allowed = baseline["query_p99_ms"] * max_regression
+    got = payload["query_p99_ms"]
+    print(f"regression gate: churn query p99 {got:.2f}ms vs baseline "
+          f"{baseline['query_p99_ms']:.2f}ms "
+          f"(allowed <= {allowed:.2f}ms at {max_regression:.1f}x)")
+    if got > allowed:
+        print(f"FAIL: churn query p99 regressed "
+              f"{got / baseline['query_p99_ms']:.2f}x over baseline "
+              f"(limit {max_regression:.1f}x)", file=sys.stderr)
+        return 1
+    print("gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output-dir", type=Path, default=Path("bench-out"))
+    parser.add_argument(
+        "--baseline", type=Path,
+        default=Path(__file__).parent / "baseline" / "BENCH_churn.json",
+    )
+    parser.add_argument("--check", action="store_true",
+                        help="fail on p99 regression vs the baseline")
+    parser.add_argument("--max-regression", type=float, default=3.0)
+    args = parser.parse_args(argv)
+
+    objects, domain = generate_uniform_objects(OBJECTS, seed=SEED)
+    engine = QueryEngine.build(objects, domain, DiagramConfig(backend=BACKEND))
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = str(Path(tmp) / "live")
+        engine.save_generation(directory)
+        payload = run_churn(directory)
+
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    out = args.output_dir / "BENCH_churn.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {out}")
+
+    failures = hard_gates(payload)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    if args.check:
+        return check_regression(payload, args.baseline, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,19 +2,23 @@
 
 Six sub-commands cover the everyday interactions with the library:
 
-* ``info``      -- library version and a summary of the available components,
-* ``build``     -- generate a dataset, build a query engine, print index stats
-  (``--save`` persists the diagram as a snapshot file),
-* ``query``     -- answer PNN queries over a built engine (``--load`` serves a
-  snapshot instead of rebuilding; ``--threshold`` / ``--top-k`` run the
-  probability-threshold and top-k variants),
-* ``explain``   -- plan a query, run it, and print estimated vs. actual page
+* ``info``        -- library version and a summary of the available components,
+* ``build``       -- generate a dataset, build a query engine, print index
+  stats (``--save`` persists a snapshot file; ``--save-dir`` lays out a live
+  deployment directory: generation 1 + write-ahead log + manifest),
+* ``query``       -- answer PNN queries over a built engine (``--load`` serves
+  a snapshot or deployment directory instead of rebuilding; ``--threshold`` /
+  ``--top-k`` run the probability-threshold and top-k variants),
+* ``explain``     -- plan a query, run it, and print estimated vs. actual page
   reads plus per-stage timings (EXPLAIN ANALYZE),
-* ``compare``   -- run the same query workload across several backends,
-* ``render``    -- build (or ``--load``) a diagram and write an SVG picture,
-* ``serve``     -- run the multi-worker HTTP query service over a snapshot
-  (``repro serve --load uv.snap --workers 4``),
-* ``lint``      -- run the project-invariant static analyzer
+* ``compare``     -- run the same query workload across several backends,
+* ``render``      -- build (or ``--load``) a diagram and write an SVG picture,
+* ``serve``       -- run the multi-worker HTTP query service over a snapshot
+  or deployment directory (``repro serve --load uv.snap --workers 4``),
+* ``checkpoint``  -- fold a deployment's write-ahead log into a new snapshot
+  generation and flip the manifest,
+* ``wal-inspect`` -- print a write-ahead log's records and diagnostics,
+* ``lint``        -- run the project-invariant static analyzer
   (``repro lint``, also available as ``python -m repro.lint``).
 
 The CLI is intentionally thin: every command maps directly onto the public
@@ -93,7 +97,9 @@ def _add_query_point_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _add_load_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--load", default=None, metavar="SNAPSHOT",
-                        help="serve a saved snapshot instead of rebuilding")
+                        help="serve a saved snapshot (or a live deployment "
+                             "directory's current generation) instead of "
+                             "rebuilding")
     parser.add_argument("--load-store", default="file",
                         choices=["file", "mmap", "memory"],
                         help="store kind used to open --load (default: file)")
@@ -137,11 +143,18 @@ def _build_engine(args: argparse.Namespace) -> QueryEngine:
 
 
 def _open_snapshot(args: argparse.Namespace) -> QueryEngine:
-    """Open ``--load`` with clean CLI errors for bad paths and formats."""
+    """Open ``--load`` with clean CLI errors for bad paths and formats.
+
+    A live deployment directory resolves through its manifest to the current
+    snapshot generation (read-path only: the WAL is already folded in or
+    pending, and a query CLI must not replay someone else's log).
+    """
+    from repro.engine.snapshot import resolve_snapshot
     from repro.storage.pagestore import PageStoreError
 
     try:
-        return QueryEngine.open(args.load, store=args.load_store,
+        target, _generation = resolve_snapshot(args.load)
+        return QueryEngine.open(target, store=args.load_store,
                                 buffer_pages=args.buffer_pages)
     except (OSError, PageStoreError, ValueError) as exc:
         print(f"error: cannot open snapshot {args.load}: {exc}", file=sys.stderr)
@@ -199,6 +212,11 @@ def _command_build(args: argparse.Namespace) -> int:
         engine.save(save_path)
         print(f"  snapshot          : {save_path} "
               f"({os.path.getsize(save_path)} bytes)")
+    if args.save_dir:
+        manifest = engine.save_generation(args.save_dir)
+        print(f"  deployment        : {args.save_dir} "
+              f"(generation {manifest.generation}, {manifest.snapshot}, "
+              f"empty WAL)")
     return 0
 
 
@@ -391,6 +409,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             drain_timeout=args.drain_timeout,
             read_latency=args.read_latency,
             buffer_pages=args.buffer_pages,
+            reload_poll=args.reload_poll,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -400,6 +419,87 @@ def _command_serve(args: argparse.Namespace) -> int:
     except Exception as exc:  # noqa: BLE001 - a CLI prints, not tracebacks
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+def _command_checkpoint(args: argparse.Namespace) -> int:
+    from repro.storage.pagestore import PageStoreError
+    from repro.wal import Checkpointer
+
+    try:
+        engine = QueryEngine.open_live(args.dir, store=args.load_store)
+    except (OSError, PageStoreError, ValueError) as exc:
+        print(f"error: cannot open deployment {args.dir}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        checkpointer = Checkpointer(
+            engine, min_records=max(1, args.min_records), workers=args.workers
+        )
+        result = checkpointer.run_once(force=args.force)
+        if result is None:
+            print(f"nothing to checkpoint: {engine.pending_wal_records} pending "
+                  f"record(s) over generation {engine.generation} "
+                  f"(--min-records {args.min_records}; --force overrides)")
+            return 0
+        pruned = ", ".join(name for _, name in sorted(result.pruned.items())) or "none"
+        print(f"checkpointed {args.dir}")
+        print(f"  generation        : {result.generation} ({result.snapshot_path})")
+        print(f"  folded records    : {result.folded_records} (base_lsn "
+              f"{result.base_lsn})")
+        print(f"  objects           : {result.objects}")
+        print(f"  rebuild time      : {result.seconds:.2f} s")
+        print(f"  pruned snapshots  : {pruned}")
+        return 0
+    finally:
+        engine.close_wal()
+
+
+def _command_wal_inspect(args: argparse.Namespace) -> int:
+    from repro.engine.snapshot import is_live_directory, read_manifest, wal_path
+    from repro.wal import WalError, scan_wal
+    from repro.wal.log import OP_DELETE, OP_INSERT, decode_delete, decode_insert
+
+    path = args.path
+    base_lsn = None
+    if is_live_directory(path):
+        try:
+            manifest = read_manifest(path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"deployment {path}: generation {manifest.generation} "
+              f"({manifest.snapshot}), base_lsn {manifest.base_lsn}")
+        base_lsn = manifest.base_lsn
+        path = wal_path(path)
+    try:
+        scan = scan_wal(path)
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    except WalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{path}: {len(scan.records)} record(s), "
+          f"{scan.valid_bytes} valid byte(s)")
+    for record in scan.records:
+        try:
+            if record.op == OP_INSERT:
+                detail = f"insert oid={decode_insert(record.payload).oid}"
+            elif record.op == OP_DELETE:
+                detail = f"delete oid={decode_delete(record.payload)}"
+            else:
+                detail = f"op={record.op}"
+        except WalError as exc:
+            detail = f"undecodable payload ({exc})"
+        stale = ""
+        if base_lsn is not None and record.lsn <= base_lsn:
+            stale = "  [folded into snapshot]"
+        print(f"  lsn {record.lsn:>8}  {detail}{stale}")
+    if scan.torn_bytes:
+        # Expected after kill -9 mid-append: the torn record was never
+        # acknowledged, and the next live open truncates it.
+        print(f"warning: torn tail -- {scan.torn_bytes} trailing byte(s) "
+              f"ignored ({scan.torn_reason})")
+    return 0
 
 
 def _command_render(args: argparse.Namespace) -> int:
@@ -439,6 +539,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_arguments(build)
     build.add_argument("--save", default=None, metavar="SNAPSHOT",
                        help="persist the built diagram as a snapshot file")
+    build.add_argument("--save-dir", default=None, metavar="DIR", dest="save_dir",
+                       help="lay DIR out as a live deployment: generation-1 "
+                            "snapshot + empty write-ahead log + manifest "
+                            "(serve it, update it, checkpoint it)")
     build.set_defaults(handler=_command_build)
 
     query = subparsers.add_parser("query", help="run PNN queries over a built or loaded engine")
@@ -471,7 +575,9 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve a snapshot over HTTP with a pool of worker processes")
     serve.add_argument("--load", required=True, metavar="SNAPSHOT",
-                       help="snapshot file every worker opens read-only")
+                       help="snapshot file -- or live deployment directory, "
+                            "resolved through its manifest -- every worker "
+                            "opens read-only")
     serve.add_argument("--load-store", default="mmap",
                        choices=["mmap", "file", "memory"],
                        help="page store the workers serve from (default: "
@@ -497,7 +603,42 @@ def build_parser() -> argparse.ArgumentParser:
                             "(models cold-storage serving)")
     serve.add_argument("--buffer-pages", type=int, default=None,
                        help="buffer-pool override for the workers' engines")
+    serve.add_argument("--reload-poll", type=float, default=0.0,
+                       dest="reload_poll",
+                       help="seconds between manifest checks when serving a "
+                            "deployment directory; on a checkpoint the new "
+                            "generation is rolled across the fleet without a "
+                            "restart (0 = no watcher)")
     serve.set_defaults(handler=_command_serve)
+
+    checkpoint = subparsers.add_parser(
+        "checkpoint",
+        help="fold a deployment's write-ahead log into a new snapshot "
+             "generation and flip the manifest")
+    checkpoint.add_argument("--dir", required=True, metavar="DIR",
+                            help="live deployment directory (see "
+                                 "`repro build --save-dir`)")
+    checkpoint.add_argument("--load-store", default="file",
+                            choices=["file", "mmap", "memory"],
+                            help="store kind used to open the current "
+                                 "generation (default: file)")
+    checkpoint.add_argument("--min-records", type=int, default=1,
+                            dest="min_records",
+                            help="skip unless at least this many WAL records "
+                                 "are pending (default: 1)")
+    checkpoint.add_argument("--force", action="store_true",
+                            help="checkpoint even below --min-records")
+    checkpoint.add_argument("--workers", type=int, default=None,
+                            help="construction workers for the rebuild "
+                                 "(default: the deployment's saved config)")
+    checkpoint.set_defaults(handler=_command_checkpoint)
+
+    wal_inspect = subparsers.add_parser(
+        "wal-inspect",
+        help="print a write-ahead log's records and torn-tail diagnostics")
+    wal_inspect.add_argument("path", metavar="PATH",
+                             help="a wal.log file or a deployment directory")
+    wal_inspect.set_defaults(handler=_command_wal_inspect)
 
     subparsers.add_parser(
         "lint",

@@ -30,10 +30,21 @@ Typical usage::
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+    Union,
+)
 
 import numpy as np
 
@@ -68,6 +79,10 @@ from repro.storage.pagestore import create_page_store
 from repro.storage.stats import IOStats, TimingBreakdown
 from repro.uncertain.objects import UncertainObject
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.snapshot import Manifest
+    from repro.wal.log import WalRecord, WriteAheadLog
+
 
 class ReadOnlyEngineError(RuntimeError):
     """A structural mutation was attempted on a read-only opened engine.
@@ -75,8 +90,10 @@ class ReadOnlyEngineError(RuntimeError):
     Snapshots opened with ``QueryEngine.open(path, readonly=True)`` -- which
     is how :mod:`repro.serve` workers share one mmap snapshot -- must never
     diverge from the file they serve: an insert/delete would land in the
-    store's volatile in-memory overlay, silently fork that worker's answers
-    away from its siblings', and die with the process anyway.
+    store's volatile in-memory overlay and silently fork that worker's
+    answers away from its siblings'.  Durable updates instead go through a
+    live deployment directory (:meth:`QueryEngine.open_live`), where every
+    mutation is logged to the write-ahead log before it is applied.
     """
 
 
@@ -181,6 +198,8 @@ class QueryEngine:
     Use :meth:`build`; the constructor merely wires pre-built components.
     """
 
+    _GUARDED_BY = {"_wal": "_wal_lock"}
+
     def __init__(
         self,
         objects: Sequence[UncertainObject],
@@ -220,6 +239,18 @@ class QueryEngine:
         # Bumped by every structural change (insert/delete); the planner
         # caches backend statistics against it.
         self._structure_version = 0
+        # Durability state (attached by open_live / save_generation): the
+        # write-ahead log, the live deployment directory, and the LSN
+        # watermarks.  base_lsn is the last LSN folded into the current
+        # snapshot generation; last_lsn is the last LSN appended (or
+        # replayed).  The mutators append under _wal_lock so the WAL's LSN
+        # order matches the order updates are applied to the overlay.
+        self._wal: Optional["WriteAheadLog"] = None
+        self._wal_lock = threading.Lock()
+        self._generation = 0
+        self._live_directory: Optional[str] = None
+        self._base_lsn = 0
+        self._last_lsn = 0
         self.planner = QueryPlanner(self)
         backend.bind(self)
 
@@ -642,12 +673,47 @@ class QueryEngine:
     def insert(self, obj: UncertainObject) -> Any:
         """Insert a new object; the diagram stays queryable afterwards.
 
-        Returns whatever the backend reports (the new object's cr-object ids
-        for UV-index backends, ``None`` otherwise).
+        On a live engine (:meth:`open_live`) the insert is first appended to
+        the write-ahead log -- and made durable per the log's fsync policy --
+        before it touches any in-memory structure, so a crash after this
+        method returns can never lose it.  Returns whatever the backend
+        reports (the new object's cr-object ids for UV-index backends,
+        ``None`` otherwise).
         """
         self._check_writable("insert")
         if obj.oid in self.by_id:
             raise ValueError(f"object id {obj.oid} already exists in the engine")
+        with self._wal_lock:
+            if self._wal is not None:
+                from repro.wal.log import OP_INSERT, encode_insert
+
+                lsn = self._last_lsn + 1
+                self._wal.append(OP_INSERT, encode_insert(obj), lsn=lsn)
+                self._last_lsn = lsn
+        return self._apply_insert(obj)
+
+    def delete(self, oid: int) -> Any:
+        """Remove an object by id; the diagram stays queryable afterwards.
+
+        On a live engine the delete is appended to the write-ahead log
+        before the overlay changes (see :meth:`insert`).  Returns whatever
+        the backend reports (the refreshed object ids for UV-index backends,
+        ``None`` otherwise).
+        """
+        self._check_writable("delete")
+        if oid not in self.by_id:
+            raise KeyError(f"object {oid} is not in the engine")
+        with self._wal_lock:
+            if self._wal is not None:
+                from repro.wal.log import OP_DELETE, encode_delete
+
+                lsn = self._last_lsn + 1
+                self._wal.append(OP_DELETE, encode_delete(oid), lsn=lsn)
+                self._last_lsn = lsn
+        return self._apply_delete(oid)
+
+    def _apply_insert(self, obj: UncertainObject) -> Any:
+        """Apply an insert to the in-memory overlay (no WAL append)."""
         self._dirty = True
         self._structure_version += 1
         self._ring_cache.invalidate(obj.oid)
@@ -656,15 +722,8 @@ class QueryEngine:
         self._register_object(obj)
         return self.backend.insert(obj)
 
-    def delete(self, oid: int) -> Any:
-        """Remove an object by id; the diagram stays queryable afterwards.
-
-        Returns whatever the backend reports (the refreshed object ids for
-        UV-index backends, ``None`` otherwise).
-        """
-        self._check_writable("delete")
-        if oid not in self.by_id:
-            raise KeyError(f"object {oid} is not in the engine")
+    def _apply_delete(self, oid: int) -> Any:
+        """Apply a delete to the in-memory overlay (no WAL append)."""
         self._dirty = True
         self._structure_version += 1
         self._ring_cache.invalidate(oid)
@@ -674,11 +733,173 @@ class QueryEngine:
         self._unregister_object(oid)
         return result
 
+    def apply_record(self, record: "WalRecord") -> Any:
+        """Apply a recovered WAL record to the overlay without re-logging.
+
+        The recovery path (:func:`repro.wal.recovery.replay`) calls this for
+        every record newer than the snapshot's base LSN; a record that does
+        not apply cleanly (duplicate insert, missing delete target) raises
+        :class:`~repro.wal.log.WalError` -- it indicates a log/snapshot
+        mismatch, not a recoverable condition.
+        """
+        self._check_writable("replay")
+        from repro.wal.log import (
+            OP_DELETE,
+            OP_INSERT,
+            WalError,
+            decode_delete,
+            decode_insert,
+        )
+
+        if record.op == OP_INSERT:
+            obj = decode_insert(record.payload)
+            if obj.oid in self.by_id:
+                raise WalError(
+                    f"replay lsn {record.lsn}: insert of object {obj.oid} "
+                    f"which already exists (log/snapshot mismatch)"
+                )
+            return self._apply_insert(obj)
+        if record.op == OP_DELETE:
+            oid = decode_delete(record.payload)
+            if oid not in self.by_id:
+                raise WalError(
+                    f"replay lsn {record.lsn}: delete of object {oid} "
+                    f"which does not exist (log/snapshot mismatch)"
+                )
+            return self._apply_delete(oid)
+        raise WalError(f"replay lsn {record.lsn}: unknown op {record.op}")
+
     def _register_object(self, obj: UncertainObject) -> None:
         updates.register_object(self, obj)
 
     def _unregister_object(self, oid: int) -> None:
         updates.unregister_object(self, oid)
+
+    # ------------------------------------------------------------------ #
+    # durability (live deployments: WAL + snapshot generations)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open_live(
+        cls,
+        directory: str,
+        store: str = "file",
+        buffer_pages: Optional[int] = None,
+        read_latency: float = 0.0,
+        fsync: str = "always",
+    ) -> "QueryEngine":
+        """Open a live deployment directory (crash recovery + WAL attach).
+
+        Reads the directory's manifest, opens the current snapshot
+        generation writable, replays every write-ahead-log record newer
+        than the snapshot in LSN order, and attaches the log so subsequent
+        :meth:`insert` / :meth:`delete` calls are durable.
+
+        Args:
+            directory: a deployment laid out by :meth:`save_generation` or
+                ``repro build --save-dir``.
+            store: page-store kind for the snapshot reads (``"file"``,
+                ``"mmap"``, ``"memory"``).
+            buffer_pages: buffer-pool override; defaults to the saved config.
+            read_latency: simulated seconds per counted page read.
+            fsync: WAL durability policy -- ``"always"`` (fsync every
+                append; an acknowledged update survives kill -9) or
+                ``"batch"`` (group commit via :meth:`wal_sync`).
+        """
+        from repro.engine.snapshot import open_live_engine
+
+        return open_live_engine(
+            directory,
+            store=store,
+            buffer_pages=buffer_pages,
+            read_latency=read_latency,
+            fsync=fsync,
+        )
+
+    def save_generation(self, directory: str) -> "Manifest":
+        """Lay ``directory`` out as a live deployment (generation 1 + WAL).
+
+        The inverse of :meth:`open_live` for a freshly built engine: writes
+        this engine's snapshot as generation 1, creates an empty write-ahead
+        log, and installs the manifest atomically.  Returns the manifest.
+        """
+        from repro.engine.snapshot import initialize_generation
+
+        return initialize_generation(self, directory)
+
+    def _attach_wal(self, log: "WriteAheadLog") -> None:
+        """Attach an open write-ahead log; mutators append to it from now on."""
+        with self._wal_lock:
+            self._wal = log
+
+    def close_wal(self) -> None:
+        """Detach and close the write-ahead log (final fsync included)."""
+        with self._wal_lock:
+            if self._wal is not None:
+                self._wal.close()
+                self._wal = None
+
+    def wal_sync(self) -> int:
+        """Force an fsync of the attached log (group commit under "batch").
+
+        Returns the number of records made durable by this call; ``0`` when
+        nothing was pending or no log is attached.
+        """
+        with self._wal_lock:
+            if self._wal is None:
+                return 0
+            return self._wal.sync()
+
+    def checkpoint_capture(self) -> Tuple[List[UncertainObject], int]:
+        """Consistent ``(objects, last_lsn)`` cut for the checkpointer.
+
+        Taken under the WAL lock so the object list and the LSN watermark
+        describe the same moment: a snapshot built from these objects has
+        every update up to and including ``last_lsn`` folded in.
+        """
+        with self._wal_lock:
+            return list(self.objects), self._last_lsn
+
+    def complete_checkpoint(self, manifest: "Manifest") -> None:
+        """Adopt a freshly flipped manifest: truncate the WAL, move the base.
+
+        Called by the checkpointer after it wrote generation N+1 and
+        atomically installed the manifest.  Records at or below the new
+        ``base_lsn`` are dropped from the log (they are folded into the new
+        generation); updates appended while the checkpoint was being built
+        survive the truncation.
+        """
+        with self._wal_lock:
+            if self._wal is not None:
+                self._wal.truncate_through(manifest.base_lsn)
+            self._generation = manifest.generation
+            self._base_lsn = manifest.base_lsn
+            if self._last_lsn == manifest.base_lsn:
+                self._dirty = False
+
+    @property
+    def generation(self) -> int:
+        """Current snapshot generation (``0`` when not a live deployment)."""
+        return self._generation
+
+    @property
+    def live_directory(self) -> Optional[str]:
+        """The live deployment directory, or ``None`` for plain engines."""
+        return self._live_directory
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the last update appended to (or replayed from) the WAL."""
+        return self._last_lsn
+
+    @property
+    def base_lsn(self) -> int:
+        """Last LSN already folded into the current snapshot generation."""
+        return self._base_lsn
+
+    @property
+    def pending_wal_records(self) -> int:
+        """Updates logged but not yet folded into a snapshot generation."""
+        return self._last_lsn - self._base_lsn
 
     # ------------------------------------------------------------------ #
     # introspection

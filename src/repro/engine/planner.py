@@ -18,6 +18,15 @@ three inputs:
 it *and* reports estimated vs. actual page reads plus the per-stage timing
 breakdown, the way EXPLAIN ANALYZE does in a relational engine.
 
+Invariants this module relies on (machine-checked by ``repro.lint``):
+descriptors and plans are ``frozen=True`` dataclasses mutated only inside
+``__post_init__`` (*frozen-spec*), reconfigured through their validated
+``.replace()`` (*validated-replace*); anything shipped over the serve wire
+has a ``to_dict``/``from_dict`` pair registered with the decoder
+(*wire-complete*); and cost estimates are priced exclusively from counted
+I/O, so the planner's numbers mean the same thing on every backend and
+store (*counted-io*).
+
 The cost model is deliberately simple -- a handful of closed-form estimates
 calibrated against the simulated disk -- but it is a real model: for PNN
 queries the planner prices the primary backend's point lookup against the

@@ -13,12 +13,26 @@ three store kinds (eager ``memory``, lazy ``file``, memory-mapped ``mmap``).
 Because pages keep their ids and every index keeps its page references, the
 reopened engine answers queries with the same answer sets, probabilities,
 and counted page reads as the engine that was saved.
+
+Snapshots are also the unit of *generations* in a live deployment directory
+(see :doc:`docs/durability`): ``gen-000001.snap``, ``gen-000002.snap``, ...
+are immutable once written, a ``wal.log`` records updates newer than the
+live generation, and a small JSON ``MANIFEST`` names the generation that is
+current.  The manifest is the single commit point -- it is always written to
+a temporary file and atomically renamed over the old one, so readers observe
+either the old generation or the new one, never a partial state.
+:func:`initialize_generation` lays out such a directory,
+:func:`open_live_engine` opens it with WAL replay (the engine-side recovery
+path), and :func:`resolve_snapshot` lets read-only consumers (the serving
+workers) find the current generation's file.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Any, Dict, Optional, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.construction import ConstructionStats
 from repro.engine.backend import restore_backend
@@ -171,4 +185,243 @@ def open_engine(
     )
     engine._dirty = False
     engine._readonly = readonly
+    return engine
+
+
+# ---------------------------------------------------------------------- #
+# generations: manifest, live-directory layout, durable open
+# ---------------------------------------------------------------------- #
+MANIFEST_FORMAT = 1
+MANIFEST_NAME = "MANIFEST"
+WAL_NAME = "wal.log"
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """The live-directory commit record: which generation is current.
+
+    Attributes:
+        generation: monotonically increasing generation number (1-based).
+        snapshot: filename of the generation's snapshot, relative to the
+            directory (``gen-000001.snap`` style).
+        base_lsn: last WAL LSN already folded into the snapshot; recovery
+            replays only records with a larger LSN.
+    """
+
+    generation: int
+    snapshot: str
+    base_lsn: int
+    manifest_format: int = MANIFEST_FORMAT
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "manifest_format": self.manifest_format,
+            "generation": self.generation,
+            "snapshot": self.snapshot,
+            "base_lsn": self.base_lsn,
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "Manifest":
+        return cls(
+            generation=int(state["generation"]),
+            snapshot=str(state["snapshot"]),
+            base_lsn=int(state["base_lsn"]),
+            manifest_format=int(state.get("manifest_format", MANIFEST_FORMAT)),
+        )
+
+
+def generation_filename(generation: int) -> str:
+    """Canonical snapshot filename of one generation."""
+    if generation < 1:
+        raise ValueError(f"generations are 1-based, got {generation}")
+    return f"gen-{generation:06d}.snap"
+
+
+def manifest_path(directory: str) -> str:
+    return os.path.join(os.fspath(directory), MANIFEST_NAME)
+
+
+def wal_path(directory: str) -> str:
+    return os.path.join(os.fspath(directory), WAL_NAME)
+
+
+def is_live_directory(path: str) -> bool:
+    """Whether ``path`` is a generation directory (holds a manifest)."""
+    return os.path.isdir(path) and os.path.exists(manifest_path(path))
+
+
+def _fsync_directory(directory: str) -> None:
+    """Best-effort fsync of a directory entry (rename durability)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - not all filesystems allow it
+        pass
+    finally:
+        os.close(fd)
+
+
+def read_manifest(directory: str) -> Manifest:
+    """Read and validate a directory's manifest."""
+    path = manifest_path(directory)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            state = json.load(handle)
+    except FileNotFoundError:
+        raise ValueError(
+            f"{directory} is not a live deployment directory (no {MANIFEST_NAME}); "
+            f"initialise it with QueryEngine.save_generation or "
+            f"`repro build --save-dir`"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"corrupt manifest {path}: {exc}") from exc
+    if not isinstance(state, dict):
+        raise ValueError(f"corrupt manifest {path}: not a JSON object")
+    if int(state.get("manifest_format", 0)) > MANIFEST_FORMAT:
+        raise ValueError(
+            f"manifest format {state.get('manifest_format')} is newer than "
+            f"this library (supports up to {MANIFEST_FORMAT})"
+        )
+    return Manifest.from_dict(state)
+
+
+def write_manifest(directory: str, manifest: Manifest) -> str:
+    """Atomically install ``manifest`` as the directory's commit record.
+
+    The JSON is written to a temporary file, fsynced, and renamed over the
+    old manifest (``os.replace``), then the directory entry is fsynced
+    best-effort -- a reader never observes a partially written manifest.
+    """
+    path = manifest_path(directory)
+    blob = json.dumps(manifest.to_dict(), indent=2, sort_keys=True).encode("utf-8")
+    temporary = path + ".tmp"
+    with open(temporary, "wb") as handle:
+        handle.write(blob + b"\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, path)
+    _fsync_directory(os.fspath(directory))
+    return path
+
+
+def resolve_snapshot(path: str) -> Tuple[str, Optional[int]]:
+    """``(snapshot file, generation)`` behind a path.
+
+    A live deployment directory resolves through its manifest to the current
+    generation's snapshot file; a plain snapshot file resolves to itself
+    with no generation.  This is how read-only consumers (serving workers,
+    ``--load``) open "whatever is current" without understanding the WAL.
+    """
+    path = os.fspath(path)
+    if is_live_directory(path):
+        manifest = read_manifest(path)
+        return os.path.join(path, manifest.snapshot), manifest.generation
+    return path, None
+
+
+def list_generations(directory: str) -> Dict[int, str]:
+    """Generation number -> snapshot filename, for every ``gen-*.snap`` present."""
+    generations: Dict[int, str] = {}
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith("gen-") and name.endswith(".snap")):
+            continue
+        digits = name[len("gen-"):-len(".snap")]
+        if digits.isdigit():
+            generations[int(digits)] = name
+    return generations
+
+
+def prune_generations(directory: str, keep_from: int) -> Dict[int, str]:
+    """Delete generation snapshots older than ``keep_from``.
+
+    The checkpointer keeps the new generation *and* its predecessor (a
+    serving fleet may still hold the old one open over mmap -- the unlinked
+    file stays readable through those mappings until they close).  Returns
+    the pruned ``generation -> filename`` map.
+    """
+    pruned: Dict[int, str] = {}
+    for generation, name in sorted(list_generations(directory).items()):
+        if generation < keep_from:
+            try:
+                os.remove(os.path.join(directory, name))
+            except OSError:  # pragma: no cover - already gone / perms
+                continue
+            pruned[generation] = name
+    return pruned
+
+
+def initialize_generation(engine: "QueryEngine", directory: str) -> Manifest:
+    """Lay ``directory`` out as a live deployment: generation 1 + empty WAL.
+
+    Writes the engine's snapshot as ``gen-000001.snap``, creates an empty
+    write-ahead log, and installs the manifest last -- the manifest's
+    appearance is what makes the directory a valid deployment, so a crash
+    mid-initialisation leaves a directory that simply is not one yet.
+    """
+    from repro.wal.log import WriteAheadLog
+
+    directory = os.fspath(directory)
+    if is_live_directory(directory):
+        raise ValueError(
+            f"{directory} already holds a live deployment "
+            f"(found {MANIFEST_NAME}); checkpoint it instead of re-initialising"
+        )
+    os.makedirs(directory, exist_ok=True)
+    name = generation_filename(1)
+    save_engine(engine, os.path.join(directory, name))
+    log = WriteAheadLog(wal_path(directory))
+    log.close()
+    manifest = Manifest(generation=1, snapshot=name, base_lsn=0)
+    write_manifest(directory, manifest)
+    engine._dirty = False
+    return manifest
+
+
+def open_live_engine(
+    directory: str,
+    store: str = "file",
+    buffer_pages: Optional[int] = None,
+    read_latency: float = 0.0,
+    fsync: str = "always",
+) -> "QueryEngine":
+    """Open a live deployment directory: snapshot + WAL replay + attach.
+
+    The engine-side crash-recovery path: read the manifest, open the current
+    generation's snapshot writable, replay every WAL record newer than the
+    manifest's ``base_lsn`` in LSN order, then attach the log so subsequent
+    :meth:`~repro.engine.engine.QueryEngine.insert` /
+    :meth:`~repro.engine.engine.QueryEngine.delete` calls append before they
+    apply.  A torn WAL tail (crash mid-append) is truncated -- the torn
+    record was never acknowledged, so dropping it loses nothing promised.
+    """
+    from repro.wal.log import WriteAheadLog
+    from repro.wal.recovery import replay
+
+    directory = os.fspath(directory)
+    manifest = read_manifest(directory)
+    snapshot_file = os.path.join(directory, manifest.snapshot)
+    engine = open_engine(
+        snapshot_file,
+        store=store,
+        buffer_pages=buffer_pages,
+        read_latency=read_latency,
+        readonly=False,
+    )
+    engine._generation = manifest.generation
+    engine._live_directory = directory
+    engine._base_lsn = manifest.base_lsn
+    engine._last_lsn = manifest.base_lsn
+    log = WriteAheadLog(wal_path(directory), fsync=fsync)
+    # Records at or below base_lsn are already folded into the snapshot (a
+    # crash between manifest flip and WAL truncation leaves them behind).
+    pending = [r for r in log.records_at_open if r.lsn > manifest.base_lsn]
+    replay(engine, pending, after_lsn=manifest.base_lsn)
+    if pending:
+        engine._last_lsn = pending[-1].lsn
+    engine._attach_wal(log)
+    engine._dirty = bool(pending)
     return engine

@@ -14,5 +14,6 @@ from repro.lint.rules import (  # noqa: F401 - imported for registration
     picklable_work,
     readonly_guard,
     validated_replace,
+    wal_ordering,
     wire_complete,
 )

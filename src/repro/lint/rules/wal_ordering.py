@@ -1,0 +1,127 @@
+"""Rule ``wal-ordering``: log before apply; replay in monotonic LSN order.
+
+The durability contract of :mod:`repro.wal` (PR 8) has two halves:
+
+* **write-ahead**: a mutator must append the update's record to the WAL --
+  and make it durable per the fsync policy -- *before* touching the
+  in-memory overlay.  Applied-but-unlogged updates are exactly the ones a
+  crash loses after they were acknowledged.
+* **ordered replay**: recovery must apply records in strictly increasing
+  LSN order; a reordered or duplicated record silently corrupts the
+  replayed state (an insert/delete pair applied backwards resurrects the
+  object).
+
+Both are syntactic properties: in any function that both appends to a
+WAL-like object and applies an update to the overlay, the first append must
+precede the first apply; and any ``replay*`` function in :mod:`repro.wal`
+that applies records must carry an LSN comparison guarding the order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectModel, SourceFile
+from repro.lint.registry import Rule, register
+from repro.lint.rules._ast_util import dotted_name
+
+#: Calls that apply an update to the in-memory overlay.
+_APPLY_CALLS = {
+    "self.backend.insert",
+    "self.backend.delete",
+    "self._apply_insert",
+    "self._apply_delete",
+    "self._register_object",
+    "self._unregister_object",
+}
+
+
+def _wal_append(node: ast.Call) -> bool:
+    """Whether ``node`` appends to a WAL-like object (``*wal*.append(...)``)."""
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "append"):
+        return False
+    owner = dotted_name(func.value)
+    return owner is not None and "wal" in owner.lower()
+
+
+def _first_append_and_apply(
+    function: ast.FunctionDef,
+) -> "tuple[Optional[ast.Call], Optional[ast.Call]]":
+    first_append: Optional[ast.Call] = None
+    first_apply: Optional[ast.Call] = None
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Call):
+            continue
+        if _wal_append(node):
+            if first_append is None or node.lineno < first_append.lineno:
+                first_append = node
+        elif dotted_name(node.func) in _APPLY_CALLS:
+            if first_apply is None or node.lineno < first_apply.lineno:
+                first_apply = node
+    return first_append, first_apply
+
+
+def _applies_records(function: ast.FunctionDef) -> bool:
+    for node in ast.walk(function):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and "apply" in name:
+                return True
+    return False
+
+
+def _has_lsn_guard(function: ast.FunctionDef) -> bool:
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Compare):
+            continue
+        for side in [node.left, *node.comparators]:
+            name = dotted_name(side)
+            if name is not None and "lsn" in name.lower():
+                return True
+    return False
+
+
+@register
+class WalOrderingRule(Rule):
+    id = "wal-ordering"
+    title = "mutators log before applying; replay is LSN-ordered"
+    rationale = (
+        "an update applied to the overlay before its WAL record is durable "
+        "is exactly what a crash loses after acknowledging it; replay "
+        "without a monotonic-LSN guard silently accepts reordered or "
+        "duplicated records"
+    )
+    hint = (
+        "append the record to the WAL before touching the overlay; guard "
+        "replay loops with a strictly-increasing LSN comparison"
+    )
+    scope = ("engine/", "wal/")
+
+    def check_file(self, source: SourceFile, project: ProjectModel) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            append, apply = _first_append_and_apply(node)
+            if append is not None and apply is not None:
+                if apply.lineno < append.lineno:
+                    findings.append(self.finding(
+                        source, apply.lineno, apply.col_offset,
+                        f"{node.name}() applies the update to the overlay "
+                        f"before appending it to the WAL",
+                    ))
+            if (
+                source.relpath.startswith("wal/")
+                and node.name.startswith("replay")
+                and _applies_records(node)
+                and not _has_lsn_guard(node)
+            ):
+                findings.append(self.finding(
+                    source, node.lineno, node.col_offset,
+                    f"{node.name}() applies records without a monotonic-LSN "
+                    f"order guard",
+                ))
+        return findings

@@ -21,8 +21,10 @@ class ServeConfig:
     """Configuration of a :class:`~repro.serve.service.QueryService`.
 
     Attributes:
-        snapshot_path: snapshot file every worker opens (written by
-            :meth:`repro.QueryEngine.save`).
+        snapshot_path: what every worker opens -- either a snapshot file
+            (written by :meth:`repro.QueryEngine.save`) or a live deployment
+            directory (``repro build --save-dir``), which resolves through
+            its ``MANIFEST`` to the current snapshot generation.
         workers: worker processes; each opens the snapshot read-only.
         host / port: HTTP bind address (``port=0`` picks a free port; the
             service exposes the actual one after startup).
@@ -48,6 +50,12 @@ class ServeConfig:
             ``None`` keeps the snapshot's saved configuration.
         respawn_delay: seconds the monitor waits between respawn attempts of
             a crashed worker (backstop against a crash loop).
+        reload_poll: seconds between manifest checks when serving a live
+            deployment directory; when a checkpoint flips the manifest the
+            supervisor rolls the new generation across the fleet one worker
+            at a time (no restart, no dropped requests).  ``0.0`` disables
+            the watcher (reloads can still be triggered via
+            :meth:`~repro.serve.service.QueryService.reload`).
     """
 
     snapshot_path: str = ""
@@ -63,6 +71,7 @@ class ServeConfig:
     read_latency: float = 0.0
     buffer_pages: Optional[int] = None
     respawn_delay: float = 0.25
+    reload_poll: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.snapshot_path:
@@ -90,6 +99,8 @@ class ServeConfig:
             raise ValueError("buffer_pages must be non-negative when given")
         if self.respawn_delay < 0:
             raise ValueError("respawn_delay must be non-negative")
+        if self.reload_poll < 0:
+            raise ValueError("reload_poll must be non-negative")
 
     def replace(self, **overrides: Any) -> "ServeConfig":
         """A copy with the given fields replaced (and re-validated)."""

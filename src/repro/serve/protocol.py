@@ -21,6 +21,9 @@ OP_QUERY = "query"
 OP_EXPLAIN = "explain"
 OP_STATS = "stats"
 OP_PING = "ping"
+#: Supervisor-only op: re-resolve the live manifest and, if it names a new
+#: snapshot generation, reopen it (the hot-reload path after a checkpoint).
+OP_RELOAD = "reload"
 
 #: Error kinds a response can carry (mapped to HTTP status codes).
 ERROR_BAD_REQUEST = "bad-request"      # -> 400

@@ -19,9 +19,22 @@ The router owns everything between "an HTTP handler parsed a request" and
 * **observability** -- per-query-type latency histograms plus counters for
   every admission decision, feeding the ``/stats`` endpoint.
 
+* **hot reload** -- :meth:`Router.reload_workers` rolls the fleet onto a
+  new snapshot generation one worker at a time (pinned dispatch, exempt
+  from admission control), so a checkpoint flip never drops requests.
+
 Workers are spawned (not forked): respawning must be safe while the
 supervisor's HTTP threads hold arbitrary locks, and a forked child would
 inherit those locks mid-flight.
+
+Invariants this module is held to (machine-checked by ``repro.lint``):
+every attribute named in ``_GUARDED_BY`` is touched only under its lock --
+methods documented as "caller holds the lock" are the audited exemption
+(*lock-discipline*); work handed to worker processes is importable by
+qualified name, never a lambda or closure, because children are spawned
+and re-import their targets (*picklable-work*); and everything crossing
+the process boundary round-trips through ``to_dict``/``from_dict``
+(*wire-complete*).
 """
 
 from __future__ import annotations
@@ -35,7 +48,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.serve.config import ServeConfig
-from repro.serve.protocol import Request, Response
+from repro.serve.protocol import OP_RELOAD, Request, Response
 from repro.serve.worker import SHUTDOWN, worker_main
 
 
@@ -213,6 +226,7 @@ class Router:
             "retried_after_crash": 0,
             "late_responses_dropped": 0,
             "respawns": 0,
+            "reloads": 0,
         }
         self.started_at = 0.0
 
@@ -281,8 +295,15 @@ class Router:
         payload: Optional[Dict[str, Any]] = None,
         client_id: str = "anonymous",
         timeout: Optional[float] = None,
+        worker_id: Optional[int] = None,
     ) -> Response:
         """Route one request to the least-loaded worker and await the answer.
+
+        Args:
+            worker_id: pin the request to one specific worker slot.  This is
+                the supervisor's path (rolling reloads): a pinned request
+                bypasses rate limiting and the in-flight budget because it
+                must reach exactly that worker, never a sibling.
 
         Raises:
             ServiceDrainingError: the service no longer admits work.
@@ -294,7 +315,11 @@ class Router:
             with self._lock:
                 self.counters["rejected_draining"] += 1
             raise ServiceDrainingError("service is draining; retry elsewhere")
-        if self.config.rate_limit > 0.0 and not self._admit_client(client_id):
+        if (
+            worker_id is None
+            and self.config.rate_limit > 0.0
+            and not self._admit_client(client_id)
+        ):
             with self._lock:
                 self.counters["rejected_rate_limited"] += 1
             raise RateLimitedError(
@@ -306,7 +331,10 @@ class Router:
         request_id = next(self._ids)
         request = Request(request_id=request_id, op=op, payload=payload)
         with self._lock:
-            handle = self._select_worker()
+            if worker_id is not None:
+                handle = self._pin_worker(worker_id)
+            else:
+                handle = self._select_worker()
             if handle is None:
                 self.counters["rejected_queue_full"] += 1
                 raise QueueFullError(
@@ -363,9 +391,44 @@ class Router:
                 best = handle
         return best
 
+    def _pin_worker(self, worker_id: int) -> _WorkerHandle:
+        """The named live worker slot (caller holds the lock)."""
+        for handle in self._workers:
+            if handle.worker_id == worker_id:
+                if handle.failed or handle.process is None:
+                    raise RouterError(f"worker {worker_id} is not available")
+                return handle
+        raise RouterError(f"no worker slot {worker_id}")
+
     def _forget_inflight(self, request_id: int) -> None:
         for handle in self._workers:
             handle.inflight.discard(request_id)
+
+    # ------------------------------------------------------------------ #
+    # hot reload (new snapshot generations)
+    # ------------------------------------------------------------------ #
+    def reload_workers(self, timeout: Optional[float] = None) -> List[Response]:
+        """Roll an ``OP_RELOAD`` across the fleet, one worker at a time.
+
+        Serialising the reloads is what keeps the fleet serving throughout a
+        generation flip: while one worker reopens the new snapshot, every
+        sibling keeps answering queries, and requests already queued behind
+        the reloading worker are merely delayed (FIFO), never dropped.
+        Returns the per-worker responses (a failed reload leaves that worker
+        on its old generation and is visible in its response).
+        """
+        responses: List[Response] = []
+        for handle in list(self._workers):
+            if handle.failed or handle.process is None:
+                continue
+            response = self.dispatch(
+                OP_RELOAD, worker_id=handle.worker_id, timeout=timeout
+            )
+            responses.append(response)
+            if response.ok and response.payload.get("reloaded"):
+                with self._lock:
+                    self.counters["reloads"] += 1
+        return responses
 
     # ------------------------------------------------------------------ #
     # response pump

@@ -184,6 +184,9 @@ class QueryService:
         self._server: Optional[_Server] = None
         self._thread: Optional[threading.Thread] = None
         self._started = False
+        self._watch_stop = threading.Event()
+        self._watch_thread: Optional[threading.Thread] = None
+        self._generation: Optional[int] = None
 
     # -- lifecycle ------------------------------------------------------- #
     def start(self, ready_timeout: float = 60.0) -> "QueryService":
@@ -207,6 +210,7 @@ class QueryService:
         )
         self._thread.start()
         self._started = True
+        self._start_watcher()
         return self
 
     def stop(self, drain: bool = True) -> bool:
@@ -215,6 +219,10 @@ class QueryService:
         Returns ``True`` when the drain completed within the configured
         timeout (always ``False`` with ``drain=False``).
         """
+        self._watch_stop.set()
+        if self._watch_thread is not None:
+            self._watch_thread.join(timeout=2.0)
+            self._watch_thread = None
         drained = self.router.stop(drain=drain)
         if self._server is not None:
             self._server.shutdown()
@@ -223,6 +231,61 @@ class QueryService:
             self._thread.join(timeout=2.0)
         self._started = False
         return drained
+
+    # -- hot reload (snapshot generations) ------------------------------- #
+    def reload(self) -> int:
+        """Roll the current manifest generation across the fleet.
+
+        Returns the number of workers that actually swapped to a new
+        snapshot (``0`` when every worker was already current).  Safe to
+        call whether or not the watcher is running.
+        """
+        responses = self.router.reload_workers()
+        swapped = 0
+        for response in responses:
+            if response.ok and response.payload.get("reloaded"):
+                swapped += 1
+                generation = response.payload.get("generation")
+                if generation is not None:
+                    self._generation = generation
+        return swapped
+
+    @property
+    def generation(self) -> Optional[int]:
+        """Last snapshot generation the supervisor observed (``None`` for
+        plain snapshot files or before the first manifest read)."""
+        return self._generation
+
+    def _start_watcher(self) -> None:
+        from repro.engine.snapshot import is_live_directory, read_manifest
+
+        if not is_live_directory(self.config.snapshot_path):
+            return
+        self._generation = read_manifest(self.config.snapshot_path).generation
+        if self.config.reload_poll <= 0:
+            return
+        self._watch_stop.clear()
+        self._watch_thread = threading.Thread(
+            target=self._watch_manifest, name="serve-manifest-watch", daemon=True
+        )
+        self._watch_thread.start()
+
+    def _watch_manifest(self) -> None:
+        """Poll the manifest; roll reloads when a checkpoint flips it."""
+        from repro.engine.snapshot import read_manifest
+
+        while not self._watch_stop.wait(self.config.reload_poll):
+            try:
+                manifest = read_manifest(self.config.snapshot_path)
+            except (OSError, ValueError):
+                continue  # flip in progress or transient read error
+            if manifest.generation == self._generation:
+                continue
+            try:
+                self.reload()
+            except Exception:  # noqa: BLE001 - the watcher must survive
+                continue
+            self._generation = manifest.generation
 
     def __enter__(self) -> "QueryService":
         return self.start()
@@ -259,6 +322,8 @@ class QueryService:
                 "store": self.config.store,
                 "workers": self.config.workers,
                 "request_timeout": self.config.request_timeout,
+                "generation": self._generation,
+                "reload_poll": self.config.reload_poll,
             },
             "router": self.router.stats(),
         }

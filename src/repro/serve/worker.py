@@ -26,6 +26,7 @@ from repro.serve.protocol import (
     OP_EXPLAIN,
     OP_PING,
     OP_QUERY,
+    OP_RELOAD,
     OP_STATS,
     Request,
     Response,
@@ -102,18 +103,56 @@ class WorkerRuntime:
     """
 
     def __init__(self, worker_id: int, config):
-        from repro.engine.engine import QueryEngine
+        from repro.engine.snapshot import resolve_snapshot
 
         self.worker_id = worker_id
         self.config = config
-        self.engine = QueryEngine.open(
-            config.snapshot_path,
-            store=config.store,
-            buffer_pages=config.buffer_pages,
-            read_latency=config.read_latency,
+        # A live deployment directory resolves through its manifest to the
+        # current generation's snapshot file; a plain snapshot resolves to
+        # itself with no generation.
+        self.snapshot_file, self.generation = resolve_snapshot(config.snapshot_path)
+        self.engine = self._open(self.snapshot_file)
+        self.requests_handled = 0
+        self.reloads = 0
+
+    def _open(self, snapshot_file: str):
+        from repro.engine.engine import QueryEngine
+
+        return QueryEngine.open(
+            snapshot_file,
+            store=self.config.store,
+            buffer_pages=self.config.buffer_pages,
+            read_latency=self.config.read_latency,
             readonly=True,
         )
-        self.requests_handled = 0
+
+    def _reload(self) -> Dict[str, Any]:
+        """Reopen the snapshot when the manifest names a newer generation.
+
+        The new engine is fully opened *before* the old one is swapped out,
+        so a failed open (e.g. a checkpoint still in flight crashed) leaves
+        the worker serving the old generation -- the error travels back to
+        the supervisor as an internal-error response instead.
+        """
+        from repro.engine.snapshot import resolve_snapshot
+
+        snapshot_file, generation = resolve_snapshot(self.config.snapshot_path)
+        if snapshot_file == self.snapshot_file and generation == self.generation:
+            return {
+                "reloaded": False,
+                "generation": generation,
+                "objects": len(self.engine),
+            }
+        engine = self._open(snapshot_file)
+        self.engine = engine
+        self.snapshot_file = snapshot_file
+        self.generation = generation
+        self.reloads += 1
+        return {
+            "reloaded": True,
+            "generation": generation,
+            "objects": len(engine),
+        }
 
     def handle(self, request: Request) -> Response:
         """Execute one request, never letting an exception escape."""
@@ -129,6 +168,9 @@ class WorkerRuntime:
             elif request.op == OP_STATS:
                 kind = "stats"
                 payload = self.stats()
+            elif request.op == OP_RELOAD:
+                kind = "reload"
+                payload = self._reload()
             elif request.op in (OP_QUERY, OP_EXPLAIN):
                 query = query_from_dict(request.payload)
                 kind = request.payload.get("type", "unknown")
@@ -168,6 +210,8 @@ class WorkerRuntime:
             "backend": engine.backend.name,
             "objects": len(engine),
             "readonly": engine.readonly,
+            "generation": self.generation,
+            "reloads": self.reloads,
             "requests_handled": self.requests_handled,
             "io": io.as_dict(),
             "buffer_pool_hit_ratio": io.cache_hit_ratio,

@@ -14,6 +14,17 @@ implementations cover the library's lifecycle:
   read, and updates go to an in-memory overlay that leaves the snapshot file
   untouched.
 
+Invariant (machine-checked by ``repro.lint``'s *counted-io* rule): query
+and backend code never calls ``load_page``/``store_page``/``delete_page``
+directly -- every page touch goes through the
+:class:`~repro.storage.disk.DiskManager`, because the paper's reported
+metric is *counted* page accesses and the buffer pool invalidates frames on
+the manager's write path.  A store reached behind the manager's back would
+silently uncount I/O and serve stale frames.  Durability of live updates is
+deliberately *not* this layer's job: snapshot files are immutable once
+written; the write-ahead log (:mod:`repro.wal`) owns crash safety and folds
+into the next snapshot generation at checkpoint time.
+
 File layout (little-endian)::
 
     [0, 64)                      header: magic, version, slot size,

@@ -1,0 +1,51 @@
+"""repro.wal -- durability for live updates: log, recovery, checkpointer.
+
+Updates to an opened snapshot used to live in a volatile overlay and die
+with the process.  This package makes them durable:
+
+* :mod:`repro.wal.log` -- an append-only, checksummed, fsync-controlled
+  write-ahead log of insert/delete records (one LSN per update),
+* :mod:`repro.wal.recovery` -- torn-tail-tolerant reading plus LSN-ordered
+  replay of recovered records over the last snapshot generation,
+* :mod:`repro.wal.checkpoint` -- a background checkpointer that folds the
+  logged updates into snapshot generation N+1, flips the manifest
+  atomically, and truncates the log while generation N keeps serving,
+* :mod:`repro.wal.drill` -- the kill -9 crash-drill child process used by
+  the recovery tests and the CI crash smoke.
+
+The engine side lives in :meth:`repro.QueryEngine.open_live` (replays the
+WAL over the manifest's generation and attaches the log) and in the
+mutators, which append a record -- and fsync it -- *before* touching the
+overlay.  That ordering is the package's core invariant and is enforced by
+the ``wal-ordering`` rule of :mod:`repro.lint`.
+"""
+
+from repro.wal.log import (
+    FSYNC_ALWAYS,
+    FSYNC_BATCH,
+    OP_DELETE,
+    OP_INSERT,
+    WalError,
+    WalRecord,
+    WalScan,
+    WriteAheadLog,
+    scan_wal,
+)
+from repro.wal.recovery import read_records, replay
+from repro.wal.checkpoint import Checkpointer, CheckpointResult
+
+__all__ = [
+    "Checkpointer",
+    "CheckpointResult",
+    "FSYNC_ALWAYS",
+    "FSYNC_BATCH",
+    "OP_DELETE",
+    "OP_INSERT",
+    "WalError",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "read_records",
+    "replay",
+    "scan_wal",
+]

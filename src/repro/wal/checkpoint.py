@@ -1,0 +1,179 @@
+"""Background checkpointer: fold logged updates into generation N+1.
+
+A checkpoint turns the write-ahead log's tail back into a cold-startable
+snapshot:
+
+1. :meth:`~repro.engine.engine.QueryEngine.checkpoint_capture` takes a
+   consistent ``(objects, last_lsn)`` cut under the engine's WAL lock,
+2. a *fresh* engine is built from that cut with the parallel construction
+   scheduler (``workers`` from the engine's config unless overridden) --
+   the serving engine keeps answering queries against generation N the
+   whole time,
+3. the rebuilt engine is saved as ``gen-{N+1:06d}.snap``,
+4. the manifest is flipped atomically (temp file + rename) to name the new
+   generation and its ``base_lsn``,
+5. the serving engine adopts the manifest
+   (:meth:`~repro.engine.engine.QueryEngine.complete_checkpoint`), which
+   truncates records at or below ``base_lsn`` out of the log, and
+6. generations older than N are pruned (N stays: a serving fleet may still
+   hold it open over mmap while it reloads).
+
+A crash at any point is safe: before the rename the manifest still names
+generation N and the full log replays over it; after the rename the log's
+stale prefix (``lsn <= base_lsn``) is filtered out by recovery.
+
+:class:`Checkpointer` wraps :meth:`~Checkpointer.run_once` in a daemon
+thread with an interval and a ``min_records`` threshold so quiet periods do
+not burn rebuild cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import QueryEngine
+
+
+@dataclass(frozen=True)
+class CheckpointResult:
+    """What one checkpoint did.
+
+    Attributes:
+        generation: the new generation number.
+        base_lsn: last LSN folded into the new generation.
+        folded_records: log records folded by this checkpoint.
+        objects: object count of the new generation.
+        snapshot_path: path of the new generation's snapshot file.
+        seconds: wall-clock time of the rebuild + flip.
+        pruned: ``generation -> filename`` of snapshots deleted afterwards.
+    """
+
+    generation: int
+    base_lsn: int
+    folded_records: int
+    objects: int
+    snapshot_path: str
+    seconds: float
+    pruned: Dict[int, str]
+
+
+class Checkpointer:
+    """Periodic background folding of the WAL into new snapshot generations.
+
+    Args:
+        engine: a live engine (opened with ``QueryEngine.open_live`` or laid
+            out with ``save_generation``); raises ``ValueError`` otherwise.
+        interval: seconds between background attempts (:meth:`start`).
+        min_records: skip a checkpoint while fewer than this many records
+            are pending -- :meth:`run_once` with ``force=True`` overrides.
+        workers: construction workers for the rebuild; defaults to the
+            engine's configured ``workers``.
+    """
+
+    def __init__(
+        self,
+        engine: "QueryEngine",
+        interval: float = 30.0,
+        min_records: int = 1,
+        workers: Optional[int] = None,
+    ) -> None:
+        if engine.live_directory is None:
+            raise ValueError(
+                "checkpointing needs a live deployment directory; open the "
+                "engine with QueryEngine.open_live (or save_generation first)"
+            )
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if min_records < 0:
+            raise ValueError(f"min_records must be >= 0, got {min_records}")
+        self.engine = engine
+        self.interval = interval
+        self.min_records = min_records
+        self.workers = workers
+        self.checkpoints_run = 0
+        self.last_error: Optional[BaseException] = None
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def run_once(self, force: bool = False) -> Optional[CheckpointResult]:
+        """Fold the pending log tail into a new generation, if warranted.
+
+        Returns ``None`` when skipped (fewer than ``min_records`` pending
+        and not ``force``, or the dataset is empty -- an empty engine cannot
+        be rebuilt, so its deletes stay in the log until an insert arrives).
+        """
+        from repro.engine.engine import QueryEngine
+        from repro.engine.snapshot import (
+            Manifest,
+            generation_filename,
+            prune_generations,
+            save_engine,
+            write_manifest,
+        )
+
+        engine = self.engine
+        directory = engine.live_directory
+        assert directory is not None  # checked in __init__
+        start = time.perf_counter()
+        objects, base_lsn = engine.checkpoint_capture()
+        folded = base_lsn - engine.base_lsn
+        if folded < self.min_records and not force:
+            return None
+        if not objects:
+            return None
+        config = engine.config.replace(store="memory", store_path=None)
+        if self.workers is not None:
+            config = config.replace(workers=self.workers)
+        rebuilt = QueryEngine.build(objects, engine.domain, config)
+        generation = engine.generation + 1
+        name = generation_filename(generation)
+        snapshot_path = os.path.join(directory, name)
+        save_engine(rebuilt, snapshot_path)
+        manifest = Manifest(generation=generation, snapshot=name, base_lsn=base_lsn)
+        write_manifest(directory, manifest)
+        engine.complete_checkpoint(manifest)
+        pruned = prune_generations(directory, keep_from=generation - 1)
+        self.checkpoints_run += 1
+        return CheckpointResult(
+            generation=generation,
+            base_lsn=base_lsn,
+            folded_records=folded,
+            objects=len(objects),
+            snapshot_path=snapshot_path,
+            seconds=time.perf_counter() - start,
+            pruned=pruned,
+        )
+
+    def start(self) -> None:
+        """Start the background thread (daemon, named ``repro-checkpointer``)."""
+        if self._thread is not None and self._thread.is_alive():
+            raise RuntimeError("checkpointer is already running")
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-checkpointer", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Signal the background thread to exit and join it."""
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the background thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def _loop(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            try:
+                self.run_once()
+            except Exception as exc:  # noqa: BLE001 - surfaced via last_error
+                self.last_error = exc

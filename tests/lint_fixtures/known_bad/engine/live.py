@@ -1,0 +1,13 @@
+"""Known-bad fixture: the overlay is mutated before the WAL append."""
+
+
+class LiveEngine:
+    def __init__(self, backend, wal):
+        self.backend = backend
+        self._wal = wal
+        self._next_lsn = 0
+
+    def insert(self, obj, payload):
+        self._next_lsn += 1
+        self.backend.insert(obj)
+        self._wal.append(1, payload, self._next_lsn)

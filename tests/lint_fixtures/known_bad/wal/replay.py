@@ -1,0 +1,9 @@
+"""Known-bad fixture: replay applies records without an LSN order guard."""
+
+
+def replay(engine, records):
+    applied = 0
+    for record in records:
+        engine.apply_record(record)
+        applied += 1
+    return applied

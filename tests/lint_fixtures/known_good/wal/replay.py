@@ -1,0 +1,13 @@
+"""Known-good fixture: replay guarded by a strictly-increasing LSN check."""
+
+
+def replay(engine, records, after_lsn=0):
+    last_lsn = after_lsn
+    applied = 0
+    for record in records:
+        if record.lsn <= last_lsn:
+            raise ValueError(f"replay out of LSN order: {record.lsn}")
+        engine.apply_record(record)
+        last_lsn = record.lsn
+        applied += 1
+    return applied

@@ -97,6 +97,8 @@ class TestFixtureTrees:
             ("picklable-work", "parallel/scheduler.py", "a lambda"),
             ("picklable-work", "parallel/scheduler.py", "nested function"),
             ("validated-replace", "queries/executor.py", "dataclasses.replace"),
+            ("wal-ordering", "engine/live.py", "before appending"),
+            ("wal-ordering", "wal/replay.py", "without a monotonic-LSN"),
         ],
     )
     def test_known_bad_finding(self, bad_report, rule_id, relpath, needle):
@@ -136,6 +138,7 @@ class TestFixtureTrees:
             "float-eq": 2,
             "picklable-work": 3,
             "validated-replace": 2,
+            "wal-ordering": 2,
         }
 
 
