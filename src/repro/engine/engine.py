@@ -243,8 +243,12 @@ class QueryEngine:
         # write-ahead log, the live deployment directory, and the LSN
         # watermarks.  base_lsn is the last LSN folded into the current
         # snapshot generation; last_lsn is the last LSN appended (or
-        # replayed).  The mutators append under _wal_lock so the WAL's LSN
-        # order matches the order updates are applied to the overlay.
+        # replayed).  Mutators hold _wal_lock across the precondition
+        # check, the WAL append, AND the overlay apply, so (a) the WAL's
+        # LSN order matches the order updates hit the overlay, and
+        # (b) checkpoint_capture -- which reads (objects, last_lsn) under
+        # the same lock -- can never observe an LSN watermark whose record
+        # is not yet folded into the object list.
         self._wal: Optional["WriteAheadLog"] = None
         self._wal_lock = threading.Lock()
         self._generation = 0
@@ -681,16 +685,18 @@ class QueryEngine:
         ``None`` otherwise).
         """
         self._check_writable("insert")
-        if obj.oid in self.by_id:
-            raise ValueError(f"object id {obj.oid} already exists in the engine")
         with self._wal_lock:
+            if obj.oid in self.by_id:
+                raise ValueError(
+                    f"object id {obj.oid} already exists in the engine"
+                )
             if self._wal is not None:
                 from repro.wal.log import OP_INSERT, encode_insert
 
                 lsn = self._last_lsn + 1
                 self._wal.append(OP_INSERT, encode_insert(obj), lsn=lsn)
                 self._last_lsn = lsn
-        return self._apply_insert(obj)
+            return self._apply_insert(obj)
 
     def delete(self, oid: int) -> Any:
         """Remove an object by id; the diagram stays queryable afterwards.
@@ -701,16 +707,16 @@ class QueryEngine:
         ``None`` otherwise).
         """
         self._check_writable("delete")
-        if oid not in self.by_id:
-            raise KeyError(f"object {oid} is not in the engine")
         with self._wal_lock:
+            if oid not in self.by_id:
+                raise KeyError(f"object {oid} is not in the engine")
             if self._wal is not None:
                 from repro.wal.log import OP_DELETE, encode_delete
 
                 lsn = self._last_lsn + 1
                 self._wal.append(OP_DELETE, encode_delete(oid), lsn=lsn)
                 self._last_lsn = lsn
-        return self._apply_delete(oid)
+            return self._apply_delete(oid)
 
     def _apply_insert(self, obj: UncertainObject) -> Any:
         """Apply an insert to the in-memory overlay (no WAL append)."""
@@ -852,9 +858,13 @@ class QueryEngine:
     def checkpoint_capture(self) -> Tuple[List[UncertainObject], int]:
         """Consistent ``(objects, last_lsn)`` cut for the checkpointer.
 
-        Taken under the WAL lock so the object list and the LSN watermark
-        describe the same moment: a snapshot built from these objects has
-        every update up to and including ``last_lsn`` folded in.
+        Taken under the WAL lock -- the same lock mutators hold across
+        their append *and* overlay apply -- so the object list and the LSN
+        watermark describe the same moment: a snapshot built from these
+        objects has every update up to and including ``last_lsn`` folded
+        in, and no in-flight update can be counted in the watermark but
+        missing from the list (which would let the post-checkpoint WAL
+        truncation drop an acknowledged update).
         """
         with self._wal_lock:
             return list(self.objects), self._last_lsn

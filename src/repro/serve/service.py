@@ -26,7 +26,7 @@ import json
 import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.serve.config import ServeConfig
 from repro.serve.protocol import OP_EXPLAIN, OP_QUERY, OP_STATS, error_status
@@ -239,15 +239,30 @@ class QueryService:
         Returns the number of workers that actually swapped to a new
         snapshot (``0`` when every worker was already current).  Safe to
         call whether or not the watcher is running.
+
+        ``generation`` only advances to a generation *every* live worker
+        confirmed: if one worker's reload fails (it keeps serving its old
+        snapshot), the supervisor's view stays behind the manifest and the
+        watcher retries the roll on its next poll instead of stranding
+        that worker on a stale, possibly pruned generation.
         """
         responses = self.router.reload_workers()
         swapped = 0
+        confirmed: List[int] = []
+        all_ok = bool(responses)
         for response in responses:
-            if response.ok and response.payload.get("reloaded"):
+            if not response.ok:
+                all_ok = False
+                continue
+            if response.payload.get("reloaded"):
                 swapped += 1
-                generation = response.payload.get("generation")
-                if generation is not None:
-                    self._generation = generation
+            generation = response.payload.get("generation")
+            if generation is None:
+                all_ok = False
+            else:
+                confirmed.append(generation)
+        if all_ok:
+            self._generation = min(confirmed)
         return swapped
 
     @property
@@ -282,10 +297,12 @@ class QueryService:
             if manifest.generation == self._generation:
                 continue
             try:
+                # reload() advances self._generation only when every live
+                # worker confirms the new generation; on a partial failure
+                # it stays behind the manifest and this loop retries.
                 self.reload()
             except Exception:  # noqa: BLE001 - the watcher must survive
                 continue
-            self._generation = manifest.generation
 
     def __enter__(self) -> "QueryService":
         return self.start()

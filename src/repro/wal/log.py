@@ -313,6 +313,9 @@ class WriteAheadLog:
         os.replace(compact_path, self.path)
         self._file = open(self.path, "r+b")
         self._file.seek(0, os.SEEK_END)
+        # Every surviving record was fsynced into the compact file above, so
+        # nothing is pending a group commit any more.
+        self._unsynced = 0
         if base_lsn > self._last_lsn:
             self._last_lsn = base_lsn
         return dropped

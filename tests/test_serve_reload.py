@@ -99,6 +99,69 @@ class TestManualReload:
             assert service.reload() == 0  # nothing changed, nothing swapped
 
 
+class TestPartialReloadFailure:
+    """``generation`` only advances once every live worker confirms it, so
+    the manifest watcher keeps retrying a partially failed roll instead of
+    stranding one worker on a stale (soon pruned) generation."""
+
+    class _StubRouter:
+        def __init__(self, responses):
+            self.responses = responses
+            self.calls = 0
+
+        def reload_workers(self, timeout=None):
+            self.calls += 1
+            return self.responses
+
+    @staticmethod
+    def _response(ok, payload, worker_id=0):
+        from repro.serve.protocol import Response
+
+        return Response(request_id=0, ok=ok, payload=payload,
+                        worker_id=worker_id)
+
+    def _service_with(self, deployment, responses):
+        service = QueryService(ServeConfig(snapshot_path=deployment, port=0))
+        service._generation = 1
+        service.router = self._StubRouter(responses)
+        return service
+
+    def test_partial_failure_keeps_generation_behind(self, deployment):
+        service = self._service_with(deployment, [
+            self._response(True, {"reloaded": True, "generation": 2},
+                           worker_id=0),
+            self._response(False, {"error": "internal", "message": "boom"},
+                           worker_id=1),
+        ])
+        assert service.reload() == 1
+        assert service.generation == 1  # the failed worker still serves gen 1
+
+    def test_straggler_pins_generation_to_fleet_minimum(self, deployment):
+        service = self._service_with(deployment, [
+            self._response(True, {"reloaded": True, "generation": 2},
+                           worker_id=0),
+            self._response(True, {"reloaded": False, "generation": 1},
+                           worker_id=1),
+        ])
+        service.reload()
+        assert service.generation == 1  # not every worker is on gen 2 yet
+
+    def test_full_success_advances_generation(self, deployment):
+        service = self._service_with(deployment, [
+            self._response(True, {"reloaded": True, "generation": 2},
+                           worker_id=0),
+            self._response(True, {"reloaded": False, "generation": 2},
+                           worker_id=1),
+        ])
+        assert service.reload() == 1
+        assert service.generation == 2
+
+    def test_no_live_workers_keeps_generation(self, deployment):
+        service = self._service_with(deployment, [])
+        assert service.reload() == 0
+        assert service.generation == 1
+
+
 class TestManifestWatcher:
     def test_fleet_follows_the_manifest_with_zero_errors(self, deployment):
         config = ServeConfig(

@@ -183,6 +183,18 @@ class TestWriteAheadLog:
         assert log.sync() == 0
         log.close()
 
+    def test_truncate_clears_pending_batch_count(self, tmp_path):
+        # truncate_through fsyncs the survivors into the compact file, so a
+        # later sync() must not re-count appends made before the truncation.
+        log = WriteAheadLog(str(tmp_path / "wal.log"), fsync="batch")
+        log.append(OP_DELETE, encode_delete(1))
+        log.append(OP_DELETE, encode_delete(2))
+        log.truncate_through(1)
+        assert log.sync() == 0
+        log.append(OP_DELETE, encode_delete(3))
+        assert log.sync() == 1
+        log.close()
+
 
 class TestManifest:
     def test_round_trip(self, tmp_path):
@@ -347,6 +359,84 @@ class TestCheckpoint:
         # Both records were folded: run_once re-captures at flip time.
         assert result.base_lsn == 2
         engine.close_wal()
+
+    def test_capture_waits_for_in_flight_mutation(self, tmp_path,
+                                                  small_objects, small_domain):
+        """checkpoint_capture must never see an LSN whose overlay apply is
+        still in flight -- the truncation that follows would drop the
+        acknowledged update (regression: append and apply used to run under
+        separate lock acquisitions)."""
+        import threading
+        import time
+
+        directory = _deployment(tmp_path, small_objects, small_domain)
+        engine = QueryEngine.open_live(directory)
+        lsn_before = engine.last_lsn
+
+        in_apply = threading.Event()
+        original_apply = engine._apply_insert
+
+        def slow_apply(obj):
+            # Signal the capture thread, then linger: a capture that does
+            # not synchronise with mutators would run in this window and
+            # read last_lsn without the object.
+            in_apply.set()
+            time.sleep(0.3)
+            return original_apply(obj)
+
+        engine._apply_insert = slow_apply
+        captured = {}
+
+        def capture():
+            assert in_apply.wait(5.0)
+            objects, last_lsn = engine.checkpoint_capture()
+            captured["oids"] = {obj.oid for obj in objects}
+            captured["last_lsn"] = last_lsn
+
+        thread = threading.Thread(target=capture)
+        thread.start()
+        engine.insert(_fresh_object(980))
+        thread.join(10.0)
+        assert not thread.is_alive()
+        # The capture ran after the append (the event fires post-append), so
+        # its watermark covers the insert -- and therefore the object list
+        # must already contain it.
+        assert captured["last_lsn"] == lsn_before + 1
+        assert 980 in captured["oids"]
+        engine.close_wal()
+
+    def test_no_lost_updates_under_concurrent_checkpoints(self, tmp_path,
+                                                          small_objects,
+                                                          small_domain):
+        """A mutation stream racing a fast background checkpointer loses
+        nothing: every acknowledged update survives reopen."""
+        from repro.wal import Checkpointer
+
+        directory = _deployment(tmp_path, small_objects, small_domain)
+        engine = QueryEngine.open_live(directory)
+        checkpointer = Checkpointer(engine, interval=0.01, min_records=1)
+        checkpointer.start()
+        inserted = []
+        deleted = []
+        try:
+            for oid in range(2000, 2040):
+                engine.insert(_fresh_object(oid))
+                inserted.append(oid)
+                if oid % 5 == 0:
+                    engine.delete(oid)
+                    deleted.append(oid)
+        finally:
+            checkpointer.stop()
+        assert checkpointer.last_error is None
+        engine.close_wal()
+
+        reopened = QueryEngine.open_live(directory)
+        for oid in inserted:
+            if oid in deleted:
+                assert oid not in reopened.by_id
+            else:
+                assert oid in reopened.by_id
+        reopened.close_wal()
 
     def test_prune_keeps_current_and_previous(self, tmp_path, small_objects,
                                               small_domain):
