@@ -146,6 +146,7 @@ def measure_scaling(snapshot: str, bodies, args) -> dict:
         config = ServeConfig(
             snapshot_path=snapshot, workers=workers, port=0,
             read_latency=args.read_latency, queue_depth=max(8, args.clients),
+            hang_timeout=args.hang_timeout,
         )
         with QueryService(config) as service:
             # Warm up the fleet (first request per worker pays numpy set-up).
@@ -180,7 +181,7 @@ def fault_drill(snapshot: str, bodies, args) -> dict:
     config = ServeConfig(
         snapshot_path=snapshot, workers=4, port=0,
         read_latency=args.read_latency, queue_depth=max(8, args.clients),
-        respawn_delay=0.1,
+        respawn_delay=0.1, hang_timeout=args.hang_timeout,
     )
     with QueryService(config) as service:
         router = service.router
@@ -248,6 +249,9 @@ def main(argv=None) -> int:
     parser.add_argument("--target-speedup", type=float, default=TARGET_SPEEDUP)
     parser.add_argument("--check", action="store_true",
                         help="fail on speedup < target or drill failures")
+    parser.add_argument("--hang-timeout", type=float, default=0.0,
+                        help="kill-and-respawn deadline (seconds) for a "
+                             "worker that stops answering; 0 disables")
     parser.add_argument("--skip-drill", action="store_true",
                         help="scaling series only (quick local runs)")
     args = parser.parse_args(argv)

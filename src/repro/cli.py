@@ -421,10 +421,48 @@ def _command_serve(args: argparse.Namespace) -> int:
         return 1
 
 
+def _command_checkpoint_status(directory: str) -> int:
+    """``repro checkpoint --status``: the checkpointer's cross-process view."""
+    from repro.engine.snapshot import list_quarantined, read_manifest
+    from repro.wal import read_checkpoint_status
+
+    try:
+        manifest = read_manifest(directory)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read deployment {directory}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"deployment {directory}: generation {manifest.generation} "
+          f"({manifest.snapshot}), base_lsn {manifest.base_lsn}")
+    if manifest.previous:
+        print(f"  previous generation : {manifest.previous['generation']} "
+              f"({manifest.previous['snapshot']})")
+    quarantined = list_quarantined(directory)
+    print(f"  quarantined         : {', '.join(quarantined) or 'none'}")
+    status = read_checkpoint_status(directory)
+    if status is None:
+        print("  checkpointer        : no status recorded "
+              "(never ran, or an older version)")
+        return 0
+    print(f"  checkpointer        : {'running' if status.get('running') else 'stopped'}, "
+          f"{status.get('checkpoints_run', 0)} checkpoint(s) run")
+    print(f"  consecutive failures: {status.get('consecutive_failures', 0)}")
+    print(f"  last error          : {status.get('last_error') or 'none'}")
+    last = status.get("last_checkpoint")
+    if last:
+        print(f"  last checkpoint     : generation {last.get('generation')}, "
+              f"{last.get('folded_records')} record(s) folded, "
+              f"{last.get('objects')} object(s), "
+              f"{last.get('seconds', 0.0):.2f} s")
+    return 0
+
+
 def _command_checkpoint(args: argparse.Namespace) -> int:
     from repro.storage.pagestore import PageStoreError
     from repro.wal import Checkpointer
 
+    if args.status:
+        return _command_checkpoint_status(args.dir)
     try:
         engine = QueryEngine.open_live(args.dir, store=args.load_store)
     except (OSError, PageStoreError, ValueError) as exc:
@@ -456,7 +494,14 @@ def _command_checkpoint(args: argparse.Namespace) -> int:
 def _command_wal_inspect(args: argparse.Namespace) -> int:
     from repro.engine.snapshot import is_live_directory, read_manifest, wal_path
     from repro.wal import WalError, scan_wal
-    from repro.wal.log import OP_DELETE, OP_INSERT, decode_delete, decode_insert
+    from repro.wal.log import (
+        HEADER_SIZE,
+        OP_DELETE,
+        OP_INSERT,
+        RECORD_HEADER_SIZE,
+        decode_delete,
+        decode_insert,
+    )
 
     path = args.path
     base_lsn = None
@@ -480,6 +525,7 @@ def _command_wal_inspect(args: argparse.Namespace) -> int:
         return 2
     print(f"{path}: {len(scan.records)} record(s), "
           f"{scan.valid_bytes} valid byte(s)")
+    offset = HEADER_SIZE
     for record in scan.records:
         try:
             if record.op == OP_INSERT:
@@ -493,13 +539,39 @@ def _command_wal_inspect(args: argparse.Namespace) -> int:
         stale = ""
         if base_lsn is not None and record.lsn <= base_lsn:
             stale = "  [folded into snapshot]"
-        print(f"  lsn {record.lsn:>8}  {detail}{stale}")
+        print(f"  offset {offset:>8}  lsn {record.lsn:>8}  {detail}{stale}")
+        offset += RECORD_HEADER_SIZE + len(record.payload)
+    if scan.is_corrupt:
+        # Intact records exist past the break: this is mid-log damage of
+        # acknowledged history, not a torn tail -- recovery refuses it.
+        print(f"CORRUPT: record break at byte {scan.valid_bytes} "
+              f"({scan.torn_reason}); last good lsn {scan.last_lsn}; "
+              f"intact records resume at byte {scan.resync_offset} "
+              f"(lsn {scan.resync_lsn})")
+        return 1
     if scan.torn_bytes:
         # Expected after kill -9 mid-append: the torn record was never
-        # acknowledged, and the next live open truncates it.
-        print(f"warning: torn tail -- {scan.torn_bytes} trailing byte(s) "
-              f"ignored ({scan.torn_reason})")
+        # acknowledged, and the next live open truncates it.  Still exit
+        # non-zero so scripted health checks notice the log needs that
+        # truncating open before it is clean.
+        print(f"TORN: {scan.torn_bytes} trailing byte(s) at byte offset "
+              f"{scan.valid_bytes} ({scan.torn_reason}); last good lsn "
+              f"{scan.last_lsn}")
+        return 1
     return 0
+
+
+def _command_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import drill
+
+    argv = ["--seed", str(args.seed), "--plans", args.plans]
+    if args.report:
+        argv += ["--report", args.report]
+    if args.workdir:
+        argv += ["--workdir", args.workdir]
+    if args.list:
+        argv.append("--list")
+    return drill.main(argv)
 
 
 def _command_render(args: argparse.Namespace) -> int:
@@ -628,10 +700,30 @@ def build_parser() -> argparse.ArgumentParser:
                                  "are pending (default: 1)")
     checkpoint.add_argument("--force", action="store_true",
                             help="checkpoint even below --min-records")
+    checkpoint.add_argument("--status", action="store_true",
+                            help="report the checkpointer's recorded status "
+                                 "(generation, failures, quarantine) and exit")
     checkpoint.add_argument("--workers", type=int, default=None,
                             help="construction workers for the rebuild "
                                  "(default: the deployment's saved config)")
     checkpoint.set_defaults(handler=_command_checkpoint)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run the seeded chaos drill matrix (fault injection + "
+             "corruption, asserting correct answers or structured errors)",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="drill seed (default 0; failures reproduce from it)")
+    chaos.add_argument("--plans", default="smoke",
+                       help="'smoke', 'all', or comma-separated drill names")
+    chaos.add_argument("--report", default="",
+                       help="write a JSON report of every drill to this path")
+    chaos.add_argument("--workdir", default="",
+                       help="scratch directory (default: a fresh temp dir)")
+    chaos.add_argument("--list", action="store_true",
+                       help="list the known drills and exit")
+    chaos.set_defaults(handler=_command_chaos)
 
     wal_inspect = subparsers.add_parser(
         "wal-inspect",

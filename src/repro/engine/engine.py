@@ -341,6 +341,7 @@ class QueryEngine:
         buffer_pages: Optional[int] = None,
         read_latency: float = 0.0,
         readonly: bool = False,
+        verify: bool = False,
     ) -> "QueryEngine":
         """Reopen a saved engine without reconstruction (cold-start serving).
 
@@ -356,6 +357,9 @@ class QueryEngine:
                 to the store's volatile in-memory overlay.  This is the
                 correctness guard for serving: every process sharing the
                 snapshot keeps answering bit-identically.
+            verify: checksum the whole snapshot before opening, raising
+                :class:`~repro.storage.pagestore.CorruptSnapshotError` on any
+                flipped bit instead of risking it surfacing mid-query.
         """
         from repro.engine.snapshot import open_engine
 
@@ -365,6 +369,7 @@ class QueryEngine:
             buffer_pages=buffer_pages,
             read_latency=read_latency,
             readonly=readonly,
+            verify=verify,
         )
 
     @property
@@ -792,13 +797,17 @@ class QueryEngine:
         buffer_pages: Optional[int] = None,
         read_latency: float = 0.0,
         fsync: str = "always",
+        verify: bool = False,
     ) -> "QueryEngine":
         """Open a live deployment directory (crash recovery + WAL attach).
 
         Reads the directory's manifest, opens the current snapshot
         generation writable, replays every write-ahead-log record newer
         than the snapshot in LSN order, and attaches the log so subsequent
-        :meth:`insert` / :meth:`delete` calls are durable.
+        :meth:`insert` / :meth:`delete` calls are durable.  A corrupt
+        current generation is quarantined and the previous generation
+        recorded in the manifest is promoted in its place (see
+        :func:`~repro.engine.snapshot.open_live_engine`).
 
         Args:
             directory: a deployment laid out by :meth:`save_generation` or
@@ -810,6 +819,9 @@ class QueryEngine:
             fsync: WAL durability policy -- ``"always"`` (fsync every
                 append; an acknowledged update survives kill -9) or
                 ``"batch"`` (group commit via :meth:`wal_sync`).
+            verify: checksum the snapshot before opening it (any flipped bit
+                raises -- or triggers the generation fallback -- at open
+                time instead of surfacing mid-query).
         """
         from repro.engine.snapshot import open_live_engine
 
@@ -819,6 +831,7 @@ class QueryEngine:
             buffer_pages=buffer_pages,
             read_latency=read_latency,
             fsync=fsync,
+            verify=verify,
         )
 
     def save_generation(self, directory: str) -> "Manifest":

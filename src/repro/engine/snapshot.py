@@ -30,9 +30,10 @@ workers) find the current generation's file.
 from __future__ import annotations
 
 import json
+import logging
 import os
-from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.construction import ConstructionStats
 from repro.engine.backend import restore_backend
@@ -40,12 +41,19 @@ from repro.engine.config import DiagramConfig
 from repro.storage.codec import rect_from_state, rect_state
 from repro.storage.disk import DiskManager
 from repro.storage.object_store import ObjectStore
-from repro.storage.pagestore import FilePageStore, open_page_store, write_snapshot_file
+from repro.storage.pagestore import (
+    CorruptSnapshotError,
+    FilePageStore,
+    open_page_store,
+    write_snapshot_file,
+)
 from repro.storage.stats import TimingBreakdown
 from repro.rtree.tree import RTree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.engine.engine import QueryEngine
+
+logger = logging.getLogger("repro.engine.snapshot")
 
 SNAPSHOT_FORMAT = 1
 
@@ -111,6 +119,7 @@ def open_engine(
     buffer_pages: Optional[int] = None,
     read_latency: float = 0.0,
     readonly: bool = False,
+    verify: bool = False,
 ) -> "QueryEngine":
     """Restore a :class:`QueryEngine` from a snapshot, without reconstruction.
 
@@ -124,11 +133,14 @@ def open_engine(
         read_latency: optional simulated seconds per counted page read.
         readonly: reject ``insert`` / ``delete`` on the reopened engine (the
             serving-correctness guard -- see :class:`ReadOnlyEngineError`).
+        verify: checksum the whole snapshot before opening it, so a corrupt
+            file raises :class:`~repro.storage.pagestore.CorruptSnapshotError`
+            here instead of surfacing mid-query.
     """
     from repro.engine.engine import QueryEngine  # deferred: import cycle
 
     path = os.fspath(path)
-    page_store = open_page_store(store, path)
+    page_store = open_page_store(store, path, verify=verify)
     meta = page_store.read_meta()
     if meta is None:
         page_store.close()
@@ -206,29 +218,49 @@ class Manifest:
             directory (``gen-000001.snap`` style).
         base_lsn: last WAL LSN already folded into the snapshot; recovery
             replays only records with a larger LSN.
+        previous: the predecessor generation (``generation`` / ``snapshot`` /
+            ``base_lsn`` keys), recorded at checkpoint time.  This is the
+            degradation path: if the current generation's snapshot turns out
+            to be corrupt, :func:`open_live_engine` quarantines it and falls
+            back to this one (which is why pruning keeps current *and*
+            previous).  Optional -- older manifests simply have none.
     """
 
     generation: int
     snapshot: str
     base_lsn: int
     manifest_format: int = MANIFEST_FORMAT
+    previous: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        state = {
             "manifest_format": self.manifest_format,
             "generation": self.generation,
             "snapshot": self.snapshot,
             "base_lsn": self.base_lsn,
         }
+        if self.previous is not None:
+            state["previous"] = dict(self.previous)
+        return state
 
     @classmethod
     def from_dict(cls, state: Dict[str, Any]) -> "Manifest":
+        previous = state.get("previous")
         return cls(
             generation=int(state["generation"]),
             snapshot=str(state["snapshot"]),
             base_lsn=int(state["base_lsn"]),
             manifest_format=int(state.get("manifest_format", MANIFEST_FORMAT)),
+            previous=dict(previous) if isinstance(previous, dict) else None,
         )
+
+    def as_previous(self) -> Dict[str, Any]:
+        """This manifest reduced to the ``previous`` entry of its successor."""
+        return {
+            "generation": self.generation,
+            "snapshot": self.snapshot,
+            "base_lsn": self.base_lsn,
+        }
 
 
 def generation_filename(generation: int) -> str:
@@ -354,6 +386,69 @@ def prune_generations(directory: str, keep_from: int) -> Dict[int, str]:
     return pruned
 
 
+QUARANTINE_SUFFIX = ".quarantined"
+
+
+def quarantine_snapshot(directory: str, name: str) -> str:
+    """Move a corrupt generation snapshot aside (``<name>.quarantined``).
+
+    The file is renamed, not deleted, so an operator can inspect it (see the
+    runbook in :doc:`docs/operations`); quarantined files no longer match the
+    ``gen-*.snap`` pattern, so :func:`list_generations` and pruning ignore
+    them.
+    """
+    source = os.path.join(os.fspath(directory), name)
+    target = source + QUARANTINE_SUFFIX
+    os.replace(source, target)
+    _fsync_directory(os.fspath(directory))
+    return target
+
+
+def list_quarantined(directory: str) -> List[str]:
+    """Filenames of quarantined snapshots in a live directory, sorted."""
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    return sorted(name for name in names if name.endswith(QUARANTINE_SUFFIX))
+
+
+def _fall_back_generation(directory: str, manifest: Manifest,
+                          cause: Exception) -> Manifest:
+    """Quarantine a corrupt current generation and promote its predecessor.
+
+    Re-raises ``cause`` when there is nothing to fall back to (no recorded
+    predecessor, or its snapshot file is gone).  On success the predecessor
+    is installed as the manifest's current generation -- with no ``previous``
+    of its own, so a second corruption does not loop -- and any updates that
+    were folded into the corrupt generation (LSNs in
+    ``(previous.base_lsn, manifest.base_lsn]``, already truncated from the
+    WAL) are reported as lost.
+    """
+    previous = manifest.previous
+    if not previous:
+        raise cause
+    fallback = Manifest(
+        generation=int(previous["generation"]),
+        snapshot=str(previous["snapshot"]),
+        base_lsn=int(previous["base_lsn"]),
+    )
+    if not os.path.exists(os.path.join(directory, fallback.snapshot)):
+        raise cause
+    quarantined: Optional[str] = None
+    if os.path.exists(os.path.join(directory, manifest.snapshot)):
+        quarantined = quarantine_snapshot(directory, manifest.snapshot)
+    write_manifest(directory, fallback)
+    logger.error(
+        "generation %d snapshot is corrupt (%s); quarantined %s and fell back "
+        "to generation %d -- updates with LSNs in (%d, %d] were folded into "
+        "the corrupt snapshot and are lost unless it can be repaired",
+        manifest.generation, cause, quarantined or manifest.snapshot,
+        fallback.generation, fallback.base_lsn, manifest.base_lsn,
+    )
+    return fallback
+
+
 def initialize_generation(engine: "QueryEngine", directory: str) -> Manifest:
     """Lay ``directory`` out as a live deployment: generation 1 + empty WAL.
 
@@ -387,6 +482,7 @@ def open_live_engine(
     buffer_pages: Optional[int] = None,
     read_latency: float = 0.0,
     fsync: str = "always",
+    verify: bool = False,
 ) -> "QueryEngine":
     """Open a live deployment directory: snapshot + WAL replay + attach.
 
@@ -397,20 +493,36 @@ def open_live_engine(
     :meth:`~repro.engine.engine.QueryEngine.delete` calls append before they
     apply.  A torn WAL tail (crash mid-append) is truncated -- the torn
     record was never acknowledged, so dropping it loses nothing promised.
+
+    Degradation: if the current generation's snapshot fails to open as
+    corrupt (always detected with ``verify=True``; detected lazily on decode
+    otherwise), the file is quarantined and the manifest's recorded
+    *previous* generation is promoted and opened instead -- a corrupt
+    checkpoint degrades to the last good state rather than taking the
+    deployment down.  When no predecessor exists, the
+    :class:`~repro.storage.pagestore.CorruptSnapshotError` propagates.
     """
     from repro.wal.log import WriteAheadLog
     from repro.wal.recovery import replay
 
     directory = os.fspath(directory)
     manifest = read_manifest(directory)
-    snapshot_file = os.path.join(directory, manifest.snapshot)
-    engine = open_engine(
-        snapshot_file,
-        store=store,
-        buffer_pages=buffer_pages,
-        read_latency=read_latency,
-        readonly=False,
-    )
+
+    def _open(current: Manifest) -> "QueryEngine":
+        return open_engine(
+            os.path.join(directory, current.snapshot),
+            store=store,
+            buffer_pages=buffer_pages,
+            read_latency=read_latency,
+            readonly=False,
+            verify=verify,
+        )
+
+    try:
+        engine = _open(manifest)
+    except (CorruptSnapshotError, FileNotFoundError) as exc:
+        manifest = _fall_back_generation(directory, manifest, exc)
+        engine = _open(manifest)
     engine._generation = manifest.generation
     engine._live_directory = directory
     engine._base_lsn = manifest.base_lsn

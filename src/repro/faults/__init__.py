@@ -1,0 +1,50 @@
+"""Deterministic fault injection and chaos drills.
+
+The package has three layers:
+
+* :mod:`repro.faults.plan` -- frozen, wire-serializable
+  :class:`FaultPlan`/:class:`FaultSpec` schedules plus the runtime
+  :class:`FaultInjector` that instrumented code consults.
+* :mod:`repro.faults.store` -- :class:`FaultyPageStore`, a fault-injecting
+  wrapper over any page store (faults land under the buffer pool, where
+  real disk faults land).
+* :mod:`repro.faults.corrupt` -- seeded after-the-fact byte corruption of
+  snapshot and WAL files (bit rot, torn copies).
+
+``python -m repro.faults.drill`` (also ``repro chaos``) runs the seeded
+drill matrix asserting the project-wide robustness invariant: every
+injected fault is either tolerated with correct answers or surfaces as a
+structured error -- never a silently wrong result.
+"""
+
+from repro.faults.corrupt import (
+    corrupt_wal_record,
+    flip_byte,
+    tear_file,
+    wal_record_offsets,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FAULT_PLAN_ENV,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    injector_from_env,
+)
+from repro.faults.store import FaultyPageStore
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "FaultyPageStore",
+    "corrupt_wal_record",
+    "flip_byte",
+    "injector_from_env",
+    "tear_file",
+    "wal_record_offsets",
+]

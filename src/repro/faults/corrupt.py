@@ -1,0 +1,94 @@
+"""Deterministic byte-level corruption helpers for drills and tests.
+
+These operate on *files*, after the fact -- the complement of the live
+injection hooks: :mod:`repro.faults.store` breaks operations as they
+happen, these break artifacts that were written correctly, modelling bit
+rot, partial copies, and overwritten regions.  Every helper is seeded and
+returns what it did (offset / size), so a failing drill names the exact
+damaged byte.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import List, Optional
+
+from repro.wal.log import HEADER_SIZE as WAL_HEADER_SIZE
+from repro.wal.log import RECORD_HEADER_SIZE, scan_wal
+
+
+def flip_byte(path: str, offset: Optional[int] = None, seed: int = 0,
+              mask: int = 0x01) -> int:
+    """XOR one byte of ``path`` with ``mask``; return the offset flipped.
+
+    With ``offset=None`` a deterministic random offset is drawn from
+    ``seed``.  Flipping the same offset twice restores the original file --
+    the property the hypothesis corruption sweep uses to reuse one snapshot
+    across hundreds of cases.
+    """
+    if not 1 <= mask <= 0xFF:
+        raise ValueError(f"mask must be a non-zero byte value, got {mask}")
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ValueError(f"{path} is empty; nothing to flip")
+    if offset is None:
+        offset = random.Random(seed).randrange(size)
+    if not 0 <= offset < size:
+        raise ValueError(f"offset {offset} outside file of {size} bytes")
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ mask]))
+    return offset
+
+
+def tear_file(path: str, keep_bytes: Optional[int] = None, seed: int = 0) -> int:
+    """Truncate ``path`` to ``keep_bytes`` (or a seeded random size); return it.
+
+    Models a crash mid-write / partial copy: the prefix is intact, the tail
+    is gone.  The random size is drawn from ``[1, size)`` so the result is
+    never empty and never a no-op.
+    """
+    size = os.path.getsize(path)
+    if keep_bytes is None:
+        if size < 2:
+            raise ValueError(f"{path} is too small to tear ({size} bytes)")
+        keep_bytes = random.Random(seed).randrange(1, size)
+    if not 0 <= keep_bytes <= size:
+        raise ValueError(f"keep_bytes {keep_bytes} outside [0, {size}]")
+    with open(path, "r+b") as handle:
+        handle.truncate(keep_bytes)
+    return keep_bytes
+
+
+def wal_record_offsets(path: str) -> List[int]:
+    """Byte offset of every intact record in a WAL file, in order."""
+    scan = scan_wal(path)
+    offsets: List[int] = []
+    offset = WAL_HEADER_SIZE
+    for record in scan.records:
+        offsets.append(offset)
+        offset += RECORD_HEADER_SIZE + len(record.payload)
+    return offsets
+
+
+def corrupt_wal_record(path: str, record_index: int, seed: int = 0,
+                       mask: int = 0x01) -> int:
+    """Flip one deterministic byte inside record ``record_index`` (0-based).
+
+    The byte is drawn from the record's full framed extent (header +
+    payload), so runs over many seeds cover length fields, checksums, LSNs,
+    ops, and payload bytes alike.  Returns the absolute offset flipped.
+    """
+    scan = scan_wal(path)
+    offsets = wal_record_offsets(path)
+    if not 0 <= record_index < len(offsets):
+        raise IndexError(
+            f"record {record_index} out of range ({len(offsets)} intact records)"
+        )
+    start = offsets[record_index]
+    extent = RECORD_HEADER_SIZE + len(scan.records[record_index].payload)
+    within = random.Random(seed).randrange(extent)
+    return flip_byte(path, offset=start + within, mask=mask)

@@ -1,0 +1,220 @@
+"""Deterministic, wire-serializable fault plans.
+
+A :class:`FaultPlan` is a frozen value: a seed plus a schedule of
+:class:`FaultSpec` entries keyed by ``(op, count)`` -- "on the third
+``wal.append``, tear the write".  Determinism is the whole point: the same
+plan against the same workload injects the same faults at the same moments,
+so a chaos drill that fails is *reproducible* from its seed alone.  Plans
+serialize to JSON (:meth:`FaultPlan.to_json`), which is how they cross
+process boundaries -- the serve drills hand a plan to spawned workers
+through the ``REPRO_FAULT_PLAN`` environment variable.
+
+The runtime side is :class:`FaultInjector`: instrumented code calls
+``injector.fire("wal.append")`` at each fault point and acts on the returned
+spec (or ``None``).  Randomness inside a fault (e.g. where to cut a torn
+write) comes from :meth:`FaultInjector.rng`, seeded from the plan seed, the
+op name, and the call count via CRC-32 -- never from :func:`hash`, whose
+``PYTHONHASHSEED`` randomisation would break cross-process determinism.
+
+Operation keys instrumented so far::
+
+    store.load_page  store.store_page  store.delete_page
+    store.flush      store.write_meta  store.read_meta
+    wal.append
+    worker.request
+
+Fault kinds (not every kind is meaningful at every op; the op's hook
+documents what it honours)::
+
+    io_error     raise OSError at the fault point
+    latency      sleep ``arg`` seconds, then proceed normally
+    bit_flip     corrupt one deterministic byte of the backing file
+    torn_write   write a prefix of the bytes, then fail like a crash
+    short_write  write only the record header, then fail like a crash
+    crc_flip     write the full record with a corrupted checksum (silent
+                 on-disk damage -- the detection machinery's test case)
+    fsync_fail   perform the write but fail the fsync
+    crash        hard-exit the process (serve workers)
+    hang         sleep ``arg`` seconds before replying (serve workers)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+FAULT_KINDS = (
+    "io_error",
+    "latency",
+    "bit_flip",
+    "torn_write",
+    "short_write",
+    "crc_flip",
+    "fsync_fail",
+    "crash",
+    "hang",
+)
+
+#: Environment variable carrying a JSON-encoded plan into spawned processes.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+class FaultPlanError(ValueError):
+    """A fault plan is malformed (unknown kind, bad count, bad JSON)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: fire ``kind`` on the ``count``-th call of ``op``.
+
+    Attributes:
+        op: operation key of the instrumented fault point.
+        count: 1-based occurrence of ``op`` at which the fault fires.
+        kind: one of :data:`FAULT_KINDS`.
+        arg: kind-specific parameter (sleep seconds for ``latency``/``hang``).
+    """
+
+    op: str
+    count: int
+    kind: str
+    arg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.op:
+            raise FaultPlanError("a fault spec needs a non-empty op key")
+        if self.count < 1:
+            raise FaultPlanError(
+                f"fault counts are 1-based, got {self.count} for {self.op!r}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r} "
+                f"(known: {', '.join(FAULT_KINDS)})"
+            )
+        if self.arg < 0:
+            raise FaultPlanError(f"fault arg must be >= 0, got {self.arg}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": self.op, "count": self.count, "kind": self.kind,
+                "arg": self.arg}
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "FaultSpec":
+        try:
+            return cls(
+                op=str(state["op"]),
+                count=int(state["count"]),
+                kind=str(state["kind"]),
+                arg=float(state.get("arg", 0.0)),
+            )
+        except KeyError as exc:
+            raise FaultPlanError(f"fault spec is missing key {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen schedule of faults plus the seed that makes them repeatable."""
+
+    seed: int = 0
+    faults: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        seen: Dict[Tuple[str, int], FaultSpec] = {}
+        for spec in self.faults:
+            key = (spec.op, spec.count)
+            if key in seen:
+                raise FaultPlanError(
+                    f"two faults scheduled for {spec.op!r} call #{spec.count}"
+                )
+            seen[key] = spec
+
+    def injector(self) -> "FaultInjector":
+        """A fresh runtime injector for one drill run of this plan."""
+        return FaultInjector(self)
+
+    # -- wire format ----------------------------------------------------- #
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed,
+                "faults": [spec.to_dict() for spec in self.faults]}
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "FaultPlan":
+        faults = state.get("faults", [])
+        if not isinstance(faults, list):
+            raise FaultPlanError("'faults' must be a list of fault specs")
+        return cls(
+            seed=int(state.get("seed", 0)),
+            faults=tuple(FaultSpec.from_dict(entry) for entry in faults),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, blob: str) -> "FaultPlan":
+        try:
+            state = json.loads(blob)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(state, dict):
+            raise FaultPlanError("fault plan JSON must be an object")
+        return cls.from_dict(state)
+
+
+class FaultInjector:
+    """Runtime counterpart of a plan: counts calls, hands out due faults.
+
+    One injector instruments one run: it keeps a per-op call counter and
+    returns the scheduled :class:`FaultSpec` when a counter hits its key.
+    :attr:`fired` records every fault actually delivered (op, count, kind),
+    which is what drill reports assert against.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._counts: Dict[str, int] = {}
+        self._schedule: Dict[Tuple[str, int], FaultSpec] = {
+            (spec.op, spec.count): spec for spec in plan.faults
+        }
+        self.fired: List[Tuple[str, int, str]] = []
+
+    def fire(self, op: str) -> Optional[FaultSpec]:
+        """Count one call of ``op``; return its scheduled fault, if any."""
+        count = self._counts[op] = self._counts.get(op, 0) + 1
+        spec = self._schedule.get((op, count))
+        if spec is not None:
+            self.fired.append((op, count, spec.kind))
+        return spec
+
+    def rng(self, op: str) -> random.Random:
+        """A deterministic RNG for the *current* call of ``op``.
+
+        Seeded from (plan seed, op name, call count) through CRC-32 --
+        stable across processes and ``PYTHONHASHSEED`` values.
+        """
+        count = self._counts.get(op, 0)
+        return random.Random(
+            self.plan.seed ^ zlib.crc32(op.encode("utf-8")) ^ (count * 0x9E3779B1)
+        )
+
+    def calls(self, op: str) -> int:
+        """How many times ``op`` has fired so far."""
+        return self._counts.get(op, 0)
+
+
+def injector_from_env(variable: str = FAULT_PLAN_ENV) -> Optional[FaultInjector]:
+    """Build an injector from a JSON plan in the environment, if present.
+
+    This is how spawned serve workers receive their faults: the drill sets
+    :data:`FAULT_PLAN_ENV` before starting the service, the spawn context
+    inherits ``os.environ``, and each worker instruments itself at startup.
+    Returns ``None`` when the variable is unset or empty.
+    """
+    blob = os.environ.get(variable, "")
+    if not blob:
+        return None
+    return FaultPlan.from_json(blob).injector()

@@ -1,0 +1,155 @@
+"""A fault-injecting :class:`~repro.storage.pagestore.PageStore` wrapper.
+
+:class:`FaultyPageStore` implements the full ``PageStore`` protocol over any
+inner backend and consults a :class:`~repro.faults.plan.FaultInjector` at
+every operation.  Drills wrap the store an engine is about to run on, so the
+faults land exactly where real hardware faults would: under the disk
+manager, below the buffer pool, inside the counted I/O path.
+
+Kinds honoured per operation:
+
+* every op: ``io_error`` (raise :class:`OSError`), ``latency`` (sleep).
+* ``store.store_page``: additionally ``bit_flip`` (delegate the write, then
+  corrupt one deterministic byte of the backing file -- silent on-disk
+  damage), ``torn_write`` (delegate, then shear trailing bytes off the
+  backing file and fail like a crash) and ``fsync_fail``.
+* ``store.flush``: additionally ``fsync_fail`` (the flush itself errors).
+
+File-level kinds need a file-backed inner store (one with a ``path``); a
+plan that schedules them over a memory store is a plan error, surfaced
+loudly rather than skipped silently.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.faults.plan import FaultInjector, FaultPlanError, FaultSpec
+from repro.storage.page import Page
+from repro.storage.pagestore import PageStore
+
+
+class FaultyPageStore(PageStore):
+    """Wrap ``inner`` so scheduled faults fire inside its operations."""
+
+    kind = "faulty"
+
+    def __init__(self, inner: PageStore, injector: FaultInjector) -> None:
+        self.inner = inner
+        self.injector = injector
+        self.writable = inner.writable
+        self.thread_safe_reads = inner.thread_safe_reads
+
+    # -- fault plumbing -------------------------------------------------- #
+    def _backing_path(self) -> str:
+        path = getattr(self.inner, "path", None)
+        if not path:
+            raise FaultPlanError(
+                "file-level faults (bit_flip/torn_write) need a file-backed "
+                f"inner store; {self.inner.kind!r} has no path"
+            )
+        return str(path)
+
+    def _basic_fault(self, op: str) -> Optional[FaultSpec]:
+        """Handle the kinds every op supports; return unhandled specs."""
+        spec = self.injector.fire(op)
+        if spec is None:
+            return None
+        if spec.kind == "latency":
+            time.sleep(spec.arg)
+            return None
+        if spec.kind == "io_error":
+            raise OSError(f"injected I/O error on {op}")
+        return spec
+
+    def _reject(self, op: str, spec: FaultSpec) -> None:
+        raise FaultPlanError(f"fault kind {spec.kind!r} is not valid for {op}")
+
+    def _flip_backing_byte(self, op: str) -> None:
+        """Corrupt one deterministic byte of the inner store's file."""
+        path = self._backing_path()
+        self.inner.flush()
+        size = os.path.getsize(path)
+        if size == 0:
+            return
+        offset = self.injector.rng(op).randrange(size)
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0x01]))
+
+    def _tear_backing_file(self, op: str) -> None:
+        """Shear a random number of trailing bytes off the inner file."""
+        path = self._backing_path()
+        self.inner.flush()
+        size = os.path.getsize(path)
+        if size > 1:
+            keep = self.injector.rng(op).randrange(1, size)
+            with open(path, "r+b") as handle:
+                handle.truncate(keep)
+
+    # -- PageStore protocol ---------------------------------------------- #
+    def store_page(self, page: Page) -> None:
+        spec = self._basic_fault("store.store_page")
+        self.inner.store_page(page)
+        if spec is None:
+            return
+        if spec.kind == "bit_flip":
+            self._flip_backing_byte("store.store_page")
+        elif spec.kind == "torn_write":
+            self._tear_backing_file("store.store_page")
+            raise OSError("injected torn write on store.store_page")
+        elif spec.kind == "fsync_fail":
+            raise OSError("injected fsync failure on store.store_page")
+        else:
+            self._reject("store.store_page", spec)
+
+    def load_page(self, page_id: int) -> Page:
+        spec = self._basic_fault("store.load_page")
+        if spec is not None:
+            self._reject("store.load_page", spec)
+        return self.inner.load_page(page_id)
+
+    def delete_page(self, page_id: int) -> None:
+        spec = self._basic_fault("store.delete_page")
+        if spec is not None:
+            self._reject("store.delete_page", spec)
+        self.inner.delete_page(page_id)
+
+    def page_ids(self) -> List[int]:
+        return self.inner.page_ids()
+
+    def next_page_id(self) -> int:
+        return self.inner.next_page_id()
+
+    def read_meta(self) -> Optional[Dict[str, Any]]:
+        spec = self._basic_fault("store.read_meta")
+        if spec is not None:
+            self._reject("store.read_meta", spec)
+        return self.inner.read_meta()
+
+    def write_meta(self, meta: Dict[str, Any]) -> None:
+        spec = self._basic_fault("store.write_meta")
+        if spec is not None:
+            self._reject("store.write_meta", spec)
+        self.inner.write_meta(meta)
+
+    def flush(self) -> None:
+        spec = self._basic_fault("store.flush")
+        self.inner.flush()
+        if spec is not None:
+            if spec.kind == "fsync_fail":
+                raise OSError("injected fsync failure on store.flush")
+            self._reject("store.flush", spec)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self.inner
+
+    def __len__(self) -> int:
+        return len(self.inner)

@@ -8,6 +8,7 @@ imports this package so the registry is always complete.
 from repro.lint.rules import (  # noqa: F401 - imported for registration
     counted_io,
     determinism,
+    error_discipline,
     float_eq,
     frozen_spec,
     lock_discipline,

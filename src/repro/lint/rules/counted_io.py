@@ -25,8 +25,9 @@ _STORE_METHODS = {
     "delete_page": "DiskManager.free_page",
 }
 
-#: The persistence layer itself implements and fronts the store protocol.
-_EXEMPT_PREFIXES = ("storage/", "lint/")
+#: The persistence layer itself implements and fronts the store protocol,
+#: and the fault-injection wrapper delegates to it by design.
+_EXEMPT_PREFIXES = ("storage/", "lint/", "faults/")
 
 
 @register

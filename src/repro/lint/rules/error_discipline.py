@@ -1,0 +1,93 @@
+"""Rule ``error-discipline``: no bare excepts, no silently swallowed errors.
+
+The robustness work (PR 9) rests on one invariant: a fault is either
+tolerated with correct behaviour or surfaces as a *structured* error --
+never silently absorbed.  Two handler shapes break that invariant
+syntactically:
+
+* a bare ``except:`` catches everything including ``KeyboardInterrupt``
+  and ``SystemExit``, hiding even the intent of what was expected to fail;
+* ``except Exception: pass`` (or ``...``) swallows every error with no
+  handling, logging, or fallback -- a corrupt page, a failed fsync, and a
+  typo in the handler's own scope all vanish identically.
+
+Broad catches with a *body* (log, count, degrade, re-raise) are fine and
+common in supervisor loops; it is the empty body that turns breadth into
+silence.  Where a deliberate swallow is genuinely right, say so with a
+suppression comment (``# repro-lint: ignore[error-discipline]``) so the
+exception is visible in review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectModel, SourceFile
+from repro.lint.registry import Rule, register
+
+#: Catching these names swallows everything; only an empty body is flagged.
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _broad_types(node: ast.ExceptHandler) -> bool:
+    """Whether the handler catches ``Exception``/``BaseException``."""
+    types = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+    for entry in types:
+        if isinstance(entry, ast.Name) and entry.id in _BROAD_NAMES:
+            return True
+        if isinstance(entry, ast.Attribute) and entry.attr in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _body_is_silent(body: List[ast.stmt]) -> bool:
+    """Whether the handler body does nothing at all (``pass`` / ``...``)."""
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if (isinstance(statement, ast.Expr)
+                and isinstance(statement.value, ast.Constant)
+                and statement.value.value is Ellipsis):
+            continue
+        return False
+    return True
+
+
+@register
+class ErrorDisciplineRule(Rule):
+    id = "error-discipline"
+    title = "no bare excepts; broad catches must handle, not swallow"
+    rationale = (
+        "a fault must be tolerated with correct behaviour or surface as a "
+        "structured error; 'except:' and 'except Exception: pass' absorb "
+        "corruption, I/O failures, and the handler's own bugs identically "
+        "and silently"
+    )
+    hint = (
+        "catch the specific exceptions the operation can raise; if a broad "
+        "catch is needed (supervisor loops), handle it -- log, count, "
+        "degrade, or re-raise -- instead of passing"
+    )
+    scope = ()  # every scanned file: silence is wrong everywhere
+
+    def check_file(self, source: SourceFile, project: ProjectModel) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(self.finding(
+                    source, node.lineno, node.col_offset,
+                    "bare 'except:' catches everything (including "
+                    "SystemExit/KeyboardInterrupt) without naming what was "
+                    "expected to fail",
+                ))
+            elif _broad_types(node) and _body_is_silent(node.body):
+                findings.append(self.finding(
+                    source, node.lineno, node.col_offset,
+                    "broad exception handler silently swallows every error "
+                    "('except Exception' with an empty body)",
+                ))
+        return findings

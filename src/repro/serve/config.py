@@ -56,6 +56,11 @@ class ServeConfig:
             at a time (no restart, no dropped requests).  ``0.0`` disables
             the watcher (reloads can still be triggered via
             :meth:`~repro.serve.service.QueryService.reload`).
+        hang_timeout: seconds a dispatched request may sit unanswered before
+            its worker is declared hung and killed + respawned (the hang
+            counterpart of crash detection).  ``0.0`` disables hang
+            detection; when enabled it should comfortably exceed the slowest
+            legitimate query.
     """
 
     snapshot_path: str = ""
@@ -72,6 +77,7 @@ class ServeConfig:
     buffer_pages: Optional[int] = None
     respawn_delay: float = 0.25
     reload_poll: float = 0.0
+    hang_timeout: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.snapshot_path:
@@ -101,6 +107,8 @@ class ServeConfig:
             raise ValueError("respawn_delay must be non-negative")
         if self.reload_poll < 0:
             raise ValueError("reload_poll must be non-negative")
+        if self.hang_timeout < 0:
+            raise ValueError("hang_timeout must be non-negative")
 
     def replace(self, **overrides: Any) -> "ServeConfig":
         """A copy with the given fields replaced (and re-validated)."""

@@ -226,6 +226,7 @@ class Router:
             "retried_after_crash": 0,
             "late_responses_dropped": 0,
             "respawns": 0,
+            "hung_workers_killed": 0,
             "reloads": 0,
         }
         self.started_at = 0.0
@@ -478,10 +479,13 @@ class Router:
             return histogram
 
     # ------------------------------------------------------------------ #
-    # crash detection / respawn
+    # crash / hang detection, respawn
     # ------------------------------------------------------------------ #
     def _monitor(self) -> None:
         interval = max(0.05, self.config.respawn_delay / 2.0)
+        if self.config.hang_timeout > 0:
+            # A hang must be noticed within a fraction of its deadline.
+            interval = min(interval, max(0.05, self.config.hang_timeout / 4.0))
         while self._running:
             time.sleep(interval)
             if not self._running:
@@ -490,10 +494,50 @@ class Router:
                 if handle.failed or handle.process is None:
                     continue
                 if handle.process.is_alive():
+                    if self._hang_detected(handle):
+                        self._kill_hung(handle)
                     continue
                 if not self._accepting and not handle.inflight:
                     continue  # draining; dead workers stay down
                 self._respawn(handle)
+
+    def _hang_detected(self, handle: _WorkerHandle) -> bool:
+        """Whether a dispatched request has outlived the hang deadline.
+
+        Crash detection sees a dead process; a *hung* worker is alive but
+        silent, so the only observable signal is a request that has waited
+        longer than any legitimate execution could.  ``hang_timeout`` draws
+        that line; zero disables the check.
+        """
+        limit = self.config.hang_timeout
+        if limit <= 0:
+            return False
+        now = time.monotonic()
+        with self._lock:
+            for request_id in handle.inflight:
+                pending = self._pending.get(request_id)
+                if pending is not None and now - pending.enqueued_at > limit:
+                    return True
+        return False
+
+    def _kill_hung(self, handle: _WorkerHandle) -> None:
+        """Kill a hung worker, then reuse the crash path to respawn it.
+
+        Killing converts "alive but silent" into the state the respawn
+        machinery already handles: the orphaned in-flight requests are
+        resubmitted (queries are read-only, so re-execution is safe) and a
+        late answer from the killed process can never arrive.
+        """
+        process = handle.process
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stuck in a syscall
+                process.kill()
+                process.join(timeout=1.0)
+        with self._lock:
+            self.counters["hung_workers_killed"] += 1
+        self._respawn(handle)
 
     def _respawn(self, handle: _WorkerHandle) -> None:
         """Restart a crashed worker and resubmit its orphaned requests.
@@ -521,6 +565,10 @@ class Router:
                 target = self._select_worker() or handle
                 pending.worker_id = target.worker_id
                 pending.retries += 1
+                # Restart the hang clock: a retried orphan measured from its
+                # original enqueue would trip hang detection immediately and
+                # kill the replacement worker in a loop.
+                pending.enqueued_at = time.monotonic()
                 target.inflight.add(request_id)
                 target.request_queue.put(pending.request.to_tuple())
                 self.counters["retried_after_crash"] += 1

@@ -187,6 +187,7 @@ class QueryService:
         self._watch_stop = threading.Event()
         self._watch_thread: Optional[threading.Thread] = None
         self._generation: Optional[int] = None
+        self._last_reload_error: Optional[str] = None
 
     # -- lifecycle ------------------------------------------------------- #
     def start(self, ready_timeout: float = 60.0) -> "QueryService":
@@ -250,9 +251,12 @@ class QueryService:
         swapped = 0
         confirmed: List[int] = []
         all_ok = bool(responses)
+        failure: Optional[str] = None
         for response in responses:
             if not response.ok:
                 all_ok = False
+                failure = str(response.payload.get("message",
+                                                   response.payload))
                 continue
             if response.payload.get("reloaded"):
                 swapped += 1
@@ -263,6 +267,12 @@ class QueryService:
                 confirmed.append(generation)
         if all_ok:
             self._generation = min(confirmed)
+            self._last_reload_error = None
+        elif failure is not None:
+            # Typically a worker that verified the new generation, found it
+            # corrupt, and kept serving the old one; /stats surfaces this so
+            # an operator sees *why* the fleet is pinned behind the manifest.
+            self._last_reload_error = failure
         return swapped
 
     @property
@@ -343,6 +353,7 @@ class QueryService:
                 "reload_poll": self.config.reload_poll,
             },
             "router": self.router.stats(),
+            "durability": self._durability_stats(),
         }
         try:
             response = self.router.dispatch(OP_STATS, timeout=5.0)
@@ -350,6 +361,36 @@ class QueryService:
         except Exception:  # noqa: BLE001 - stats must not 500 on a busy fleet
             payload["engine"] = None
         return payload
+
+    def _durability_stats(self) -> Dict[str, Any]:
+        """Manifest, quarantine, and checkpointer state for ``/stats``.
+
+        Everything here degrades to ``None`` rather than failing: the
+        endpoint must answer even mid-checkpoint-flip or over a plain
+        snapshot file (which has no manifest at all).
+        """
+        from repro.engine.snapshot import (
+            is_live_directory,
+            list_quarantined,
+            read_manifest,
+        )
+        from repro.wal.checkpoint import read_checkpoint_status
+
+        stats: Dict[str, Any] = {
+            "live_directory": False,
+            "last_reload_error": self._last_reload_error,
+        }
+        if not is_live_directory(self.config.snapshot_path):
+            return stats
+        stats["live_directory"] = True
+        try:
+            manifest = read_manifest(self.config.snapshot_path)
+            stats["manifest"] = manifest.to_dict()
+        except (OSError, ValueError):
+            stats["manifest"] = None
+        stats["quarantined"] = list_quarantined(self.config.snapshot_path)
+        stats["checkpoint"] = read_checkpoint_status(self.config.snapshot_path)
+        return stats
 
     # -- addresses ------------------------------------------------------- #
     @property

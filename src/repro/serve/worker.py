@@ -100,13 +100,21 @@ class WorkerRuntime:
     Owning the op dispatch in a class makes the full request/response cycle
     testable in-process (no forked children) -- the serving tests and the
     router share exactly the code real workers run.
+
+    ``injector`` carries an optional chaos-drill fault injector (see
+    :mod:`repro.faults`); real deployments leave it ``None`` and spawned
+    workers pick one up from the ``REPRO_FAULT_PLAN`` environment variable
+    via :func:`worker_main`.  It instruments the ``worker.request`` op with
+    ``crash`` (hard process exit, exactly like a segfault) and ``hang``
+    (stop replying), the two failure modes the router's monitor must detect.
     """
 
-    def __init__(self, worker_id: int, config):
+    def __init__(self, worker_id: int, config, injector=None):
         from repro.engine.snapshot import resolve_snapshot
 
         self.worker_id = worker_id
         self.config = config
+        self.injector = injector
         # A live deployment directory resolves through its manifest to the
         # current generation's snapshot file; a plain snapshot resolves to
         # itself with no generation.
@@ -115,7 +123,7 @@ class WorkerRuntime:
         self.requests_handled = 0
         self.reloads = 0
 
-    def _open(self, snapshot_file: str):
+    def _open(self, snapshot_file: str, verify: bool = False):
         from repro.engine.engine import QueryEngine
 
         return QueryEngine.open(
@@ -124,15 +132,19 @@ class WorkerRuntime:
             buffer_pages=self.config.buffer_pages,
             read_latency=self.config.read_latency,
             readonly=True,
+            verify=verify,
         )
 
     def _reload(self) -> Dict[str, Any]:
         """Reopen the snapshot when the manifest names a newer generation.
 
-        The new engine is fully opened *before* the old one is swapped out,
-        so a failed open (e.g. a checkpoint still in flight crashed) leaves
-        the worker serving the old generation -- the error travels back to
-        the supervisor as an internal-error response instead.
+        The new engine is fully opened -- and, on a reload, *verified*
+        end-to-end -- before the old one is swapped out, so a corrupt or
+        half-written new generation leaves the worker serving the old one;
+        the error travels back to the supervisor as an internal-error
+        response instead.  (Startup opens skip verification: cold-start
+        latency matters there and a lazily surfacing fault still raises a
+        structured error.)
         """
         from repro.engine.snapshot import resolve_snapshot
 
@@ -143,7 +155,7 @@ class WorkerRuntime:
                 "generation": generation,
                 "objects": len(self.engine),
             }
-        engine = self._open(snapshot_file)
+        engine = self._open(snapshot_file, verify=True)
         self.engine = engine
         self.snapshot_file = snapshot_file
         self.generation = generation
@@ -158,6 +170,16 @@ class WorkerRuntime:
         """Execute one request, never letting an exception escape."""
         from repro.engine.backend import UnsupportedQueryError
         from repro.queries.spec import query_from_dict
+
+        if self.injector is not None:
+            fault = self.injector.fire("worker.request")
+            if fault is not None:
+                if fault.kind == "crash":
+                    # A drill-scheduled hard death: no cleanup, no response
+                    # -- indistinguishable from a segfault to the router.
+                    os._exit(17)
+                elif fault.kind == "hang":
+                    time.sleep(fault.arg)
 
         start = time.perf_counter()
         kind = "unknown"
@@ -228,6 +250,7 @@ def worker_main(worker_id: int, config_state: Dict[str, Any],
     response with request id -1 so the supervisor can fail fast instead of
     hanging on a silent child exit.
     """
+    from repro.faults.plan import injector_from_env
     from repro.serve.config import ServeConfig
 
     # The supervisor owns Ctrl-C/termination policy; workers only ever exit
@@ -235,7 +258,8 @@ def worker_main(worker_id: int, config_state: Dict[str, Any],
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
     try:
-        runtime = WorkerRuntime(worker_id, ServeConfig.from_dict(config_state))
+        runtime = WorkerRuntime(worker_id, ServeConfig.from_dict(config_state),
+                                injector=injector_from_env())
     except Exception as exc:  # noqa: BLE001 - must be reported, not raised
         response_queue.put(Response(
             request_id=-1,

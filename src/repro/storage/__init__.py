@@ -17,6 +17,7 @@ from repro.storage.disk import DiskManager
 from repro.storage.buffer import BufferPool
 from repro.storage.stats import IOStats
 from repro.storage.pagestore import (
+    CorruptSnapshotError,
     DEFAULT_SLOT_BYTES,
     FilePageStore,
     MemoryPageStore,
@@ -28,6 +29,7 @@ from repro.storage.pagestore import (
     STORE_KINDS,
     create_page_store,
     open_page_store,
+    verify_snapshot_file,
     write_snapshot_file,
 )
 
@@ -46,8 +48,10 @@ __all__ = [
     "PageStoreError",
     "PageOverflowError",
     "ReadOnlyStoreError",
+    "CorruptSnapshotError",
     "STORE_KINDS",
     "create_page_store",
     "open_page_store",
+    "verify_snapshot_file",
     "write_snapshot_file",
 ]

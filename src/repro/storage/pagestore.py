@@ -28,13 +28,24 @@ into the next snapshot generation at checkpoint time.
 File layout (little-endian)::
 
     [0, 64)                      header: magic, version, slot size,
-                                 slot count, next page id, meta offset/len
+                                 slot count, next page id, meta offset/len,
+                                 meta CRC-32, whole-file CRC-32 (version 2)
     [64, 64 + slots*slot_bytes)  page slots: status byte, capacity,
-                                 payload length, encoded entries
+                                 payload length, payload CRC-32 (version 2),
+                                 encoded entries
     [meta_offset, +meta_len)     UTF-8 JSON metadata (diagram snapshot state)
 
 Slot index equals page id (the disk manager allocates ids densely), so a page
 read is one ``seek`` -- or one slice of the mapped buffer -- plus a decode.
+
+Corruption safety (format version 2): every slot carries a CRC-32 of its
+payload, the metadata blob carries its own CRC-32 in the header, and a
+*sealed* snapshot (one finished by :meth:`FilePageStore.write_meta`, which
+is how every save ends) carries a whole-file CRC-32.  A checksum mismatch
+raises :class:`CorruptSnapshotError` -- a flipped bit is loud, never a
+silently different query answer.  Version-1 files (no checksums) remain
+readable; :func:`verify_snapshot_file` falls back to a structural decode
+sweep for them.
 """
 
 from __future__ import annotations
@@ -44,19 +55,29 @@ import json
 import mmap
 import os
 import struct
-from typing import Any, BinaryIO, Dict, Iterable, List, Optional, Set, Tuple
+import zlib
+from typing import Any, BinaryIO, Dict, Iterable, List, NamedTuple, Optional, Set, Tuple
 
 from repro.storage.codec import decode_page, encode_page
 from repro.storage.page import Page
 
 MAGIC = b"UVSNAP01"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 HEADER_SIZE = 64
 _HEADER = struct.Struct("<8sHHIQQQQ")  # magic, version, flags, slot_bytes,
 #                                        slot_count, next_page_id, meta_offset, meta_len
-_SLOT_HEADER = struct.Struct("<BII")   # status, capacity, payload_len
+_HEADER_CRCS = struct.Struct("<II")    # meta_crc, file_crc (version 2; zero on v1)
+_CRCS_OFFSET = _HEADER.size            # the two CRC words sit in the header padding
+_FILE_CRC_OFFSET = _CRCS_OFFSET + 4    # byte offset of the whole-file CRC word
+_SLOT_HEADER_V1 = struct.Struct("<BII")   # status, capacity, payload_len
+_SLOT_HEADER_V2 = struct.Struct("<BIII")  # status, capacity, payload_len, payload_crc
 _SLOT_LIVE = 1
 _SLOT_EMPTY = 0
+
+
+def _slot_header(version: int) -> struct.Struct:
+    """The slot-header layout of a format version."""
+    return _SLOT_HEADER_V2 if version >= 2 else _SLOT_HEADER_V1
 
 DEFAULT_SLOT_BYTES = 8192
 """Default page-slot size.
@@ -76,6 +97,19 @@ class PageOverflowError(PageStoreError):
 
 class ReadOnlyStoreError(PageStoreError):
     """A mutation was attempted on a store that cannot persist it."""
+
+
+class CorruptSnapshotError(PageStoreError):
+    """A snapshot file failed a structural or checksum check.
+
+    Raised for a bad magic, a checksum mismatch (per-page, metadata, or
+    whole-file), an internally inconsistent header, or page bytes that no
+    longer decode.  The structured degradation contract of the storage
+    layer: corruption is *detected and raised*, never served as a silently
+    different answer.  Live deployments quarantine the offending generation
+    and fall back to the previous one (see
+    :func:`repro.engine.snapshot.open_live_engine`).
+    """
 
 
 class PageStore(abc.ABC):
@@ -226,7 +260,9 @@ class FilePageStore(PageStore):
 
     def __init__(self, path: str, handle: BinaryIO, slot_bytes: int,
                  slot_count: int, next_id: int, capacities: Dict[int, int],
-                 writable: bool = True) -> None:
+                 writable: bool = True,
+                 format_version: int = FORMAT_VERSION,
+                 meta_crc: int = 0, file_crc: int = 0) -> None:
         self.path = path
         self._file = handle
         self.slot_bytes = slot_bytes
@@ -235,6 +271,12 @@ class FilePageStore(PageStore):
         # page_id -> capacity for live slots (the in-memory slot directory)
         self._capacities = capacities
         self.writable = writable
+        #: on-disk layout version; an opened v1 snapshot stays v1 (its slot
+        #: headers have no CRC word, so slot offsets must not change).
+        self.format_version = format_version
+        self._slot_header = _slot_header(format_version)
+        self._meta_crc = meta_crc
+        self._file_crc = file_crc
         # Read-only mode keeps mutations here, never in the file.
         self._overlay: Dict[int, Page] = {}
         self._deleted: Set[int] = set()
@@ -244,7 +286,7 @@ class FilePageStore(PageStore):
     @classmethod
     def create(cls, path: str, slot_bytes: int = DEFAULT_SLOT_BYTES) -> "FilePageStore":
         """Create (truncating) a new page file."""
-        if slot_bytes <= _SLOT_HEADER.size:
+        if slot_bytes <= _SLOT_HEADER_V2.size:
             raise ValueError("slot_bytes is too small to hold a slot header")
         handle = open(path, "w+b")
         store = cls(path, handle, slot_bytes, slot_count=0, next_id=0, capacities={})
@@ -255,15 +297,27 @@ class FilePageStore(PageStore):
     def open(cls, path: str, writable: bool = False) -> "FilePageStore":
         """Open an existing page file (read-only overlay mode by default)."""
         handle = open(path, "r+b" if writable else "rb")
-        slot_bytes, slot_count, next_id, _, _ = _read_header(handle)
+        header = _read_header(handle)
+        slot_struct = _slot_header(header.version)
         capacities = {}
-        for slot in range(slot_count):
-            handle.seek(HEADER_SIZE + slot * slot_bytes)
-            status, capacity, _ = _SLOT_HEADER.unpack(handle.read(_SLOT_HEADER.size))
+        for slot in range(header.slot_count):
+            handle.seek(HEADER_SIZE + slot * header.slot_bytes)
+            raw = handle.read(slot_struct.size)
+            if len(raw) < slot_struct.size:
+                raise CorruptSnapshotError(
+                    f"page file truncated inside slot {slot}"
+                )
+            status, capacity = slot_struct.unpack(raw)[:2]
             if status == _SLOT_LIVE:
                 capacities[slot] = capacity
-        return cls(path, handle, slot_bytes, slot_count, next_id, capacities,
-                   writable=writable)
+            elif status != _SLOT_EMPTY:
+                raise CorruptSnapshotError(
+                    f"page {slot}: unknown slot status byte {status}"
+                )
+        return cls(path, handle, header.slot_bytes, header.slot_count,
+                   header.next_id, capacities, writable=writable,
+                   format_version=header.version,
+                   meta_crc=header.meta_crc, file_crc=header.file_crc)
 
     # -- page access ----------------------------------------------------- #
     def store_page(self, page: Page) -> None:
@@ -273,15 +327,16 @@ class FilePageStore(PageStore):
             self._next_id = max(self._next_id, page.page_id + 1)
             return
         payload = encode_page(page)
-        if _SLOT_HEADER.size + len(payload) > self.slot_bytes:
+        if self._slot_header.size + len(payload) > self.slot_bytes:
             raise PageOverflowError(
                 f"page {page.page_id} needs {len(payload)} payload bytes but slots "
-                f"hold {self.slot_bytes - _SLOT_HEADER.size}; recreate the store "
-                f"with a larger slot_bytes"
+                f"hold {self.slot_bytes - self._slot_header.size}; recreate the "
+                f"store with a larger slot_bytes"
             )
+        self._unseal()
         self._ensure_slot(page.page_id)
         self._file.seek(self._slot_offset(page.page_id))
-        self._file.write(_SLOT_HEADER.pack(_SLOT_LIVE, page.capacity, len(payload)))
+        self._file.write(self._pack_slot(_SLOT_LIVE, page.capacity, payload))
         self._file.write(payload)
         self._capacities[page.page_id] = page.capacity
         self._next_id = max(self._next_id, page.page_id + 1)
@@ -292,12 +347,13 @@ class FilePageStore(PageStore):
         if page_id in self._deleted or page_id not in self._capacities:
             raise KeyError(page_id)
         self._file.seek(self._slot_offset(page_id))
-        status, capacity, payload_len = _SLOT_HEADER.unpack(
-            self._file.read(_SLOT_HEADER.size)
-        )
+        fields = self._slot_header.unpack(self._file.read(self._slot_header.size))
+        status, capacity, payload_len = fields[0], fields[1], fields[2]
         if status != _SLOT_LIVE:  # pragma: no cover - directory/file mismatch
             raise KeyError(page_id)
-        return decode_page(page_id, capacity, self._file.read(payload_len))
+        payload_crc = fields[3] if self.format_version >= 2 else None
+        return _checked_decode(page_id, capacity, self._file.read(payload_len),
+                               payload_crc)
 
     def delete_page(self, page_id: int) -> None:
         if not self.writable:
@@ -306,8 +362,9 @@ class FilePageStore(PageStore):
             return
         if page_id not in self._capacities:
             return
+        self._unseal()
         self._file.seek(self._slot_offset(page_id))
-        self._file.write(_SLOT_HEADER.pack(_SLOT_EMPTY, 0, 0))
+        self._file.write(self._pack_slot(_SLOT_EMPTY, 0, b""))
         del self._capacities[page_id]
 
     def page_ids(self) -> List[int]:
@@ -329,15 +386,24 @@ class FilePageStore(PageStore):
     def read_meta(self) -> Optional[Dict[str, Any]]:
         if self._meta_cache is not None:
             return self._meta_cache
-        _, _, _, meta_offset, meta_len = _read_header(self._file)
-        if meta_offset == 0 or meta_len == 0:
+        header = _read_header(self._file)
+        if header.meta_offset == 0 or header.meta_len == 0:
             return None
-        self._file.seek(meta_offset)
-        self._meta_cache = json.loads(self._file.read(meta_len).decode("utf-8"))
+        self._file.seek(header.meta_offset)
+        blob = self._file.read(header.meta_len)
+        self._meta_cache = _checked_meta(blob, header)
         return self._meta_cache
 
     def write_meta(self, meta: Dict[str, Any]) -> None:
-        """Append the metadata blob after the slot region and point the header at it."""
+        """Append the metadata blob after the slot region and seal the file.
+
+        Every save ends here, so this is where a version-2 snapshot gets its
+        metadata CRC and whole-file CRC: blob, then a header carrying the
+        meta CRC with a zeroed file-CRC word, then the file CRC computed over
+        the whole file (with its own word zeroed) and written last.  Any
+        partial write leaves either a zero file CRC (unsealed: verification
+        falls back to the structural sweep) or a mismatch (detected).
+        """
         if not self.writable:
             raise ReadOnlyStoreError(
                 "this store serves its snapshot read-only; save() the engine "
@@ -348,7 +414,13 @@ class FilePageStore(PageStore):
         self._file.truncate(meta_offset)
         self._file.seek(meta_offset)
         self._file.write(blob)
+        self._meta_crc = zlib.crc32(blob)
+        self._file_crc = 0
         self._write_header(meta_offset=meta_offset, meta_len=len(blob))
+        if self.format_version >= 2:
+            self._file.flush()
+            self._file_crc = _file_crc_of(self._file)
+            self._write_header(meta_offset=meta_offset, meta_len=len(blob))
         self._meta_cache = meta
 
     # -- lifecycle ------------------------------------------------------- #
@@ -370,18 +442,33 @@ class FilePageStore(PageStore):
     def _slots_end(self) -> int:
         return HEADER_SIZE + self._slot_count * self.slot_bytes
 
+    def _pack_slot(self, status: int, capacity: int, payload: bytes) -> bytes:
+        if self.format_version >= 2:
+            return _SLOT_HEADER_V2.pack(status, capacity, len(payload),
+                                        zlib.crc32(payload))
+        return _SLOT_HEADER_V1.pack(status, capacity, len(payload))
+
+    def _unseal(self) -> None:
+        """Drop a stale whole-file CRC before mutating sealed page bytes."""
+        if self._file_crc == 0:
+            return
+        self._file_crc = 0
+        self._file.seek(_FILE_CRC_OFFSET)
+        self._file.write(b"\x00\x00\x00\x00")
+
     def _ensure_slot(self, page_id: int) -> None:
         """Grow the slot region to cover ``page_id``, displacing any meta tail."""
         if page_id < self._slot_count:
             return
-        _, _, _, meta_offset, _ = _read_header(self._file)
+        header = _read_header(self._file)
         new_count = page_id + 1
         new_end = HEADER_SIZE + new_count * self.slot_bytes
-        if meta_offset:
+        if header.meta_offset:
             # Pages grew past the saved snapshot: drop the (now stale) meta
             # tail; the next save() writes a fresh one.
-            self._file.truncate(meta_offset)
+            self._file.truncate(header.meta_offset)
             self._meta_cache = None
+            self._meta_crc = 0
         # Zero-fill the new slots so their status bytes read as empty.
         self._file.seek(0, os.SEEK_END)
         current_end = self._file.tell()
@@ -392,31 +479,116 @@ class FilePageStore(PageStore):
 
     def _write_header(self, meta_offset: int, meta_len: int) -> None:
         header = _HEADER.pack(
-            MAGIC, FORMAT_VERSION, 0, self.slot_bytes,
+            MAGIC, self.format_version, 0, self.slot_bytes,
             self._slot_count, self._next_id, meta_offset, meta_len,
         )
+        padded = bytearray(header.ljust(HEADER_SIZE, b"\x00"))
+        if self.format_version >= 2:
+            _HEADER_CRCS.pack_into(padded, _CRCS_OFFSET,
+                                   self._meta_crc, self._file_crc)
         self._file.seek(0)
-        self._file.write(header.ljust(HEADER_SIZE, b"\x00"))
+        self._file.write(bytes(padded))
 
     def _write_header_preserving_meta(self) -> None:
-        _, _, _, meta_offset, meta_len = _read_header(self._file)
-        self._write_header(meta_offset=meta_offset, meta_len=meta_len)
+        header = _read_header(self._file)
+        self._write_header(meta_offset=header.meta_offset, meta_len=header.meta_len)
 
 
-def _read_header(handle: BinaryIO) -> Tuple[int, int, int, int, int]:
-    """Parse a page-file header: (slot_bytes, slot_count, next_id, meta_offset, meta_len)."""
-    handle.seek(0)
-    raw = handle.read(HEADER_SIZE)
-    if len(raw) < _HEADER.size:
-        raise PageStoreError("not a repro page file: truncated header")
+class _Header(NamedTuple):
+    """Parsed page-file header."""
+
+    version: int
+    slot_bytes: int
+    slot_count: int
+    next_id: int
+    meta_offset: int
+    meta_len: int
+    meta_crc: int
+    file_crc: int
+
+
+def _parse_header(raw: bytes) -> _Header:
+    """Parse and validate the first :data:`HEADER_SIZE` bytes of a page file."""
+    if len(raw) < HEADER_SIZE:
+        raise CorruptSnapshotError("not a repro page file: truncated header")
     magic, version, _, slot_bytes, slot_count, next_id, meta_offset, meta_len = (
         _HEADER.unpack(raw[:_HEADER.size])
     )
+    meta_crc, file_crc = _HEADER_CRCS.unpack_from(raw, _CRCS_OFFSET)
     if magic != MAGIC:
-        raise PageStoreError("not a repro page file: bad magic")
+        raise CorruptSnapshotError("not a repro page file: bad magic")
+    if version < 1:
+        raise CorruptSnapshotError(f"corrupt page-file header: version {version}")
+    if version == 1 and (meta_crc or file_crc):
+        # Version-1 headers are zero-padded past the struct; non-zero CRC
+        # words under a version-1 tag mean the version field itself was
+        # corrupted on a checksummed file -- parsing v2 slots with the v1
+        # layout would shift every payload by four bytes.
+        raise CorruptSnapshotError(
+            "corrupt page-file header: version/checksum disagreement"
+        )
     if version > FORMAT_VERSION:
         raise PageStoreError(f"unsupported page-file version {version}")
-    return slot_bytes, slot_count, next_id, meta_offset, meta_len
+    return _Header(version, slot_bytes, slot_count, next_id,
+                   meta_offset, meta_len, meta_crc, file_crc)
+
+
+def _read_header(handle: BinaryIO) -> _Header:
+    """Parse a page-file header from an open handle."""
+    handle.seek(0)
+    return _parse_header(handle.read(HEADER_SIZE))
+
+
+def _checked_decode(page_id: int, capacity: int, payload: bytes,
+                    expected_crc: Optional[int]) -> Page:
+    """Decode one slot payload, converting any failure into a structured error."""
+    if expected_crc is not None and zlib.crc32(payload) != expected_crc:
+        raise CorruptSnapshotError(
+            f"page {page_id}: payload checksum mismatch "
+            f"(stored {expected_crc:#010x}, computed {zlib.crc32(payload):#010x})"
+        )
+    try:
+        return decode_page(page_id, capacity, payload)
+    except Exception as exc:  # noqa: BLE001 - re-raised as a structured error
+        raise CorruptSnapshotError(
+            f"page {page_id}: payload does not decode ({type(exc).__name__}: {exc})"
+        ) from exc
+
+
+def _checked_meta(blob: bytes, header: _Header) -> Dict[str, Any]:
+    """Parse the metadata blob, verifying its CRC on checksummed files."""
+    if len(blob) < header.meta_len:
+        raise CorruptSnapshotError("page file truncated inside the metadata blob")
+    if header.version >= 2 and zlib.crc32(blob) != header.meta_crc:
+        raise CorruptSnapshotError(
+            f"metadata checksum mismatch (stored {header.meta_crc:#010x}, "
+            f"computed {zlib.crc32(blob):#010x})"
+        )
+    try:
+        meta = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CorruptSnapshotError(f"metadata blob does not parse: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise CorruptSnapshotError("metadata blob is not a JSON object")
+    return meta
+
+
+def _file_crc_of(handle: BinaryIO) -> int:
+    """CRC-32 of the whole file with the file-CRC header word zeroed.
+
+    The word's own bytes are excluded (treated as zero) so the checksum can
+    live inside the region it covers.
+    """
+    handle.seek(0)
+    head = bytearray(handle.read(HEADER_SIZE))
+    if len(head) >= _FILE_CRC_OFFSET + 4:
+        head[_FILE_CRC_OFFSET:_FILE_CRC_OFFSET + 4] = b"\x00\x00\x00\x00"
+    crc = zlib.crc32(bytes(head))
+    while True:
+        chunk = handle.read(1 << 20)
+        if not chunk:
+            return crc
+        crc = zlib.crc32(chunk, crc)
 
 
 # ---------------------------------------------------------------------- #
@@ -451,8 +623,14 @@ class MmapPageStore(PageStore):
     def __init__(self, path: str) -> None:
         self.path = path
         self._file = open(path, "rb")
-        self.slot_bytes, self._slot_count, self._next_id, self._meta_offset, \
-            self._meta_len = _read_header(self._file)
+        self._header = _read_header(self._file)
+        self.format_version = self._header.version
+        self._slot_header = _slot_header(self._header.version)
+        self.slot_bytes = self._header.slot_bytes
+        self._slot_count = self._header.slot_count
+        self._next_id = self._header.next_id
+        self._meta_offset = self._header.meta_offset
+        self._meta_len = self._header.meta_len
         self._map = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
         self._overlay: Dict[int, Page] = {}
         self._deleted: Set[int] = set()
@@ -469,11 +647,21 @@ class MmapPageStore(PageStore):
         if page_id in self._deleted or not 0 <= page_id < self._slot_count:
             raise KeyError(page_id)
         offset = HEADER_SIZE + page_id * self.slot_bytes
-        status, capacity, payload_len = _SLOT_HEADER.unpack_from(self._map, offset)
+        try:
+            fields = self._slot_header.unpack_from(self._map, offset)
+        except struct.error as exc:
+            raise CorruptSnapshotError(
+                f"page file truncated inside slot {page_id}"
+            ) from exc
+        status, capacity, payload_len = fields[0], fields[1], fields[2]
         if status != _SLOT_LIVE:
             raise KeyError(page_id)
-        start = offset + _SLOT_HEADER.size
-        return decode_page(page_id, capacity, bytes(self._map[start:start + payload_len]))
+        payload_crc = fields[3] if self.format_version >= 2 else None
+        start = offset + self._slot_header.size
+        payload = bytes(self._map[start:start + payload_len])
+        if len(payload) < payload_len:
+            raise CorruptSnapshotError(f"page file truncated inside slot {page_id}")
+        return _checked_decode(page_id, capacity, payload, payload_crc)
 
     def delete_page(self, page_id: int) -> None:
         self._overlay.pop(page_id, None)
@@ -505,7 +693,7 @@ class MmapPageStore(PageStore):
         if self._meta_offset == 0 or self._meta_len == 0:
             return None
         blob = bytes(self._map[self._meta_offset:self._meta_offset + self._meta_len])
-        self._meta_cache = json.loads(blob.decode("utf-8"))
+        self._meta_cache = _checked_meta(blob, self._header)
         return self._meta_cache
 
     def write_meta(self, meta: Dict[str, Any]) -> None:
@@ -546,13 +734,18 @@ def create_page_store(kind: str, path: Optional[str] = None,
     raise ValueError(f"unknown page store kind: {kind!r} (known: {', '.join(STORE_KINDS)})")
 
 
-def open_page_store(kind: str, path: str) -> PageStore:
+def open_page_store(kind: str, path: str, verify: bool = False) -> PageStore:
     """Open an existing snapshot file as a store of the requested kind.
 
     ``"memory"`` eagerly loads every page into a dict (fully in-memory
-    serving); ``"file"`` and ``"mmap"`` stay lazy.
+    serving); ``"file"`` and ``"mmap"`` stay lazy.  With ``verify=True`` the
+    whole snapshot is checksummed (or structurally swept, for version-1
+    files) before the store is returned, so corruption surfaces at open time
+    as :class:`CorruptSnapshotError` rather than mid-query.
     """
     kind = kind.lower()
+    if verify:
+        verify_snapshot_file(path)
     if kind == "file":
         return FilePageStore.open(path)
     if kind == "mmap":
@@ -572,6 +765,51 @@ def open_page_store(kind: str, path: str) -> PageStore:
     raise ValueError(f"unknown page store kind: {kind!r} (known: {', '.join(STORE_KINDS)})")
 
 
+def verify_snapshot_file(path: str) -> None:
+    """Check a snapshot file end to end; raise :class:`CorruptSnapshotError`.
+
+    A *sealed* version-2 snapshot (nonzero whole-file CRC -- how every save
+    finishes) is verified by a single streaming CRC pass over the file,
+    which covers every header field, slot byte, and the metadata blob: any
+    single flipped bit is caught.  Unsealed version-2 files and version-1
+    files (no checksums) fall back to a structural sweep that decodes every
+    live page (verifying per-page CRCs where present) and parses the
+    metadata.
+    """
+    try:
+        with open(path, "rb") as handle:
+            header = _parse_header(handle.read(HEADER_SIZE))
+            if header.version >= 2 and header.file_crc:
+                actual = _file_crc_of(handle)
+                if actual != header.file_crc:
+                    raise CorruptSnapshotError(
+                        f"whole-file checksum mismatch for {path} "
+                        f"(stored {header.file_crc:#010x}, computed {actual:#010x})"
+                    )
+                return
+    except OSError as exc:
+        raise CorruptSnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    _sweep_snapshot(path)
+
+
+def _sweep_snapshot(path: str) -> None:
+    """Structurally decode every live page and the metadata of a snapshot."""
+    try:
+        store = FilePageStore.open(path)
+    except (OSError, struct.error) as exc:
+        raise CorruptSnapshotError(f"cannot open snapshot {path}: {exc}") from exc
+    try:
+        for page_id in store.page_ids():
+            store.load_page(page_id)
+        store.read_meta()
+    except (struct.error, KeyError) as exc:
+        raise CorruptSnapshotError(
+            f"snapshot {path} is structurally inconsistent: {exc}"
+        ) from exc
+    finally:
+        store.close()
+
+
 def write_snapshot_file(path: str, pages: Iterable[Page], meta: Dict[str, Any],
                         slot_bytes: Optional[int] = None,
                         next_page_id: Optional[int] = None) -> None:
@@ -587,9 +825,9 @@ def write_snapshot_file(path: str, pages: Iterable[Page], meta: Dict[str, Any],
     ]
     if slot_bytes is None:
         largest = max((len(blob) for _, _, blob in encoded), default=0)
-        slot_bytes = max(DEFAULT_SLOT_BYTES, _SLOT_HEADER.size + largest)
+        slot_bytes = max(DEFAULT_SLOT_BYTES, _SLOT_HEADER_V2.size + largest)
     for page_id, _, blob in encoded:
-        if _SLOT_HEADER.size + len(blob) > slot_bytes:
+        if _SLOT_HEADER_V2.size + len(blob) > slot_bytes:
             raise PageOverflowError(
                 f"page {page_id} does not fit in {slot_bytes}-byte slots"
             )
@@ -607,7 +845,8 @@ def write_snapshot_file(path: str, pages: Iterable[Page], meta: Dict[str, Any],
         for page_id in sorted(by_id):
             capacity, blob = by_id[page_id]
             store._file.seek(HEADER_SIZE + page_id * slot_bytes)
-            store._file.write(_SLOT_HEADER.pack(_SLOT_LIVE, capacity, len(blob)))
+            store._file.write(_SLOT_HEADER_V2.pack(_SLOT_LIVE, capacity, len(blob),
+                                                   zlib.crc32(blob)))
             store._file.write(blob)
             store._capacities[page_id] = capacity
         store._slot_count = slot_count

@@ -21,6 +21,7 @@ the ``wal-ordering`` rule of :mod:`repro.lint`.
 """
 
 from repro.wal.log import (
+    CorruptRecordError,
     FSYNC_ALWAYS,
     FSYNC_BATCH,
     OP_DELETE,
@@ -32,11 +33,16 @@ from repro.wal.log import (
     scan_wal,
 )
 from repro.wal.recovery import read_records, replay
-from repro.wal.checkpoint import Checkpointer, CheckpointResult
+from repro.wal.checkpoint import (
+    Checkpointer,
+    CheckpointResult,
+    read_checkpoint_status,
+)
 
 __all__ = [
     "Checkpointer",
     "CheckpointResult",
+    "CorruptRecordError",
     "FSYNC_ALWAYS",
     "FSYNC_BATCH",
     "OP_DELETE",
@@ -45,6 +51,7 @@ __all__ = [
     "WalRecord",
     "WalScan",
     "WriteAheadLog",
+    "read_checkpoint_status",
     "read_records",
     "replay",
     "scan_wal",

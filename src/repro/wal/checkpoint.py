@@ -25,18 +25,54 @@ stale prefix (``lsn <= base_lsn``) is filtered out by recovery.
 :class:`Checkpointer` wraps :meth:`~Checkpointer.run_once` in a daemon
 thread with an interval and a ``min_records`` threshold so quiet periods do
 not burn rebuild cycles.
+
+Failure discipline: the new snapshot is *verified* (whole-file checksum)
+before the manifest flips to it, so a bad write degrades to "still on
+generation N" rather than "committed to garbage"; each attempt retries with
+bounded exponential backoff; and the daemon thread never dies on an
+exception -- it records ``last_error`` / ``consecutive_failures``, writes
+them to ``checkpoint-status.json`` next to the manifest (the surface behind
+``repro checkpoint --status`` and serve ``/stats``), backs off, and tries
+again.
 """
 
 from __future__ import annotations
 
+import json
+import logging
 import os
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from repro.storage.pagestore import verify_snapshot_file
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.engine import QueryEngine
+
+logger = logging.getLogger("repro.wal.checkpoint")
+
+#: Filename of the checkpointer's status surface, next to the manifest.
+CHECKPOINT_STATUS_NAME = "checkpoint-status.json"
+
+
+def checkpoint_status_path(directory: str) -> str:
+    return os.path.join(os.fspath(directory), CHECKPOINT_STATUS_NAME)
+
+
+def read_checkpoint_status(directory: str) -> Optional[Dict[str, Any]]:
+    """The last status the directory's checkpointer wrote, or ``None``.
+
+    The cross-process view: a serve fleet (or ``repro checkpoint --status``)
+    reads the mutating process's health without sharing memory with it.
+    """
+    try:
+        with open(checkpoint_status_path(directory), encoding="utf-8") as handle:
+            state = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return state if isinstance(state, dict) else None
 
 
 @dataclass(frozen=True)
@@ -73,6 +109,10 @@ class Checkpointer:
             are pending -- :meth:`run_once` with ``force=True`` overrides.
         workers: construction workers for the rebuild; defaults to the
             engine's configured ``workers``.
+        retry_attempts: attempts per :meth:`run_once` call before the error
+            propagates (each retried with exponential backoff).
+        retry_backoff: initial sleep between attempts, doubling per retry up
+            to ``retry_backoff_max``.
     """
 
     def __init__(
@@ -81,6 +121,9 @@ class Checkpointer:
         interval: float = 30.0,
         min_records: int = 1,
         workers: Optional[int] = None,
+        retry_attempts: int = 3,
+        retry_backoff: float = 0.1,
+        retry_backoff_max: float = 5.0,
     ) -> None:
         if engine.live_directory is None:
             raise ValueError(
@@ -91,12 +134,19 @@ class Checkpointer:
             raise ValueError(f"interval must be positive, got {interval}")
         if min_records < 0:
             raise ValueError(f"min_records must be >= 0, got {min_records}")
+        if retry_attempts < 1:
+            raise ValueError(f"retry_attempts must be >= 1, got {retry_attempts}")
         self.engine = engine
         self.interval = interval
         self.min_records = min_records
         self.workers = workers
+        self.retry_attempts = retry_attempts
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_max = retry_backoff_max
         self.checkpoints_run = 0
+        self.consecutive_failures = 0
         self.last_error: Optional[BaseException] = None
+        self.last_result: Optional[CheckpointResult] = None
         self._stop_event = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -106,7 +156,37 @@ class Checkpointer:
         Returns ``None`` when skipped (fewer than ``min_records`` pending
         and not ``force``, or the dataset is empty -- an empty engine cannot
         be rebuilt, so its deletes stay in the log until an insert arrives).
+        Each call makes up to ``retry_attempts`` attempts with exponential
+        backoff; only when all fail does the last error propagate (after
+        being recorded on :attr:`last_error` and in the status file).
         """
+        delay = self.retry_backoff
+        for attempt in range(1, self.retry_attempts + 1):
+            try:
+                result = self._checkpoint_once(force)
+            except Exception as exc:
+                self.last_error = exc
+                self.consecutive_failures += 1
+                self._write_status()
+                if attempt == self.retry_attempts:
+                    raise
+                logger.warning(
+                    "checkpoint attempt %d/%d failed (%s: %s); retrying in %.2fs",
+                    attempt, self.retry_attempts, type(exc).__name__, exc, delay,
+                )
+                time.sleep(delay)
+                delay = min(delay * 2, self.retry_backoff_max)
+            else:
+                if result is not None:
+                    self.last_error = None
+                    self.consecutive_failures = 0
+                    self.last_result = result
+                    self._write_status()
+                return result
+        return None  # pragma: no cover - loop always returns or raises
+
+    def _checkpoint_once(self, force: bool) -> Optional[CheckpointResult]:
+        """One checkpoint attempt (capture, rebuild, verify, flip, prune)."""
         from repro.engine.engine import QueryEngine
         from repro.engine.snapshot import (
             Manifest,
@@ -134,7 +214,27 @@ class Checkpointer:
         name = generation_filename(generation)
         snapshot_path = os.path.join(directory, name)
         save_engine(rebuilt, snapshot_path)
-        manifest = Manifest(generation=generation, snapshot=name, base_lsn=base_lsn)
+        # Verify before the manifest flips: committing to a snapshot that
+        # cannot be reopened would strand every later open on the fallback
+        # path.  A bad file is deleted and the attempt fails (and retries);
+        # generation N keeps serving the whole time.
+        try:
+            verify_snapshot_file(snapshot_path)
+        except Exception:
+            try:
+                os.remove(snapshot_path)
+            except OSError:  # pragma: no cover - leave it for quarantine
+                logger.warning("could not remove bad snapshot %s", snapshot_path)
+            raise
+        previous = Manifest(
+            generation=engine.generation,
+            snapshot=generation_filename(engine.generation),
+            base_lsn=engine.base_lsn,
+        )
+        manifest = Manifest(
+            generation=generation, snapshot=name, base_lsn=base_lsn,
+            previous=previous.as_previous(),
+        )
         write_manifest(directory, manifest)
         engine.complete_checkpoint(manifest)
         pruned = prune_generations(directory, keep_from=generation - 1)
@@ -148,6 +248,48 @@ class Checkpointer:
             seconds=time.perf_counter() - start,
             pruned=pruned,
         )
+
+    # ------------------------------------------------------------------ #
+    # status surface
+    # ------------------------------------------------------------------ #
+    def status(self) -> Dict[str, Any]:
+        """The checkpointer's health as one JSON-serialisable dict."""
+        last = self.last_result
+        return {
+            "running": self.running,
+            "checkpoints_run": self.checkpoints_run,
+            "consecutive_failures": self.consecutive_failures,
+            "last_error": (
+                f"{type(self.last_error).__name__}: {self.last_error}"
+                if self.last_error is not None else None
+            ),
+            "last_checkpoint": (
+                {
+                    "generation": last.generation,
+                    "base_lsn": last.base_lsn,
+                    "folded_records": last.folded_records,
+                    "objects": last.objects,
+                    "seconds": last.seconds,
+                }
+                if last is not None else None
+            ),
+            "updated_at": time.time(),
+        }
+
+    def _write_status(self) -> None:
+        """Atomically publish :meth:`status` to ``checkpoint-status.json``."""
+        directory = self.engine.live_directory
+        if directory is None:  # pragma: no cover - checked in __init__
+            return
+        path = checkpoint_status_path(directory)
+        blob = json.dumps(self.status(), indent=2, sort_keys=True).encode("utf-8")
+        try:
+            temporary = path + ".tmp"
+            with open(temporary, "wb") as handle:
+                handle.write(blob + b"\n")
+            os.replace(temporary, path)
+        except OSError as exc:  # pragma: no cover - status is best-effort
+            logger.warning("could not write %s: %s", path, exc)
 
     def start(self) -> None:
         """Start the background thread (daemon, named ``repro-checkpointer``)."""
@@ -172,8 +314,25 @@ class Checkpointer:
         return self._thread is not None and self._thread.is_alive()
 
     def _loop(self) -> None:
-        while not self._stop_event.wait(self.interval):
+        """Background loop: run, survive failures, back off while failing.
+
+        The wait between attempts grows exponentially with the consecutive
+        failure count (capped at 64x the interval), so a persistently broken
+        environment is not hammered -- but the thread never exits: recovery
+        needs no operator restart, and the failure is visible the whole time
+        via :meth:`status` / ``checkpoint-status.json``.
+        """
+        while not self._stop_event.wait(self._wait_seconds()):
             try:
                 self.run_once()
-            except Exception as exc:  # noqa: BLE001 - surfaced via last_error
-                self.last_error = exc
+            except Exception as exc:
+                # run_once already recorded last_error and wrote the status
+                # file; the loop's job is only to stay alive and back off.
+                logger.error(
+                    "background checkpoint failed (%d consecutive): %s: %s",
+                    self.consecutive_failures, type(exc).__name__, exc,
+                )
+
+    def _wait_seconds(self) -> float:
+        backoff = 2 ** min(self.consecutive_failures, 6)
+        return min(self.interval * backoff, self.interval * 64)

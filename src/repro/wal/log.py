@@ -22,18 +22,35 @@ A crash can leave a *torn tail*: a final record whose header, payload, or
 checksum is incomplete.  :func:`scan_wal` stops at the first torn or corrupt
 record and reports how many trailing bytes it ignored; reopening the log for
 appending truncates that tail so new records extend the last durable one.
+
+A torn tail is *not* the only way a log can break: a flipped bit in the
+middle of the file corrupts a record that acknowledged durable data.  The
+two cases demand opposite responses -- truncating a torn tail loses nothing
+promised, truncating mid-log corruption silently drops acknowledged updates
+-- so :func:`scan_wal` distinguishes them by *resynchronising*: after the
+first broken record it searches forward for a later record that still
+checksums (with a later LSN).  Finding one proves the break is mid-log
+corruption; the scan reports it and opening the log for appending raises
+:class:`CorruptRecordError` instead of truncating.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
-from typing import BinaryIO, List, Optional
+from typing import BinaryIO, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.storage.codec import decode_entry, encode_entry
 from repro.uncertain.objects import UncertainObject
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime dependency
+    from repro.faults.plan import FaultInjector
+
+logger = logging.getLogger("repro.wal")
 
 #: File magic + format version of the log header.
 WAL_MAGIC = b"UVWAL001"
@@ -64,6 +81,18 @@ class WalError(RuntimeError):
     """The log is unusable: wrong magic, newer format, or a broken append."""
 
 
+class CorruptRecordError(WalError):
+    """A WAL record in the *middle* of the log failed its checksum.
+
+    Distinct from a torn tail: intact records follow the broken one, so the
+    damage is bit rot (or an overwrite), not a crash mid-append -- and the
+    broken record once acknowledged durable data.  Truncating here would
+    silently drop acknowledged updates, so opening the log refuses instead;
+    ``repro wal-inspect`` shows the damage and the runbook in
+    :doc:`docs/operations` covers recovery.
+    """
+
+
 @dataclass(frozen=True)
 class WalRecord:
     """One durable update: ``(lsn, op, payload)`` as read from or written to disk."""
@@ -88,17 +117,29 @@ class WalScan:
         torn_bytes: trailing bytes past ``valid_bytes`` that could not be
             read as a record (a crash mid-append; zero on a clean log).
         torn_reason: why the scan stopped early (empty on a clean log).
+        resync_offset: byte offset of the first intact record found *after*
+            the break, or ``None`` when none exists.  A successful resync is
+            the proof that the break is mid-log corruption rather than a
+            torn tail (see :attr:`is_corrupt`).
+        resync_lsn: LSN of the record at ``resync_offset``.
     """
 
     records: List[WalRecord] = field(default_factory=list)
     valid_bytes: int = 0
     torn_bytes: int = 0
     torn_reason: str = ""
+    resync_offset: Optional[int] = None
+    resync_lsn: Optional[int] = None
 
     @property
     def last_lsn(self) -> int:
         """LSN of the last intact record (0 for an empty log)."""
         return self.records[-1].lsn if self.records else 0
+
+    @property
+    def is_corrupt(self) -> bool:
+        """Whether the break is mid-log corruption (not just a torn tail)."""
+        return self.resync_offset is not None
 
 
 # ---------------------------------------------------------------------- #
@@ -198,12 +239,41 @@ def scan_wal(path: str) -> WalScan:
         records.append(WalRecord(lsn=lsn, op=op, payload=bytes(payload)))
         last_lsn = lsn
         offset += RECORD_HEADER_SIZE + length
+    resync_offset: Optional[int] = None
+    resync_lsn: Optional[int] = None
+    if torn_reason and offset < len(data):
+        resync_offset, resync_lsn = _find_resync(data, offset + 1, last_lsn or 0)
     return WalScan(
         records=records,
         valid_bytes=offset,
         torn_bytes=len(data) - offset,
         torn_reason=torn_reason,
+        resync_offset=resync_offset,
+        resync_lsn=resync_lsn,
     )
+
+
+def _find_resync(data: bytes, start: int,
+                 last_lsn: int) -> Tuple[Optional[int], Optional[int]]:
+    """Search forward from ``start`` for an intact record past a break.
+
+    A hit must parse as a record with a known op, an LSN strictly after the
+    last good one, a payload that fits in the file, and a matching CRC --
+    the checksum covers ``(lsn, op, payload)``, so a false positive in
+    arbitrary damage is a ~2^-32 event.  Returns ``(offset, lsn)`` or
+    ``(None, None)``.
+    """
+    for offset in range(start, len(data) - RECORD_HEADER_SIZE + 1):
+        length, crc, lsn, op = _RECORD.unpack_from(data, offset)
+        if op not in OP_NAMES or not last_lsn < lsn <= last_lsn + (1 << 32):
+            continue
+        if length > len(data) - offset - RECORD_HEADER_SIZE:
+            continue
+        payload = data[offset + RECORD_HEADER_SIZE:
+                       offset + RECORD_HEADER_SIZE + length]
+        if zlib.crc32(_CRC_PREFIX.pack(lsn, op) + payload) == crc:
+            return offset, lsn
+    return None, None
 
 
 class WriteAheadLog:
@@ -216,7 +286,8 @@ class WriteAheadLog:
     no locking.
     """
 
-    def __init__(self, path: str, fsync: str = FSYNC_ALWAYS) -> None:
+    def __init__(self, path: str, fsync: str = FSYNC_ALWAYS,
+                 injector: Optional["FaultInjector"] = None) -> None:
         if fsync not in FSYNC_POLICIES:
             raise ValueError(
                 f"unknown fsync policy {fsync!r} "
@@ -229,6 +300,7 @@ class WriteAheadLog:
         self._last_lsn = 0
         self._appended = 0
         self._unsynced = 0
+        self._injector = injector
         if not os.path.exists(self.path) or os.path.getsize(self.path) < HEADER_SIZE:
             # Fresh log (or a create() torn mid-header): write a clean header.
             self._file = open(self.path, "wb")
@@ -237,9 +309,24 @@ class WriteAheadLog:
             os.fsync(self._file.fileno())
         else:
             scan = scan_wal(self.path)
+            if scan.is_corrupt:
+                raise CorruptRecordError(
+                    f"{self.path}: record at byte {scan.valid_bytes} is broken "
+                    f"({scan.torn_reason}) but an intact record follows at byte "
+                    f"{scan.resync_offset} (LSN {scan.resync_lsn}) -- mid-log "
+                    f"corruption, refusing to truncate acknowledged records; "
+                    f"run `repro wal-inspect` and see docs/operations.md"
+                )
             self.records_at_open = scan.records
             self._last_lsn = scan.last_lsn
             self._file = open(self.path, "r+b")
+            if scan.torn_bytes:
+                logger.warning(
+                    "%s: truncating %d-byte torn tail at byte offset %d (%s); "
+                    "last good LSN is %d",
+                    self.path, scan.torn_bytes, scan.valid_bytes,
+                    scan.torn_reason, scan.last_lsn,
+                )
             # Drop the torn tail so appends extend the last durable record.
             self._file.truncate(scan.valid_bytes)
             self._file.seek(scan.valid_bytes)
@@ -263,8 +350,14 @@ class WriteAheadLog:
             lsn = self._last_lsn + 1
         elif lsn <= self._last_lsn:
             raise WalError(f"LSN {lsn} is not past the last written LSN {self._last_lsn}")
-        self._file.write(encode_record(lsn, op, payload))
+        record = encode_record(lsn, op, payload)
+        fail_fsync = False
+        if self._injector is not None:
+            record, fail_fsync = self._apply_append_fault(record)
+        self._file.write(record)
         self._file.flush()
+        if fail_fsync:
+            raise OSError("injected fsync failure on WAL append")
         if self.fsync_policy == FSYNC_ALWAYS:
             os.fsync(self._file.fileno())
         else:
@@ -272,6 +365,43 @@ class WriteAheadLog:
         self._last_lsn = lsn
         self._appended += 1
         return lsn
+
+    def _apply_append_fault(self, record: bytes) -> Tuple[bytes, bool]:
+        """Apply any scheduled fault to one encoded record (drills only).
+
+        Returns the (possibly corrupted) bytes to write plus whether the
+        post-write fsync should fail.  Torn and short writes emulate a crash
+        mid-append: the partial bytes are flushed, the handle is closed so no
+        later append can extend the garbage, and the append raises -- exactly
+        the state a real crash leaves, so the update is never acknowledged.
+        """
+        assert self._injector is not None and self._file is not None
+        fault = self._injector.fire("wal.append")
+        if fault is None:
+            return record, False
+        if fault.kind == "latency":
+            time.sleep(fault.arg)
+            return record, False
+        if fault.kind == "fsync_fail":
+            return record, True
+        if fault.kind == "io_error":
+            raise OSError("injected WAL write error")
+        if fault.kind == "crc_flip":
+            # Silent on-disk corruption: the record is written and the append
+            # acknowledged, but the stored CRC is wrong.  The next scan must
+            # detect it -- this is the fault the resync logic exists for.
+            damaged = bytearray(record)
+            damaged[4] ^= 0x01  # low byte of the crc32 field
+            return bytes(damaged), False
+        if fault.kind in ("torn_write", "short_write"):
+            cut = (RECORD_HEADER_SIZE if fault.kind == "short_write"
+                   else self._injector.rng("wal.append").randrange(1, len(record)))
+            self._file.write(record[:cut])
+            self._file.flush()
+            self._file.close()
+            self._file = None
+            raise OSError(f"injected {fault.kind} after {cut} of {len(record)} bytes")
+        raise ValueError(f"unknown WAL fault kind {fault.kind!r}")
 
     def sync(self) -> int:
         """fsync buffered records (the ``"batch"`` group-commit boundary).

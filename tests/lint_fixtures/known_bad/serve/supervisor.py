@@ -1,0 +1,20 @@
+"""Known-bad fixture: exception handlers that silence faults.
+
+Seeds the two shapes ``error-discipline`` forbids: a bare ``except:`` and a
+broad ``except Exception`` whose body does nothing at all.
+"""
+
+
+def poll_manifest(read_manifest, directory):
+    try:
+        return read_manifest(directory)
+    except:  # noqa: E722
+        return None
+
+
+def drain_responses(queue, sink):
+    while True:
+        try:
+            sink.append(queue.get_nowait())
+        except Exception:
+            pass

@@ -1,0 +1,25 @@
+"""Known-good fixture: the corrected twin of known_bad/serve/supervisor.py.
+
+Handlers name the exceptions the operation can actually raise, and the one
+broad catch handles what it caught (counts it and degrades) instead of
+silently discarding it.
+"""
+
+import queue as queue_module
+
+
+def poll_manifest(read_manifest, directory):
+    try:
+        return read_manifest(directory)
+    except (OSError, ValueError):
+        return None  # flip in progress or transient read error; retry next poll
+
+
+def drain_responses(queue, sink, errors):
+    while True:
+        try:
+            sink.append(queue.get_nowait())
+        except queue_module.Empty:
+            return
+        except Exception as exc:  # noqa: BLE001 - the drain loop must survive
+            errors.append(f"{type(exc).__name__}: {exc}")

@@ -99,6 +99,8 @@ class TestFixtureTrees:
             ("validated-replace", "queries/executor.py", "dataclasses.replace"),
             ("wal-ordering", "engine/live.py", "before appending"),
             ("wal-ordering", "wal/replay.py", "without a monotonic-LSN"),
+            ("error-discipline", "serve/supervisor.py", "bare 'except:'"),
+            ("error-discipline", "serve/supervisor.py", "silently swallows"),
         ],
     )
     def test_known_bad_finding(self, bad_report, rule_id, relpath, needle):
@@ -139,6 +141,7 @@ class TestFixtureTrees:
             "picklable-work": 3,
             "validated-replace": 2,
             "wal-ordering": 2,
+            "error-discipline": 2,
         }
 
 
