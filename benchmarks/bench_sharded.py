@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Sharded routing benchmark: what the shard bounds save on a PNN workload.
+
+Builds a 4-shard deployment over the Figure 6(c)-style uniform PNN workload
+(the paper's query-cost testbed), runs the same queries twice through the
+scatter-gather router -- once routed by the ``SHARDMAP`` possible-region
+bounds, once scattered to every shard -- and gates two properties:
+
+* **parity** -- both modes return bit-identical answers for every query
+  (routing must never change an answer, only who pays page reads);
+* **routing savings** -- the routed pass performs at least
+  ``MIN_SAVINGS``x fewer candidate (index) page reads than scatter-to-all.
+  With ``--check``, the measured ratio must additionally stay within
+  ``--max-regression`` of the checked-in baseline
+  (``benchmarks/baseline/BENCH_sharded.json``).
+
+Standalone on purpose (no pytest), mirroring ``ci_smoke.py``::
+
+    python benchmarks/bench_sharded.py --output-dir bench-out \
+        --baseline benchmarks/baseline/BENCH_sharded.json --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.datasets.synthetic import (  # noqa: E402
+    generate_query_points,
+    generate_uniform_objects,
+)
+from repro.engine import DiagramConfig  # noqa: E402
+from repro.queries.spec import PNNQuery  # noqa: E402
+from repro.shard import (  # noqa: E402
+    ShardedQueryEngine,
+    build_sharded_deployment,
+)
+
+OBJECTS = 200
+QUERIES = 32
+SHARDS = 4
+BACKEND = "ic"
+SEED = 42
+
+#: The routed pass must avoid at least this factor of candidate page reads.
+MIN_SAVINGS = 2.0
+
+
+def run_mode(directory: str, queries, scatter_all: bool) -> dict:
+    """One full pass over the workload in one routing mode (fresh engines,
+    so neither mode inherits the other's warm ring cache)."""
+    engine = ShardedQueryEngine.open(directory)
+    index_reads = 0
+    total_reads = 0
+    answers = []
+    start = time.perf_counter()
+    for point in queries:
+        result = engine.execute(PNNQuery(point), scatter_all=scatter_all)
+        index_reads += result.index_io.page_reads
+        total_reads += result.io.page_reads
+        answers.append([answer.to_dict() for answer in result.answers])
+    elapsed = time.perf_counter() - start
+    return {
+        "mode": "scatter_all" if scatter_all else "routed",
+        "index_page_reads": index_reads,
+        "total_page_reads": total_reads,
+        "elapsed_seconds": elapsed,
+        "answers": answers,
+    }
+
+
+def run_benchmark() -> dict:
+    objects, domain = generate_uniform_objects(OBJECTS, seed=SEED,
+                                               diameter=300.0)
+    queries = generate_query_points(QUERIES, domain, seed=SEED + 1)
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = str(Path(tmp) / "deployment")
+        deployment = build_sharded_deployment(
+            objects, domain, directory,
+            config=DiagramConfig(backend=BACKEND), shards=SHARDS,
+        )
+        routed = run_mode(directory, queries, scatter_all=False)
+        scattered = run_mode(directory, queries, scatter_all=True)
+
+    parity = routed.pop("answers") == scattered.pop("answers")
+    savings = (
+        scattered["index_page_reads"] / routed["index_page_reads"]
+        if routed["index_page_reads"]
+        else float("inf")
+    )
+    return {
+        "benchmark": "sharded_routing",
+        "backend": BACKEND,
+        "objects": OBJECTS,
+        "queries": QUERIES,
+        "shards": len(deployment.shard_map),
+        "epoch": deployment.epoch,
+        "parity": parity,
+        "routed": routed,
+        "scatter_all": scattered,
+        "index_read_savings": savings,
+        "min_savings_gate": MIN_SAVINGS,
+    }
+
+
+def hard_gates(payload: dict) -> list[str]:
+    """Invariant gates that apply with or without ``--check``."""
+    failures = []
+    if not payload["parity"]:
+        failures.append("routed and scatter-all answers diverged; routing "
+                        "changed an answer")
+    savings = payload["index_read_savings"]
+    if savings < MIN_SAVINGS:
+        failures.append(
+            f"routing avoided only {savings:.2f}x candidate page reads "
+            f"(gate: >= {MIN_SAVINGS:.1f}x; routed "
+            f"{payload['routed']['index_page_reads']}, scatter-all "
+            f"{payload['scatter_all']['index_page_reads']})"
+        )
+    return failures
+
+
+def check_regression(payload: dict, baseline_path: Path,
+                     max_regression: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    allowed = baseline["index_read_savings"] / max_regression
+    got = payload["index_read_savings"]
+    print(f"regression gate: routing savings {got:.2f}x vs baseline "
+          f"{baseline['index_read_savings']:.2f}x "
+          f"(allowed >= {allowed:.2f}x at 1/{max_regression:.1f})")
+    if got < allowed:
+        print(f"FAIL: routing savings fell to "
+              f"{got / baseline['index_read_savings']:.2f}x of baseline "
+              f"(limit 1/{max_regression:.1f})", file=sys.stderr)
+        return 1
+    print("gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output-dir", type=Path, default=Path("bench-out"))
+    parser.add_argument(
+        "--baseline", type=Path,
+        default=Path(__file__).parent / "baseline" / "BENCH_sharded.json",
+    )
+    parser.add_argument("--check", action="store_true",
+                        help="fail on savings regression vs the baseline")
+    parser.add_argument("--max-regression", type=float, default=1.5)
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark()
+
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    out = args.output_dir / "BENCH_sharded.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {out}")
+
+    failures = hard_gates(payload)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    if args.check:
+        return check_regression(payload, args.baseline, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,12 @@ Six sub-commands cover the everyday interactions with the library:
 * ``serve``       -- run the multi-worker HTTP query service over a snapshot
   or deployment directory (``repro serve --load uv.snap --workers 4``),
 * ``checkpoint``  -- fold a deployment's write-ahead log into a new snapshot
-  generation and flip the manifest,
+  generation and flip the manifest (accepts sharded deployments too, and
+  ``--status`` then reports every shard),
+* ``shard-build`` -- build a spatially-sharded deployment: one snapshot
+  generation per shard behind a ``SHARDMAP`` manifest,
+* ``rebalance``   -- split / merge a sharded deployment's shards from
+  observed statistics into a new epoch,
 * ``wal-inspect`` -- print a write-ahead log's records and diagnostics,
 * ``lint``        -- run the project-invariant static analyzer
   (``repro lint``, also available as ``python -m repro.lint``).
@@ -142,17 +147,23 @@ def _build_engine(args: argparse.Namespace) -> QueryEngine:
     return QueryEngine.build(bundle.objects, bundle.domain, _config_from_args(args))
 
 
-def _open_snapshot(args: argparse.Namespace) -> QueryEngine:
+def _open_snapshot(args: argparse.Namespace):
     """Open ``--load`` with clean CLI errors for bad paths and formats.
 
     A live deployment directory resolves through its manifest to the current
     snapshot generation (read-path only: the WAL is already folded in or
-    pending, and a query CLI must not replay someone else's log).
+    pending, and a query CLI must not replay someone else's log).  A sharded
+    deployment (a directory holding a ``SHARDMAP``) opens as a scatter-gather
+    router over every shard's current generation.
     """
     from repro.engine.snapshot import resolve_snapshot
+    from repro.shard import ShardedQueryEngine, is_sharded_directory
     from repro.storage.pagestore import PageStoreError
 
     try:
+        if is_sharded_directory(args.load):
+            return ShardedQueryEngine.open(args.load, store=args.load_store,
+                                           buffer_pages=args.buffer_pages)
         target, _generation = resolve_snapshot(args.load)
         return QueryEngine.open(target, store=args.load_store,
                                 buffer_pages=args.buffer_pages)
@@ -161,7 +172,13 @@ def _open_snapshot(args: argparse.Namespace) -> QueryEngine:
         raise SystemExit(2) from exc
 
 
-def _obtain_engine(args: argparse.Namespace) -> QueryEngine:
+def _engine_backend_name(engine) -> str:
+    """Backend label of a single engine or a sharded router."""
+    name = getattr(engine, "backend_name", None)
+    return name if name is not None else engine.backend.name
+
+
+def _obtain_engine(args: argparse.Namespace):
     """A served engine: reopened from ``--load`` when given, else freshly built."""
     if getattr(args, "load", None):
         engine = _open_snapshot(args)
@@ -169,8 +186,10 @@ def _obtain_engine(args: argparse.Namespace) -> QueryEngine:
             # The refinement kernel is a query-time setting, so an explicit
             # --prob-kernel overrides the snapshot's saved choice.
             engine.config = engine.config.replace(prob_kernel=args.prob_kernel)
-        print(f"opened snapshot {args.load} ({engine.backend.name!r} backend, "
-              f"{len(engine)} objects, {args.load_store} store)")
+        shards = getattr(engine, "engines", None)
+        layout = f", {len(shards)} shards" if shards is not None else ""
+        print(f"opened snapshot {args.load} ({_engine_backend_name(engine)!r} "
+              f"backend, {len(engine)} objects, {args.load_store} store{layout})")
         return engine
     return _build_engine(args)
 
@@ -422,7 +441,35 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 
 def _command_checkpoint_status(directory: str) -> int:
-    """``repro checkpoint --status``: the checkpointer's cross-process view."""
+    """``repro checkpoint --status``: the checkpointer's cross-process view.
+
+    A sharded deployment reports every shard's status in shard-id order
+    (each shard directory is an ordinary live deployment underneath).
+    """
+    import os
+
+    from repro.shard import is_sharded_directory, read_shard_deployment
+
+    if is_sharded_directory(directory):
+        try:
+            deployment = read_shard_deployment(directory)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read sharded deployment {directory}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"sharded deployment {directory}: epoch {deployment.epoch}, "
+              f"{len(deployment.shard_map)} shards "
+              f"({deployment.backend!r} backend)")
+        worst = 0
+        for name in deployment.shard_dirs:
+            worst = max(worst,
+                        _single_checkpoint_status(os.path.join(directory, name)))
+        return worst
+    return _single_checkpoint_status(directory)
+
+
+def _single_checkpoint_status(directory: str) -> int:
+    """Status report of one (non-sharded) live deployment directory."""
     from repro.engine.snapshot import list_quarantined, read_manifest
     from repro.wal import read_checkpoint_status
 
@@ -458,11 +505,14 @@ def _command_checkpoint_status(directory: str) -> int:
 
 
 def _command_checkpoint(args: argparse.Namespace) -> int:
+    from repro.shard import is_sharded_directory
     from repro.storage.pagestore import PageStoreError
     from repro.wal import Checkpointer
 
     if args.status:
         return _command_checkpoint_status(args.dir)
+    if is_sharded_directory(args.dir):
+        return _command_checkpoint_sharded(args)
     try:
         engine = QueryEngine.open_live(args.dir, store=args.load_store)
     except (OSError, PageStoreError, ValueError) as exc:
@@ -489,6 +539,98 @@ def _command_checkpoint(args: argparse.Namespace) -> int:
         return 0
     finally:
         engine.close_wal()
+
+
+def _command_checkpoint_sharded(args: argparse.Namespace) -> int:
+    """One checkpoint round across every shard of a sharded deployment."""
+    from repro.shard import ShardedQueryEngine
+    from repro.storage.pagestore import PageStoreError
+
+    try:
+        engine = ShardedQueryEngine.open_live(args.dir, store=args.load_store)
+    except (OSError, PageStoreError, ValueError) as exc:
+        print(f"error: cannot open sharded deployment {args.dir}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        results = engine.checkpoint(
+            force=args.force,
+            min_records=max(1, args.min_records),
+            workers=args.workers,
+        )
+        print(f"checkpointed sharded deployment {args.dir} "
+              f"(epoch {engine.epoch}, {len(engine.engines)} shards)")
+        for shard_id, result in enumerate(results):
+            if result is None:
+                pending = engine.engines[shard_id].pending_wal_records
+                print(f"  shard {shard_id}: skipped ({pending} pending "
+                      f"record(s) < --min-records {args.min_records})")
+                continue
+            print(f"  shard {shard_id}: generation {result.generation}, "
+                  f"{result.folded_records} record(s) folded, "
+                  f"{result.objects} object(s), {result.seconds:.2f} s")
+        return 0
+    finally:
+        engine.close()
+
+
+def _command_shard_build(args: argparse.Namespace) -> int:
+    """``repro shard-build``: lay out a spatially-sharded deployment."""
+    from repro.shard import build_sharded_deployment
+
+    bundle = _load_bundle(args)
+    config = _config_from_args(args)
+    try:
+        deployment = build_sharded_deployment(
+            bundle.objects,
+            bundle.domain,
+            args.save_dir,
+            config=config,
+            shards=args.shards,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"built sharded deployment {args.save_dir} "
+          f"({deployment.backend!r} backend, epoch {deployment.epoch}, "
+          f"{len(deployment.shard_map)} shards, {len(bundle.objects)} objects)")
+    for shard in deployment.shard_map.shards:
+        print(f"  shard {shard.shard_id}: {shard.objects} objects, "
+              f"tile [{shard.tile.xmin:.0f}, {shard.tile.ymin:.0f}] - "
+              f"[{shard.tile.xmax:.0f}, {shard.tile.ymax:.0f}], "
+              f"max radius {shard.max_radius:.1f}")
+    return 0
+
+
+def _command_rebalance(args: argparse.Namespace) -> int:
+    """``repro rebalance``: split / merge shards into a new epoch."""
+    from repro.shard import is_sharded_directory, rebalance
+    from repro.storage.pagestore import PageStoreError
+
+    if not is_sharded_directory(args.dir):
+        print(f"error: {args.dir} is not a sharded deployment (no SHARDMAP)",
+              file=sys.stderr)
+        return 2
+    try:
+        plan, deployment = rebalance(
+            args.dir,
+            target_shards=args.shards,
+            max_skew=args.max_skew,
+            prune=args.prune,
+            dry_run=args.dry_run,
+        )
+    except (OSError, PageStoreError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(plan.describe())
+    if args.dry_run or deployment is None:
+        print("dry run: nothing built, SHARDMAP unchanged")
+        return 0
+    print(f"rebalanced {args.dir} to epoch {deployment.epoch} "
+          f"({len(deployment.shard_map)} shards)")
+    if args.prune:
+        print("pruned the previous epoch's shard directories")
+    return 0
 
 
 def _command_wal_inspect(args: argparse.Namespace) -> int:
@@ -707,6 +849,39 @@ def build_parser() -> argparse.ArgumentParser:
                             help="construction workers for the rebuild "
                                  "(default: the deployment's saved config)")
     checkpoint.set_defaults(handler=_command_checkpoint)
+
+    shard_build = subparsers.add_parser(
+        "shard-build",
+        help="build a spatially-sharded deployment: one snapshot generation "
+             "per shard behind a SHARDMAP manifest")
+    _add_dataset_arguments(shard_build)
+    shard_build.add_argument("--save-dir", required=True, metavar="DIR",
+                             help="deployment directory to lay out (one live "
+                                  "sub-directory per shard + SHARDMAP)")
+    shard_build.add_argument("--shards", type=int, default=4,
+                             help="spatial shard count (clamped so no shard "
+                                  "is empty; default: 4)")
+    shard_build.set_defaults(handler=_command_shard_build)
+
+    rebalance = subparsers.add_parser(
+        "rebalance",
+        help="split / merge a sharded deployment's shards from observed "
+             "statistics into a new epoch")
+    rebalance.add_argument("--dir", required=True, metavar="DIR",
+                           help="sharded deployment directory (has a SHARDMAP)")
+    rebalance.add_argument("--shards", type=int, default=None,
+                           help="explicit shard count for the new epoch "
+                                "(default: derived from observed skew)")
+    rebalance.add_argument("--max-skew", type=float, default=2.0,
+                           dest="max_skew",
+                           help="skew threshold driving the split / merge "
+                                "decision (default: 2.0)")
+    rebalance.add_argument("--dry-run", action="store_true", dest="dry_run",
+                           help="print the plan without building anything")
+    rebalance.add_argument("--prune", action="store_true",
+                           help="remove the previous epoch's shard "
+                                "directories after the flip")
+    rebalance.set_defaults(handler=_command_rebalance)
 
     chaos = subparsers.add_parser(
         "chaos",

@@ -255,6 +255,9 @@ class QueryEngine:
         self._live_directory: Optional[str] = None
         self._base_lsn = 0
         self._last_lsn = 0
+        # Sharded deployments stamp the shard map into every shard's
+        # snapshot header; ``None`` for ordinary single-snapshot engines.
+        self.shard_info: Optional[Dict[str, Any]] = None
         self.planner = QueryPlanner(self)
         backend.bind(self)
 

@@ -55,6 +55,10 @@ STRATEGY_KNN = "knn-monte-carlo"
 STRATEGY_RANGE_NATIVE = "native-partitions"
 STRATEGY_RANGE_SCAN = "range-candidate-scan"
 STRATEGY_BATCH = "streaming-shared-cache"
+#: Used by :class:`~repro.shard.engine.ShardedQueryEngine` plans: route to
+#: the shards whose possible-region bound can affect the answer, merge
+#: candidates, refine once.
+STRATEGY_SCATTER_GATHER = "shard-scatter-gather"
 
 #: Primary candidate-retrieval strategy of each built-in backend family.
 _PRIMARY_STRATEGY = {

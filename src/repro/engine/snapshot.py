@@ -75,6 +75,9 @@ def build_meta(engine: "QueryEngine") -> Dict[str, Any]:
             "objects": getattr(stats, "objects", len(engine.objects)),
             "total_seconds": getattr(stats, "total_seconds", 0.0),
         },
+        # Present only for shards of a sharded deployment: the shard id,
+        # deployment epoch, and the full shard map (see repro.shard).
+        "shard": engine.shard_info,
     }
 
 
@@ -197,6 +200,7 @@ def open_engine(
     )
     engine._dirty = False
     engine._readonly = readonly
+    engine.shard_info = meta.get("shard")
     return engine
 
 

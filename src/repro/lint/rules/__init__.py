@@ -14,6 +14,7 @@ from repro.lint.rules import (  # noqa: F401 - imported for registration
     lock_discipline,
     picklable_work,
     readonly_guard,
+    shard_map_coherence,
     validated_replace,
     wal_ordering,
     wire_complete,

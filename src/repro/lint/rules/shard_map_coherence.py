@@ -1,0 +1,126 @@
+"""Rule ``shard-map-coherence``: shard maps stay frozen and opaque.
+
+The ``SHARDMAP`` manifest is the routing contract of a sharded deployment:
+every router prunes with the per-shard possible-region bounds it carries,
+and the parity guarantee (sharded answers are bit-identical to the
+single-snapshot engine) holds only while those bounds and tiles are exactly
+what the validated constructors computed.  Two failure modes would break
+that silently:
+
+* **in-place mutation** -- ``object.__setattr__`` on a ``ShardMap`` /
+  ``ShardInfo`` / ``ShardDeployment`` field outside ``__post_init__``
+  bypasses the constructors' validation (contiguous ids, tiles partition
+  the domain, bounds non-degenerate).  A widened tile or narrowed bound is
+  invisible until a query routes past the shard that held its answer.
+* **page-store reach-through** -- code that walks a deployment's shard
+  directories and reads shard pages directly (``load_page`` and friends)
+  bypasses the per-shard engine, its buffer pool, and its counted I/O;
+  benchmarks and the routing gate stop measuring reality.  Shards are
+  opened through engines, never through raw page stores.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectModel, SourceFile
+from repro.lint.registry import Rule, register
+from repro.lint.rules._ast_util import dotted_name
+
+#: Fields of the shard-map dataclasses whose mutation breaks routing.
+_SHARD_FIELDS = {
+    "shard_id",
+    "tile",
+    "bound",
+    "max_radius",
+    "shards",
+    "shard_map",
+    "shard_dirs",
+    "uv_skeleton",
+    "epoch",
+}
+
+#: Raw page-store primitives a shard-deployment walker must not call.
+_PAGE_PRIMITIVES = {"load_page", "write_page", "free_page", "allocate_page"}
+
+#: Names whose presence marks a module as handling shard deployments.
+_DEPLOYMENT_API = {
+    "read_shard_deployment",
+    "write_shard_deployment",
+    "shard_paths",
+    "ShardDeployment",
+    "SHARDMAP_NAME",
+}
+
+
+def _references_deployment_api(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and node.id in _DEPLOYMENT_API:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _DEPLOYMENT_API:
+            return True
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name in _DEPLOYMENT_API:
+                    return True
+    return False
+
+
+def _inside_post_init(tree: ast.AST, target: ast.AST) -> bool:
+    """Whether ``target`` sits lexically inside some ``__post_init__``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "__post_init__":
+            for child in ast.walk(node):
+                if child is target:
+                    return True
+    return False
+
+
+@register
+class ShardMapCoherenceRule(Rule):
+    id = "shard-map-coherence"
+    title = "shard maps change only via validated constructors, shards only via engines"
+    rationale = (
+        "routing prunes with the shard map's bounds; a field mutated past "
+        "the constructors' validation, or a shard read through a raw page "
+        "store instead of its engine, silently breaks the parity guarantee"
+    )
+    hint = (
+        "rebuild shard maps through their constructors (build_shard_map / "
+        "from_dict) and open shards with QueryEngine, not page stores"
+    )
+    scope = ()  # the invariant is global: any module can hold a shard map
+
+    def check_file(self, source: SourceFile, project: ProjectModel) -> List[Finding]:
+        findings: List[Finding] = []
+        touches_deployment = _references_deployment_api(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if (
+                name == "object.__setattr__"
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and node.args[1].value in _SHARD_FIELDS
+                and not _inside_post_init(source.tree, node)
+            ):
+                findings.append(self.finding(
+                    source, node.lineno, node.col_offset,
+                    f"shard-map field {node.args[1].value!r} mutated in "
+                    f"place, bypassing the validated constructors",
+                ))
+            elif (
+                touches_deployment
+                and name is not None
+                and "." in name
+                and name.rsplit(".", 1)[1] in _PAGE_PRIMITIVES
+            ):
+                findings.append(self.finding(
+                    source, node.lineno, node.col_offset,
+                    f"{name}() reads shard pages through a raw page store; "
+                    f"shards are opened through engines only",
+                ))
+        return findings

@@ -129,6 +129,16 @@ class ProbabilisticKNN:
     # ------------------------------------------------------------------ #
     def _kth_max_distance_bound(self, query: Point, k: int) -> float:
         """Best-first traversal by *maximum* distance to find ``d_kminmax``."""
+        found = self.kth_max_distance_values(query, k)
+        return found[-1] if found else float("inf")
+
+    def kth_max_distance_values(self, query: Point, k: int) -> List[float]:
+        """The (up to) ``k`` smallest object maximum distances, ascending.
+
+        This is the multiset the best-first traversal pops before stopping;
+        the sharded engine merges these lists across shards, whose k-th
+        smallest equals the single-tree ``d_kminmax`` exactly.
+        """
         heap: List[tuple] = []
         counter = itertools.count()
         heapq.heappush(heap, (0.0, next(counter), False, self.tree.root))
@@ -159,7 +169,7 @@ class ProbabilisticKNN:
                             entry.child,
                         ),
                     )
-        return found[-1] if found else float("inf")
+        return found
 
     def retrieve_candidates(self, query: Point, k: int) -> List[int]:
         """Ids of objects with non-zero probability of being in the top ``k``."""
@@ -192,23 +202,43 @@ class ProbabilisticKNN:
             return KNNResult(query=query, k=k)
         if rng is None:
             rng = np.random.default_rng(0)
-
-        effective_k = min(k, len(candidates))
-        query_xy = np.array([query.x, query.y])
-        samples = np.stack(
-            [obj.sample_positions(worlds, rng) for obj in candidates], axis=1
-        )  # (worlds, candidates, 2)
-        distances = np.linalg.norm(samples - query_xy, axis=2)
-        ranks = np.argsort(distances, axis=1)[:, :effective_k]
-        counts = np.zeros(len(candidates), dtype=float)
-        for column in range(effective_k):
-            counts += np.bincount(ranks[:, column], minlength=len(candidates))
-        probabilities = counts / worlds
-
-        answers = [
-            KNNAnswer(oid=obj.oid, probability=float(p))
-            for obj, p in zip(candidates, probabilities)
-            if p > 0.0
-        ]
-        answers.sort(key=lambda a: (-a.probability, a.oid))
+        answers = estimate_knn_probabilities(
+            candidates, query, k, worlds=worlds, rng=rng
+        )
         return KNNResult(query=query, k=k, answers=answers)
+
+
+def estimate_knn_probabilities(
+    candidates: Sequence[UncertainObject],
+    query: Point,
+    k: int,
+    worlds: int,
+    rng: np.random.Generator,
+) -> List[KNNAnswer]:
+    """Monte-Carlo top-k membership probabilities over ``candidates``.
+
+    Samples one position per candidate per world (consuming ``rng`` in
+    candidate-list order, so a fixed candidate list and seed reproduce the
+    same probabilities everywhere -- the property the sharded engine's
+    parity guarantee relies on) and counts how often each candidate ranks
+    among the ``k`` nearest.
+    """
+    effective_k = min(k, len(candidates))
+    query_xy = np.array([query.x, query.y])
+    samples = np.stack(
+        [obj.sample_positions(worlds, rng) for obj in candidates], axis=1
+    )  # (worlds, candidates, 2)
+    distances = np.linalg.norm(samples - query_xy, axis=2)
+    ranks = np.argsort(distances, axis=1)[:, :effective_k]
+    counts = np.zeros(len(candidates), dtype=float)
+    for column in range(effective_k):
+        counts += np.bincount(ranks[:, column], minlength=len(candidates))
+    probabilities = counts / worlds
+
+    answers = [
+        KNNAnswer(oid=obj.oid, probability=float(p))
+        for obj, p in zip(candidates, probabilities)
+        if p > 0.0
+    ]
+    answers.sort(key=lambda a: (-a.probability, a.oid))
+    return answers

@@ -188,6 +188,8 @@ class QueryService:
         self._watch_thread: Optional[threading.Thread] = None
         self._generation: Optional[int] = None
         self._last_reload_error: Optional[str] = None
+        self._sharded = False
+        self._shard_token: Optional[tuple] = None
 
     # -- lifecycle ------------------------------------------------------- #
     def start(self, ready_timeout: float = 60.0) -> "QueryService":
@@ -281,12 +283,35 @@ class QueryService:
         plain snapshot files or before the first manifest read)."""
         return self._generation
 
+    def _sharded_token(self) -> Optional[tuple]:
+        """(epoch, per-shard generations) of a sharded deployment, or
+        ``None`` mid-flip -- the watcher's change-detection token."""
+        from repro.engine.snapshot import resolve_snapshot
+        from repro.shard import read_shard_deployment
+
+        try:
+            deployment = read_shard_deployment(self.config.snapshot_path)
+            generations = tuple(
+                resolve_snapshot(path)[1] or 0
+                for path in deployment.shard_paths(self.config.snapshot_path)
+            )
+        except (OSError, ValueError):
+            return None
+        return (deployment.epoch, generations)
+
     def _start_watcher(self) -> None:
         from repro.engine.snapshot import is_live_directory, read_manifest
+        from repro.shard import is_sharded_directory
 
-        if not is_live_directory(self.config.snapshot_path):
+        self._sharded = is_sharded_directory(self.config.snapshot_path)
+        if self._sharded:
+            token = self._sharded_token()
+            self._shard_token = token
+            self._generation = token[0] if token else None
+        elif is_live_directory(self.config.snapshot_path):
+            self._generation = read_manifest(self.config.snapshot_path).generation
+        else:
             return
-        self._generation = read_manifest(self.config.snapshot_path).generation
         if self.config.reload_poll <= 0:
             return
         self._watch_stop.clear()
@@ -300,6 +325,16 @@ class QueryService:
         from repro.engine.snapshot import read_manifest
 
         while not self._watch_stop.wait(self.config.reload_poll):
+            if self._sharded:
+                token = self._sharded_token()
+                if token is None or token == self._shard_token:
+                    continue  # flip in progress, read error, or no change
+                try:
+                    self.reload()
+                    self._shard_token = token
+                except Exception:  # noqa: BLE001 - the watcher must survive
+                    continue
+                continue
             try:
                 manifest = read_manifest(self.config.snapshot_path)
             except (OSError, ValueError):
@@ -376,10 +411,43 @@ class QueryService:
         )
         from repro.wal.checkpoint import read_checkpoint_status
 
+        import os
+
+        from repro.shard import is_sharded_directory, read_shard_deployment
+
         stats: Dict[str, Any] = {
             "live_directory": False,
+            "sharded": False,
             "last_reload_error": self._last_reload_error,
         }
+        if is_sharded_directory(self.config.snapshot_path):
+            # A sharded deployment's durability state is the union of its
+            # shard directories' states (each is a PR 8 live deployment).
+            stats["sharded"] = True
+            try:
+                deployment = read_shard_deployment(self.config.snapshot_path)
+            except (OSError, ValueError):
+                stats["shard_map"] = None
+                return stats
+            stats["epoch"] = deployment.epoch
+            stats["shard_map"] = deployment.shard_map.to_dict()
+            shards: List[Dict[str, Any]] = []
+            for name in deployment.shard_dirs:
+                shard_path = os.path.join(self.config.snapshot_path, name)
+                entry: Dict[str, Any] = {
+                    "directory": name,
+                    "live_directory": is_live_directory(shard_path),
+                }
+                if entry["live_directory"]:
+                    try:
+                        entry["manifest"] = read_manifest(shard_path).to_dict()
+                    except (OSError, ValueError):
+                        entry["manifest"] = None
+                    entry["quarantined"] = list_quarantined(shard_path)
+                    entry["checkpoint"] = read_checkpoint_status(shard_path)
+                shards.append(entry)
+            stats["shards"] = shards
+            return stats
         if not is_live_directory(self.config.snapshot_path):
             return stats
         stats["live_directory"] = True

@@ -40,8 +40,9 @@ SHUTDOWN = None
 def _encode_result(result) -> Dict[str, Any]:
     """Serialize whatever ``QueryEngine.execute`` returned."""
     from repro.engine.engine import BatchStream
+    from repro.shard.engine import ShardedBatchStream
 
-    if isinstance(result, BatchStream):
+    if isinstance(result, (BatchStream, ShardedBatchStream)):
         # Materialise the stream worker-side: the shared read cache only
         # lives for the stream's duration anyway, and the wire carries the
         # per-query results plus the cache counters the stream accumulated.
@@ -111,15 +112,29 @@ class WorkerRuntime:
 
     def __init__(self, worker_id: int, config, injector=None):
         from repro.engine.snapshot import resolve_snapshot
+        from repro.shard import is_sharded_directory
 
         self.worker_id = worker_id
         self.config = config
         self.injector = injector
-        # A live deployment directory resolves through its manifest to the
-        # current generation's snapshot file; a plain snapshot resolves to
-        # itself with no generation.
-        self.snapshot_file, self.generation = resolve_snapshot(config.snapshot_path)
-        self.engine = self._open(self.snapshot_file)
+        self.sharded = is_sharded_directory(config.snapshot_path)
+        if self.sharded:
+            # A sharded deployment opens as a scatter-gather router over
+            # every shard's current generation; the worker's "generation"
+            # is the deployment epoch and reloads track per-shard
+            # generations alongside it.
+            self.snapshot_file = config.snapshot_path
+            self.engine = self._open_sharded()
+            self.generation = self.engine.epoch
+            self._shard_generations = tuple(self.engine.generations)
+        else:
+            # A live deployment directory resolves through its manifest to
+            # the current generation's snapshot file; a plain snapshot
+            # resolves to itself with no generation.
+            self.snapshot_file, self.generation = resolve_snapshot(
+                config.snapshot_path
+            )
+            self.engine = self._open(self.snapshot_file)
         self.requests_handled = 0
         self.reloads = 0
 
@@ -132,6 +147,17 @@ class WorkerRuntime:
             buffer_pages=self.config.buffer_pages,
             read_latency=self.config.read_latency,
             readonly=True,
+            verify=verify,
+        )
+
+    def _open_sharded(self, verify: bool = False):
+        from repro.shard import ShardedQueryEngine
+
+        return ShardedQueryEngine.open(
+            self.config.snapshot_path,
+            store=self.config.store,
+            buffer_pages=self.config.buffer_pages,
+            read_latency=self.config.read_latency,
             verify=verify,
         )
 
@@ -148,6 +174,8 @@ class WorkerRuntime:
         """
         from repro.engine.snapshot import resolve_snapshot
 
+        if self.sharded:
+            return self._reload_sharded()
         snapshot_file, generation = resolve_snapshot(self.config.snapshot_path)
         if snapshot_file == self.snapshot_file and generation == self.generation:
             return {
@@ -163,6 +191,38 @@ class WorkerRuntime:
         return {
             "reloaded": True,
             "generation": generation,
+            "objects": len(engine),
+        }
+
+    def _reload_sharded(self) -> Dict[str, Any]:
+        """Swap in a new epoch or per-shard generations if the SHARDMAP or
+        any shard manifest moved on (same swap-only-on-success contract as
+        the single-snapshot path)."""
+        from repro.engine.snapshot import resolve_snapshot
+        from repro.shard import read_shard_deployment
+
+        deployment = read_shard_deployment(self.config.snapshot_path)
+        generations = tuple(
+            resolve_snapshot(path)[1] or 0
+            for path in deployment.shard_paths(self.config.snapshot_path)
+        )
+        if (
+            deployment.epoch == self.generation
+            and generations == self._shard_generations
+        ):
+            return {
+                "reloaded": False,
+                "generation": self.generation,
+                "objects": len(self.engine),
+            }
+        engine = self._open_sharded(verify=True)
+        self.engine = engine
+        self.generation = engine.epoch
+        self._shard_generations = tuple(engine.generations)
+        self.reloads += 1
+        return {
+            "reloaded": True,
+            "generation": self.generation,
             "objects": len(engine),
         }
 
@@ -226,10 +286,13 @@ class WorkerRuntime:
         """Engine-side statistics surfaced by the ``/stats`` endpoint."""
         engine = self.engine
         io = engine.io_stats()
-        return {
+        backend = getattr(engine, "backend_name", None)
+        if backend is None:
+            backend = engine.backend.name
+        payload = {
             "worker_id": self.worker_id,
             "pid": os.getpid(),
-            "backend": engine.backend.name,
+            "backend": backend,
             "objects": len(engine),
             "readonly": engine.readonly,
             "generation": self.generation,
@@ -237,9 +300,22 @@ class WorkerRuntime:
             "requests_handled": self.requests_handled,
             "io": io.as_dict(),
             "buffer_pool_hit_ratio": io.cache_hit_ratio,
-            "planner_statistics": dict(engine.planner.backend_statistics()),
             "index_statistics": dict(engine.statistics()),
         }
+        if self.sharded:
+            # The fleet has one planner per shard; report the home (first)
+            # shard's model plus the shard layout instead of a single view.
+            payload["shards"] = len(engine.engines)
+            payload["epoch"] = engine.epoch
+            payload["shard_generations"] = list(engine.generations)
+            payload["planner_statistics"] = dict(
+                engine.engines[0].planner.backend_statistics()
+            )
+        else:
+            payload["planner_statistics"] = dict(
+                engine.planner.backend_statistics()
+            )
+        return payload
 
 
 def worker_main(worker_id: int, config_state: Dict[str, Any],

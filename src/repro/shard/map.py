@@ -1,0 +1,268 @@
+"""The shard map: a frozen, wire-serializable spatial partition.
+
+A :class:`ShardMap` carries everything a router needs to decide which
+shards a query can touch without opening any of them:
+
+* ``tile`` -- the shard's slice of the domain (tiles exactly partition the
+  domain; objects are assigned by the location of their MBC center),
+* ``bound`` -- the shard's *possible-region bound*: the union of the MBC
+  bounding boxes of its objects.  Every candidate an index inside the shard
+  can produce lies within this rectangle, so ``min_distance(q, bound)`` is
+  a sound lower bound on any shard answer's distance -- the PR 5 tau-pruning
+  argument lifted to shard granularity,
+* per-shard statistics (object count, maximum MBC radius) for the planner
+  and the rebalancer.
+
+Both dataclasses are frozen and mutated only through their validated
+constructors (machine-checked by the ``shard-map-coherence`` lint rule);
+:meth:`ShardMap.to_dict` / :meth:`ShardMap.from_dict` are the wire format
+used by snapshot headers and the ``SHARDMAP`` deployment manifest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.uncertain.objects import UncertainObject
+
+#: Format version of the ShardMap wire encoding.
+SHARD_MAP_FORMAT = 1
+
+#: Relative slack allowed when checking that tiles cover the domain.
+_AREA_TOLERANCE = 1e-9
+
+
+def _rect_state(rect: Rect) -> List[float]:
+    return [rect.xmin, rect.ymin, rect.xmax, rect.ymax]
+
+
+def _rect_from_state(state: Any, what: str) -> Rect:
+    if not isinstance(state, (list, tuple)) or len(state) != 4:
+        raise ValueError(
+            f"{what} serializes as [xmin, ymin, xmax, ymax], got {state!r}"
+        )
+    return Rect(*(float(value) for value in state))
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One shard's slice of the domain plus its routing bound and statistics.
+
+    Attributes:
+        shard_id: position in the map (``0 .. shards-1``).
+        tile: the shard's slice of the domain; object assignment is by MBC
+            center, ties on shared tile edges resolved to the lowest id.
+        bound: union of the shard's object MBC bounding boxes -- the
+            possible-region bound the router prunes with.  Always contained
+            in no particular tile (an object's uncertainty region may hang
+            over the tile edge).
+        objects: number of objects assigned to the shard at build time.
+        max_radius: largest object MBC radius in the shard.
+    """
+
+    shard_id: int
+    tile: Rect
+    bound: Rect
+    objects: int
+    max_radius: float
+
+    def __post_init__(self) -> None:
+        if self.shard_id < 0:
+            raise ValueError(f"shard_id must be non-negative, got {self.shard_id}")
+        if self.objects < 0:
+            raise ValueError(f"objects must be non-negative, got {self.objects}")
+        if self.max_radius < 0.0:
+            raise ValueError(f"max_radius must be non-negative, got {self.max_radius}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible state (inverse of :meth:`from_dict`)."""
+        return {
+            "shard_id": self.shard_id,
+            "tile": _rect_state(self.tile),
+            "bound": _rect_state(self.bound),
+            "objects": self.objects,
+            "max_radius": self.max_radius,
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "ShardInfo":
+        """Rebuild (and re-validate) a shard entry from :meth:`to_dict` output."""
+        return cls(
+            shard_id=int(state["shard_id"]),
+            tile=_rect_from_state(state["tile"], "a shard tile"),
+            bound=_rect_from_state(state["bound"], "a shard bound"),
+            objects=int(state["objects"]),
+            max_radius=float(state["max_radius"]),
+        )
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """A validated spatial partition of the domain into shards.
+
+    Attributes:
+        domain: the domain rectangle the tiles partition.
+        strategy: how the tiles were derived (``"kd_tile"`` for the built-in
+            median-split builder).
+        shards: the shard entries, ordered by ``shard_id``.
+    """
+
+    domain: Rect
+    strategy: str
+    shards: Tuple[ShardInfo, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError("a ShardMap needs at least one shard")
+        object.__setattr__(self, "shards", tuple(self.shards))
+        for position, shard in enumerate(self.shards):
+            if shard.shard_id != position:
+                raise ValueError(
+                    f"shard ids must be contiguous from 0; position {position} "
+                    f"holds shard_id {shard.shard_id}"
+                )
+            tile = shard.tile
+            if (
+                tile.xmin < self.domain.xmin - _AREA_TOLERANCE
+                or tile.ymin < self.domain.ymin - _AREA_TOLERANCE
+                or tile.xmax > self.domain.xmax + _AREA_TOLERANCE
+                or tile.ymax > self.domain.ymax + _AREA_TOLERANCE
+            ):
+                raise ValueError(
+                    f"shard {position} tile {tile} escapes the domain {self.domain}"
+                )
+        covered = sum(shard.tile.area() for shard in self.shards)
+        total = self.domain.area()
+        if total > 0 and abs(covered - total) > _AREA_TOLERANCE * max(total, 1.0):
+            raise ValueError(
+                f"shard tiles cover area {covered!r}, domain has {total!r}; "
+                "tiles must exactly partition the domain"
+            )
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def shard_of_point(self, point: Point) -> int:
+        """The shard whose tile contains ``point`` (lowest id wins on edges)."""
+        for shard in self.shards:
+            if shard.tile.contains_point(point):
+                return shard.shard_id
+        raise ValueError(f"point {point} lies outside the domain {self.domain}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible state (inverse of :meth:`from_dict`)."""
+        return {
+            "shard_map_format": SHARD_MAP_FORMAT,
+            "domain": _rect_state(self.domain),
+            "strategy": self.strategy,
+            "shards": [shard.to_dict() for shard in self.shards],
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "ShardMap":
+        """Rebuild (and re-validate) a shard map from :meth:`to_dict` output."""
+        version = int(state.get("shard_map_format", SHARD_MAP_FORMAT))
+        if version != SHARD_MAP_FORMAT:
+            raise ValueError(
+                f"unsupported shard map format {version} "
+                f"(this build reads format {SHARD_MAP_FORMAT})"
+            )
+        return cls(
+            domain=_rect_from_state(state["domain"], "a shard map domain"),
+            strategy=str(state.get("strategy", "kd_tile")),
+            shards=tuple(
+                ShardInfo.from_dict(entry) for entry in state.get("shards", [])
+            ),
+        )
+
+
+def _kd_tiles(
+    items: List[Tuple[float, float, int]], tile: Rect, count: int
+) -> List[Tuple[Rect, List[Tuple[float, float, int]]]]:
+    """Recursive median split of ``items`` (x, y, oid) into ``count`` tiles.
+
+    Splits the wider tile axis at the median object so sibling tiles hold
+    floor/ceil halves of the objects -- deterministic for a fixed input
+    order because ties sort by object id.
+    """
+    if count <= 1 or len(items) <= 1:
+        return [(tile, items)]
+    left_count = count // 2
+    axis = 0 if (tile.xmax - tile.xmin) >= (tile.ymax - tile.ymin) else 1
+    ordered = sorted(items, key=lambda item: (item[axis], item[2]))
+    pivot = len(ordered) * left_count // count
+    pivot = min(max(pivot, 1), len(ordered) - 1)
+    cut = (ordered[pivot - 1][axis] + ordered[pivot][axis]) / 2.0
+    if axis == 0:
+        cut = min(max(cut, tile.xmin), tile.xmax)
+        low_tile = Rect(tile.xmin, tile.ymin, cut, tile.ymax)
+        high_tile = Rect(cut, tile.ymin, tile.xmax, tile.ymax)
+    else:
+        cut = min(max(cut, tile.ymin), tile.ymax)
+        low_tile = Rect(tile.xmin, tile.ymin, tile.xmax, cut)
+        high_tile = Rect(tile.xmin, cut, tile.xmax, tile.ymax)
+    low_items = ordered[:pivot]
+    high_items = ordered[pivot:]
+    return _kd_tiles(low_items, low_tile, left_count) + _kd_tiles(
+        high_items, high_tile, count - left_count
+    )
+
+
+def build_shard_map(
+    objects: Sequence[UncertainObject], domain: Rect, shards: int
+) -> ShardMap:
+    """Derive a balanced ``ShardMap`` over ``objects`` with kd-median tiles.
+
+    The requested shard count is clamped to the number of objects so no
+    shard is ever empty; bounds and statistics are computed from the objects
+    assigned to each tile (by MBC center, lowest shard id wins on edges).
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    if not objects:
+        raise ValueError("cannot derive a shard map over an empty dataset")
+    shards = min(shards, len(objects))
+    items = [(obj.center.x, obj.center.y, obj.oid) for obj in objects]
+    tiles = [tile for tile, _ in _kd_tiles(items, domain, shards)]
+    assignments = assign_objects(objects, tiles)
+    infos = []
+    for shard_id, assigned in enumerate(assignments):
+        if not assigned:
+            raise ValueError(
+                f"kd tiling produced an empty shard {shard_id} "
+                f"({len(objects)} objects over {shards} shards)"
+            )
+        boxes = [obj.mbr() for obj in assigned]
+        bound = boxes[0]
+        for box in boxes[1:]:
+            bound = bound.union(box)
+        infos.append(
+            ShardInfo(
+                shard_id=shard_id,
+                tile=tiles[shard_id],
+                bound=bound,
+                objects=len(assigned),
+                max_radius=max(obj.radius for obj in assigned),
+            )
+        )
+    return ShardMap(domain=domain, strategy="kd_tile", shards=tuple(infos))
+
+
+def assign_objects(
+    objects: Sequence[UncertainObject], tiles: Sequence[Rect]
+) -> List[List[UncertainObject]]:
+    """Partition ``objects`` over ``tiles`` by MBC center (first tile wins)."""
+    assignments: List[List[UncertainObject]] = [[] for _ in tiles]
+    for obj in objects:
+        for index, tile in enumerate(tiles):
+            if tile.contains_point(obj.center):
+                assignments[index].append(obj)
+                break
+        else:
+            raise ValueError(
+                f"object {obj.oid} at {obj.center} lies outside every shard tile"
+            )
+    return assignments

@@ -1,0 +1,23 @@
+"""A shard router that mutates the map in place and reads pages raw.
+
+Seeded violations for the ``shard-map-coherence`` rule: an in-place
+``object.__setattr__`` on a frozen shard-map field, and a deployment walk
+that reads shard pages through the raw page store instead of an engine.
+"""
+
+from repro.shard.deployment import read_shard_deployment
+
+
+def widen_bound(info, union):
+    # In-place mutation skips the constructors' validation entirely.
+    object.__setattr__(info, "bound", union)
+    return info
+
+
+def scan_shard_pages(directory, store_for, page_id):
+    deployment = read_shard_deployment(directory)
+    payload = b""
+    for path in deployment.shard_paths(directory):
+        store = store_for(path)
+        payload += store.load_page(page_id)
+    return payload

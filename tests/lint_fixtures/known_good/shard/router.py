@@ -1,0 +1,24 @@
+"""The corrected twin: rebuild through constructors, read through engines."""
+
+from repro.shard.deployment import read_shard_deployment
+from repro.shard.map import ShardInfo
+
+
+def widen_bound(info, union):
+    # A changed bound is a new validated ShardInfo, never a mutation.
+    return ShardInfo(
+        shard_id=info.shard_id,
+        tile=info.tile,
+        bound=union,
+        objects=info.objects,
+        max_radius=info.max_radius,
+    )
+
+
+def scan_shard_objects(directory, open_engine):
+    deployment = read_shard_deployment(directory)
+    total = 0
+    for path in deployment.shard_paths(directory):
+        engine = open_engine(path)
+        total += len(engine)
+    return total

@@ -101,6 +101,8 @@ class TestFixtureTrees:
             ("wal-ordering", "wal/replay.py", "without a monotonic-LSN"),
             ("error-discipline", "serve/supervisor.py", "bare 'except:'"),
             ("error-discipline", "serve/supervisor.py", "silently swallows"),
+            ("shard-map-coherence", "shard/router.py", "mutated in"),
+            ("shard-map-coherence", "shard/router.py", "raw page store"),
         ],
     )
     def test_known_bad_finding(self, bad_report, rule_id, relpath, needle):
@@ -132,7 +134,7 @@ class TestFixtureTrees:
         counts = {rule_id: len(findings) for rule_id, findings in by_rule.items()}
         assert counts == {
             "determinism": 6,
-            "counted-io": 4,
+            "counted-io": 5,
             "frozen-spec": 2,
             "wire-complete": 6,
             "readonly-guard": 1,
@@ -142,6 +144,7 @@ class TestFixtureTrees:
             "validated-replace": 2,
             "wal-ordering": 2,
             "error-discipline": 2,
+            "shard-map-coherence": 2,
         }
 
 
